@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/swf/
+
+experiments:
+	$(GO) run ./cmd/experiments -csv results -svg results | tee results/experiments_full.txt
+	$(GO) run ./cmd/experiments -exp extensions -csv results -svg results | tee results/extensions_full.txt
+	$(GO) run ./cmd/experiments -replicate 5 | tee results/replication.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/riskpolicy
+	$(GO) run ./examples/capacityplan
+	$(GO) run ./examples/riskmonitor
+
+clean:
+	$(GO) clean ./...

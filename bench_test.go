@@ -1,0 +1,413 @@
+package clustersched
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation plus ablations over the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks run at a reduced scale (32 nodes / 600 jobs) so the
+// whole suite completes in seconds; Benchmark*FullScale variants run the
+// paper-scale configuration (128 nodes / 3000 jobs) for the three
+// policies. Reproduction metrics (fulfilled %, slowdown) are attached to
+// the benchmark output via b.ReportMetric, so `go test -bench` doubles as
+// a compact results table.
+
+import (
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/experiment"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// benchBase is the reduced-scale configuration used by figure benchmarks.
+func benchBase() experiment.BaseConfig {
+	base := experiment.DefaultBase()
+	base.Nodes = 32
+	gen := workload.DefaultGeneratorConfig()
+	gen.Jobs = 600
+	gen.MaxProcs = 32
+	gen.MeanInterarrival = 2131
+	gen.MeanRuntime = workload.TraceMeanRuntime
+	base.Generator = gen
+	return base
+}
+
+// BenchmarkTableWorkload regenerates the §4 workload-characteristics
+// table (generation + statistics) at paper scale.
+func BenchmarkTableWorkload(b *testing.B) {
+	base := experiment.DefaultBase()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.BuildWorkloadTable(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(tbl.MeanInterarrivalSec, "interarrival-s")
+			b.ReportMetric(tbl.PctOverestimates, "overest-%")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, build func(experiment.BaseConfig) (experiment.Figure, error)) {
+	base := benchBase()
+	for i := 0; i < b.N; i++ {
+		f, err := build(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportFigureShape(b, f)
+		}
+	}
+}
+
+// reportFigureShape attaches the figure's headline comparison — the gap
+// between LibraRisk and Libra on fulfilled % under trace estimates at the
+// rightmost sweep point — to the benchmark output.
+func reportFigureShape(b *testing.B, f experiment.Figure) {
+	for _, p := range f.Panels {
+		if len(p.Series) < 3 || len(p.X) == 0 {
+			continue
+		}
+		var libra, risk float64
+		found := 0
+		for _, s := range p.Series {
+			switch s.Name {
+			case "Libra":
+				libra = s.Y[len(s.Y)-1]
+				found++
+			case "LibraRisk":
+				risk = s.Y[len(s.Y)-1]
+				found++
+			}
+		}
+		if found == 2 {
+			b.ReportMetric(risk-libra, "risk-vs-libra")
+			return
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates figure 1 (varying workload).
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, experiment.Figure1) }
+
+// BenchmarkFigure2 regenerates figure 2 (varying deadline high:low ratio).
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, experiment.Figure2) }
+
+// BenchmarkFigure3 regenerates figure 3 (varying high urgency jobs).
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, experiment.Figure3) }
+
+// BenchmarkFigure4 regenerates figure 4 (varying estimate inaccuracy).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiment.Figure4) }
+
+// benchPolicyFullScale runs one paper-scale simulation per iteration.
+func benchPolicyFullScale(b *testing.B, pol experiment.PolicyKind, inacc float64) {
+	base := experiment.DefaultBase()
+	jobs, err := experiment.GenerateBase(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiment.RunSpec{Policy: pol, ArrivalDelayFactor: 1, InaccuracyPct: inacc, Deadline: base.Deadline}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.Run(base, jobs, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(s.PctFulfilled, "fulfilled-%")
+			b.ReportMetric(s.AvgSlowdownMet, "slowdown")
+		}
+	}
+}
+
+// BenchmarkPolicyEDFFullScale runs EDF over 3000 jobs on 128 nodes with
+// trace estimates.
+func BenchmarkPolicyEDFFullScale(b *testing.B) {
+	benchPolicyFullScale(b, experiment.EDF, 100)
+}
+
+// BenchmarkPolicyLibraFullScale runs Libra at paper scale.
+func BenchmarkPolicyLibraFullScale(b *testing.B) {
+	benchPolicyFullScale(b, experiment.Libra, 100)
+}
+
+// BenchmarkPolicyLibraRiskFullScale runs LibraRisk at paper scale; the
+// per-arrival risk evaluation over all 128 nodes dominates its profile.
+func BenchmarkPolicyLibraRiskFullScale(b *testing.B) {
+	benchPolicyFullScale(b, experiment.LibraRisk, 100)
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationNodeSelection compares best-fit (Libra's strategy),
+// first-fit (Algorithm 1's order) and worst-fit placement for Libra under
+// trace estimates.
+func BenchmarkAblationNodeSelection(b *testing.B) {
+	for _, sel := range []NodeSelection{SelectBestFit, SelectFirstFit, SelectWorstFit} {
+		sel := sel
+		b.Run(string(sel), func(b *testing.B) {
+			o := DefaultOptions()
+			o.Nodes = 32
+			o.Jobs = 600
+			o.Policy = PolicyLibra
+			o.NodeSelection = sel
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Summary.PctFulfilled, "fulfilled-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRiskThreshold compares the paper's strict σ = 0 rule
+// against relaxed thresholds.
+func BenchmarkAblationRiskThreshold(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		sigma float64
+	}{
+		{"sigma=0", 0},
+		{"sigma=0.5", 0.5},
+		{"sigma=inf", 1e12},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			o := DefaultOptions()
+			o.Nodes = 32
+			o.Jobs = 600
+			o.RiskSigmaThreshold = tc.sigma
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Summary.PctFulfilled, "fulfilled-%")
+					b.ReportMetric(float64(res.Summary.Missed), "missed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkConserving compares work-conserving nodes (spare
+// capacity redistributed) against strict eq.-1 shares.
+func BenchmarkAblationWorkConserving(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		wc   bool
+	}{{"work-conserving", true}, {"strict-share", false}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			o := DefaultOptions()
+			o.Nodes = 32
+			o.Jobs = 600
+			o.WorkConserving = tc.wc
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Summary.PctFulfilled, "fulfilled-%")
+					b.ReportMetric(res.Summary.AvgSlowdownMet, "slowdown")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOverrunFloor sweeps the residual weight granted to jobs
+// that overran their estimate, the one free parameter in the node model.
+func BenchmarkAblationOverrunFloor(b *testing.B) {
+	base := benchBase()
+	jobs, err := experiment.GenerateBase(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, floor := range []float64{0.005, 0.02, 0.1} {
+		floor := floor
+		b.Run(floatName(floor), func(b *testing.B) {
+			cfg := base
+			cfg.Cluster.OverrunFloorWeight = floor
+			spec := experiment.RunSpec{Policy: experiment.LibraRisk, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: cfg.Deadline}
+			for i := 0; i < b.N; i++ {
+				s, err := experiment.Run(cfg, jobs, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(s.PctFulfilled, "fulfilled-%")
+				}
+			}
+		})
+	}
+}
+
+func floatName(f float64) string {
+	switch f {
+	case 0.005:
+		return "floor=0.005"
+	case 0.02:
+		return "floor=0.02"
+	default:
+		return "floor=0.1"
+	}
+}
+
+// BenchmarkAblationRiskRule compares the paper's σ = 0 suitability test
+// against the stricter µ = 1 ("no predicted delay at all") rule; the gap
+// is the value of LibraRisk's forgiveness of lone overestimated jobs.
+func BenchmarkAblationRiskRule(b *testing.B) {
+	base := benchBase()
+	jobs, err := experiment.GenerateBase(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		meanRule bool
+	}{{"sigma-rule", false}, {"mu-rule", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := runRiskVariant(base, jobs, tc.meanRule)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(s.PctFulfilled, "fulfilled-%")
+					b.ReportMetric(float64(s.Rejected), "rejected")
+				}
+			}
+		})
+	}
+}
+
+func runRiskVariant(base experiment.BaseConfig, baseJobs []workload.Job, meanRule bool) (metrics.Summary, error) {
+	jobs, err := workload.AssignDeadlines(baseJobs, base.Deadline)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	c, err := cluster.NewTimeShared(base.Nodes, base.Rating, base.Cluster)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	p.MeanRule = meanRule
+	e := sim.NewEngine()
+	if err := core.RunSimulation(e, p, rec, jobs, 100); err != nil {
+		return metrics.Summary{}, err
+	}
+	return rec.Summarize(), nil
+}
+
+// BenchmarkExtensionPrediction runs the system-generated-estimates
+// extension experiment (figure "prediction") at reduced scale.
+func BenchmarkExtensionPrediction(b *testing.B) {
+	base := benchBase()
+	base.Generator.Jobs = 400
+	base.Generator.Users = workload.DefaultUserModelConfig()
+	for i := 0; i < b.N; i++ {
+		f, err := experiment.FigurePrediction(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(f.Panels) > 0 {
+			// Report the lift the scaling predictor gives Libra at full
+			// inaccuracy (rightmost x of panel (a)).
+			p := f.Panels[0]
+			var raw, scaled float64
+			for _, s := range p.Series {
+				switch s.Name {
+				case "user-estimate":
+					raw = s.Y[len(s.Y)-1]
+				case "scaling":
+					scaled = s.Y[len(s.Y)-1]
+				}
+			}
+			b.ReportMetric(scaled-raw, "prediction-lift")
+		}
+	}
+}
+
+// BenchmarkExtensionPolicies runs the related-work schedulers (FCFS,
+// EASY, conservative, QoPS) over the benchmark workload with trace
+// estimates for a seven-way comparison row.
+func BenchmarkExtensionPolicies(b *testing.B) {
+	for _, pol := range []Policy{PolicyFCFS, PolicyBackfillEASY, PolicyBackfillConservative, PolicyQoPS} {
+		pol := pol
+		b.Run(string(pol), func(b *testing.B) {
+			o := DefaultOptions()
+			o.Nodes = 32
+			o.Jobs = 600
+			o.Policy = pol
+			o.QoPSSlackFactor = 2
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Summary.PctFulfilled, "fulfilled-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictorScaling isolates the cost of LibraRisk's per-node
+// fluid predictor as concurrent slices grow.
+func BenchmarkPredictorScaling(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		n := n
+		b.Run(sliceCountName(n), func(b *testing.B) {
+			c, err := cluster.NewTimeShared(1, 168, cluster.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := sim.NewEngine()
+			for i := 0; i < n; i++ {
+				j := workload.Job{
+					ID: i + 1, Runtime: 1000, TraceEstimate: 1000,
+					NumProc: 1, Deadline: 100000 + float64(i)*1000,
+				}
+				if _, err := c.Submit(e, j, 1000, []int{0}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cand := &cluster.Candidate{JobID: 999, RefWork: 500, AbsDeadline: 50000}
+			node := c.Node(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := node.PredictDelays(0, cand); len(out) != n+1 {
+					b.Fatal("prediction lost items")
+				}
+			}
+		})
+	}
+}
+
+func sliceCountName(n int) string {
+	switch n {
+	case 1:
+		return "slices=1"
+	case 4:
+		return "slices=4"
+	case 16:
+		return "slices=16"
+	default:
+		return "slices=64"
+	}
+}

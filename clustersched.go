@@ -1,0 +1,922 @@
+// Package clustersched is a cluster scheduling laboratory reproducing
+// "Managing Risk of Inaccurate Runtime Estimates for Deadline Constrained
+// Job Admission Control in Clusters" (Yeo & Buyya, ICPP 2006).
+//
+// It provides three deadline-constrained admission-control policies — EDF,
+// Libra, and the paper's contribution LibraRisk — on top of a from-scratch
+// discrete-event cluster simulator, a Standard Workload Format trace
+// substrate, a calibrated synthetic SDSC SP2 workload generator, and an
+// experiment harness that regenerates every figure of the paper's
+// evaluation.
+//
+// The quickest start:
+//
+//	res, err := clustersched.Simulate(clustersched.DefaultOptions())
+//	fmt.Println(res.Summary.PctFulfilled)
+//
+// See examples/ for runnable scenarios and cmd/experiments for the full
+// figure regeneration.
+package clustersched
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"clustersched/internal/analysis"
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/experiment"
+	"clustersched/internal/metrics"
+	"clustersched/internal/predict"
+	"clustersched/internal/sched"
+	"clustersched/internal/sim"
+	"clustersched/internal/swf"
+	"clustersched/internal/workload"
+)
+
+// Policy names an admission-control strategy.
+type Policy string
+
+// The built-in policies. EDF and Libra are the paper's baselines;
+// LibraRisk is its contribution. The remaining four are related-work
+// comparators from the paper's §2 (classic FCFS, EASY and conservative
+// backfilling, and a QoPS-style slack admission control) provided as
+// extensions.
+const (
+	PolicyEDF                  Policy = "edf"
+	PolicyLibra                Policy = "libra"
+	PolicyLibraRisk            Policy = "librarisk"
+	PolicyFCFS                 Policy = "fcfs"
+	PolicyBackfillEASY         Policy = "backfill-easy"
+	PolicyBackfillConservative Policy = "backfill-conservative"
+	PolicyBackfillEDF          Policy = "backfill-edf"
+	PolicyQoPS                 Policy = "qops"
+)
+
+// AllPolicies lists every built-in policy, paper policies first.
+func AllPolicies() []Policy {
+	return []Policy{
+		PolicyEDF, PolicyLibra, PolicyLibraRisk,
+		PolicyFCFS, PolicyBackfillEASY, PolicyBackfillConservative,
+		PolicyBackfillEDF, PolicyQoPS,
+	}
+}
+
+// NodeSelection names how Libra-family policies order suitable nodes.
+type NodeSelection string
+
+// Node selection strategies: best-fit saturates nodes (Libra's default),
+// first-fit walks them in index order (LibraRisk's Algorithm 1), worst-fit
+// levels load.
+const (
+	SelectBestFit  NodeSelection = "best-fit"
+	SelectFirstFit NodeSelection = "first-fit"
+	SelectWorstFit NodeSelection = "worst-fit"
+)
+
+// Options configures a simulation end to end. Zero values select the
+// paper's defaults via DefaultOptions; construct Options from
+// DefaultOptions and override fields.
+type Options struct {
+	// Cluster geometry.
+	Nodes  int     // computation nodes (default 128, the SDSC SP2)
+	Rating float64 // SPEC rating per node (default 168)
+	// NodeRatings, when non-empty, builds a heterogeneous cluster with
+	// one node per entry (overriding Nodes); Rating stays the reference
+	// rating in which runtimes and estimates are expressed.
+	NodeRatings []float64
+
+	// Policy under test and its knobs.
+	Policy        Policy
+	NodeSelection NodeSelection // empty selects the policy's own default
+	// RiskSigmaThreshold relaxes LibraRisk's zero-risk rule to σ ≤ t.
+	RiskSigmaThreshold float64
+	// QoPSSlackFactor is how many estimated runtimes a QoPS-admitted
+	// job's deadline may slip to accommodate later urgent jobs.
+	QoPSSlackFactor float64
+	// Estimator selects the runtime-estimate source the scheduler sees:
+	// "" or "user-estimate" uses the (inaccuracy-blended) user estimates;
+	// "recent-average" and "scaling" apply history-based online
+	// prediction (enable UserModel for these to have per-user history).
+	Estimator string
+	// UserModel, when true, generates the workload with a persistent-user
+	// population (skewed activity, per-user estimation styles and runtime
+	// locality) instead of the job-level estimate mixture.
+	UserModel bool
+	// MonitorInterval, when positive, samples cluster utilization and
+	// live deadline-delay risk at this period (seconds of simulated
+	// time); samples appear in Result.Monitor. Time-shared policies only
+	// (libra, librarisk).
+	MonitorInterval float64
+	// WorkConserving selects whether nodes redistribute unused share
+	// (default true; false is the strict eq.-1 reading).
+	WorkConserving bool
+
+	// Workload synthesis.
+	Jobs               int
+	Seed               uint64
+	ArrivalDelayFactor float64 // < 1 compresses arrivals (heavier load)
+
+	// Deadline model (§4).
+	HighUrgencyFraction float64 // 0..1
+	DeadlineRatio       float64 // deadline high:low ratio
+	// InaccuracyPct: 0 = accurate estimates, 100 = trace estimates.
+	InaccuracyPct float64
+}
+
+// DefaultOptions returns the paper's experimental defaults with the
+// LibraRisk policy selected.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:               workload.SDSCSP2Nodes,
+		Rating:              workload.SDSCSP2Rating,
+		Policy:              PolicyLibraRisk,
+		WorkConserving:      true,
+		Jobs:                workload.TraceJobs,
+		Seed:                1,
+		ArrivalDelayFactor:  workload.DefaultArrivalDelayFactor,
+		HighUrgencyFraction: workload.DefaultHighUrgencyFraction,
+		DeadlineRatio:       workload.DefaultDeadlineRatio,
+		InaccuracyPct:       100,
+	}
+}
+
+// Job is one unit of work: real runtime and user estimate in seconds of
+// dedicated execution on a reference-rating node, a processor requirement,
+// and a hard deadline relative to submission.
+type Job struct {
+	ID            int
+	Submit        float64
+	Runtime       float64
+	TraceEstimate float64
+	NumProc       int
+	Deadline      float64
+	HighUrgency   bool
+}
+
+// Outcome classifies a submitted job's fate.
+type Outcome string
+
+// Job outcomes.
+const (
+	OutcomeRejected   Outcome = "rejected"
+	OutcomeMet        Outcome = "met"
+	OutcomeMissed     Outcome = "missed"
+	OutcomeUnfinished Outcome = "unfinished"
+)
+
+// JobOutcome is the per-job record of one simulation.
+type JobOutcome struct {
+	JobID    int
+	Outcome  Outcome
+	Finish   float64
+	Response float64
+	Delay    float64
+	Slowdown float64
+	Reason   string
+}
+
+// Summary aggregates one simulation run; PctFulfilled and AvgSlowdownMet
+// are the paper's two evaluation metrics.
+type Summary struct {
+	Submitted      int
+	Rejected       int
+	Completed      int
+	Met            int
+	Missed         int
+	Unfinished     int
+	MetHighUrgency int
+	MetLowUrgency  int
+	PctFulfilled   float64
+	AvgSlowdownMet float64
+	AcceptanceRate float64
+}
+
+// MonitorSample is one periodic observation of the cluster (see
+// Options.MonitorInterval).
+type MonitorSample struct {
+	Time          float64
+	Utilization   float64
+	RunningJobs   int
+	BusyNodes     int
+	MeanSigma     float64
+	MeanMu        float64
+	DelayedJobs   int
+	ZeroRiskNodes int
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Policy  Policy
+	Summary Summary
+	Jobs    []JobOutcome
+	// Monitor holds the time series when Options.MonitorInterval was set
+	// and the policy runs on a time-shared cluster.
+	Monitor []MonitorSample
+}
+
+// NodeCount returns the effective cluster size: len(NodeRatings) when a
+// heterogeneous cluster is configured, Nodes otherwise.
+func (o Options) NodeCount() int {
+	if len(o.NodeRatings) > 0 {
+		return len(o.NodeRatings)
+	}
+	return o.Nodes
+}
+
+// Validate reports the first error in the options.
+func (o Options) Validate() error {
+	for i, r := range o.NodeRatings {
+		if r <= 0 || math.IsNaN(r) {
+			return fmt.Errorf("clustersched: NodeRatings[%d] = %g, want > 0", i, r)
+		}
+	}
+	if o.MonitorInterval < 0 || math.IsNaN(o.MonitorInterval) {
+		return fmt.Errorf("clustersched: MonitorInterval = %g, want >= 0", o.MonitorInterval)
+	}
+	switch {
+	case o.NodeCount() <= 0:
+		return fmt.Errorf("clustersched: Nodes = %d, want > 0", o.Nodes)
+	case o.Rating <= 0:
+		return fmt.Errorf("clustersched: Rating = %g, want > 0", o.Rating)
+	case o.Jobs <= 0:
+		return fmt.Errorf("clustersched: Jobs = %d, want > 0", o.Jobs)
+	case o.ArrivalDelayFactor < 0:
+		return fmt.Errorf("clustersched: ArrivalDelayFactor = %g, want >= 0", o.ArrivalDelayFactor)
+	case o.HighUrgencyFraction < 0 || o.HighUrgencyFraction > 1:
+		return fmt.Errorf("clustersched: HighUrgencyFraction = %g, want in [0,1]", o.HighUrgencyFraction)
+	case o.DeadlineRatio < 1:
+		return fmt.Errorf("clustersched: DeadlineRatio = %g, want >= 1", o.DeadlineRatio)
+	case o.InaccuracyPct < 0 || o.InaccuracyPct > 100:
+		return fmt.Errorf("clustersched: InaccuracyPct = %g, want in [0,100]", o.InaccuracyPct)
+	case o.RiskSigmaThreshold < 0 || math.IsNaN(o.RiskSigmaThreshold):
+		return fmt.Errorf("clustersched: RiskSigmaThreshold = %g, want >= 0", o.RiskSigmaThreshold)
+	case o.QoPSSlackFactor < 0 || math.IsNaN(o.QoPSSlackFactor):
+		return fmt.Errorf("clustersched: QoPSSlackFactor = %g, want >= 0", o.QoPSSlackFactor)
+	}
+	switch o.Policy {
+	case PolicyEDF, PolicyLibra, PolicyLibraRisk,
+		PolicyFCFS, PolicyBackfillEASY, PolicyBackfillConservative,
+		PolicyBackfillEDF, PolicyQoPS:
+	default:
+		return fmt.Errorf("clustersched: unknown policy %q", o.Policy)
+	}
+	switch o.NodeSelection {
+	case "", SelectBestFit, SelectFirstFit, SelectWorstFit:
+	default:
+		return fmt.Errorf("clustersched: unknown node selection %q", o.NodeSelection)
+	}
+	switch o.Estimator {
+	case "", "user-estimate", "recent-average", "scaling":
+	default:
+		return fmt.Errorf("clustersched: unknown estimator %q", o.Estimator)
+	}
+	return nil
+}
+
+// GenerateWorkload synthesizes the SDSC-SP2-like job stream (with
+// deadlines assigned) the options describe, before arrival scaling.
+func GenerateWorkload(o Options) ([]Job, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := internalWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternalJobs(jobs), nil
+}
+
+func internalWorkload(o Options) ([]workload.Job, error) {
+	gen := workload.DefaultGeneratorConfig()
+	gen.Jobs = o.Jobs
+	gen.Seed = o.Seed
+	gen.MaxProcs = o.NodeCount()
+	if o.UserModel {
+		gen.Users = workload.DefaultUserModelConfig()
+	}
+	base, err := workload.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := workload.DefaultDeadlineConfig()
+	dcfg.HighUrgencyFraction = o.HighUrgencyFraction
+	dcfg.Ratio = o.DeadlineRatio
+	return workload.AssignDeadlines(base, dcfg)
+}
+
+// SimulateMany runs several independent simulations concurrently (one
+// worker per CPU) and returns their results in input order. Each Options
+// value is validated; the first failure aborts the batch.
+func SimulateMany(opts []Options) ([]Result, error) {
+	for i := range opts {
+		if err := opts[i].Validate(); err != nil {
+			return nil, fmt.Errorf("options[%d]: %w", i, err)
+		}
+	}
+	results := make([]Result, len(opts))
+	errs := make([]error, len(opts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(opts) {
+		workers = len(opts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Simulate(opts[i])
+			}
+		}()
+	}
+	for i := range opts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("options[%d]: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Simulate generates the workload and runs the selected policy over it.
+func Simulate(o Options) (Result, error) {
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	jobs, err := internalWorkload(o)
+	if err != nil {
+		return Result{}, err
+	}
+	return simulateInternal(o, jobs)
+}
+
+// SimulateJobs runs the selected policy over a caller-provided workload
+// (for example one loaded from an SWF trace via LoadSWF). Jobs must be in
+// nondecreasing submit order.
+func SimulateJobs(o Options, jobs []Job) (Result, error) {
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	return simulateInternal(o, toInternalJobs(jobs))
+}
+
+// ratings returns the per-node rating list the options describe.
+func (o Options) ratings() []float64 {
+	if len(o.NodeRatings) > 0 {
+		return o.NodeRatings
+	}
+	out := make([]float64, o.Nodes)
+	for i := range out {
+		out[i] = o.Rating
+	}
+	return out
+}
+
+// Economy is the provider-side ledger of one simulation under the default
+// SLA pricing: urgency-premium revenue for fulfilled jobs, delay penalties
+// for missed ones, forgone revenue for rejections.
+type Economy struct {
+	Revenue          float64
+	Penalties        float64
+	Profit           float64
+	ForgoneRevenue   float64
+	FulfilledProcHrs float64
+}
+
+// ProviderEconomics runs the configured simulation and prices its
+// outcomes, translating the paper's deadline metrics into provider money.
+func ProviderEconomics(o Options) (Economy, error) {
+	if err := o.Validate(); err != nil {
+		return Economy{}, err
+	}
+	jobs, err := internalWorkload(o)
+	if err != nil {
+		return Economy{}, err
+	}
+	jobs = workload.ScaleArrivals(jobs, o.ArrivalDelayFactor)
+	rec, err := runForRecorder(o, jobs)
+	if err != nil {
+		return Economy{}, err
+	}
+	eco, err := analysis.Economics(rec, jobs, analysis.DefaultPricing())
+	if err != nil {
+		return Economy{}, err
+	}
+	return Economy{
+		Revenue: eco.Revenue, Penalties: eco.Penalties, Profit: eco.Profit,
+		ForgoneRevenue: eco.ForgoneRevenue, FulfilledProcHrs: eco.FulfilledProcHrs,
+	}, nil
+}
+
+// Report runs the configured simulation and returns a rendered analysis
+// report: class breakdowns, slowdown/response distributions, bounded
+// slowdown, rejection-reason tallies, and (with UserModel) Jain's
+// per-user fairness index.
+func Report(o Options) (string, error) {
+	if err := o.Validate(); err != nil {
+		return "", err
+	}
+	jobs, err := internalWorkload(o)
+	if err != nil {
+		return "", err
+	}
+	jobs = workload.ScaleArrivals(jobs, o.ArrivalDelayFactor)
+	rec, err := runForRecorder(o, jobs)
+	if err != nil {
+		return "", err
+	}
+	rep := analysis.Build(rec, jobs)
+	var sb strings.Builder
+	if err := analysis.WriteReport(&sb, rep); err != nil {
+		return "", err
+	}
+	if o.UserModel {
+		fmt.Fprintf(&sb, "user fairness Jain index %.3f\n", analysis.JainFairness(rec, jobs))
+	}
+	eco, err := analysis.Economics(rec, jobs, analysis.DefaultPricing())
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nprovider economics (default SLA pricing):\n")
+	if err := analysis.WriteEconomy(&sb, eco); err != nil {
+		return "", err
+	}
+	if tl := analysis.Timeline(rec.Results(), 16); tl != nil {
+		sb.WriteString("\n")
+		if err := analysis.WriteTimeline(&sb, tl, o.NodeCount()); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func simulateInternal(o Options, jobs []workload.Job) (Result, error) {
+	jobs = workload.ScaleArrivals(jobs, o.ArrivalDelayFactor)
+	rec, mon, err := runSimulation(o, jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Policy: o.Policy, Summary: toSummary(rec.Summarize()), Jobs: toOutcomes(rec.Results())}
+	if mon != nil {
+		for _, s := range mon.Samples() {
+			res.Monitor = append(res.Monitor, MonitorSample{
+				Time: s.Time, Utilization: s.Utilization, RunningJobs: s.RunningJobs,
+				BusyNodes: s.BusyNodes, MeanSigma: s.MeanSigma, MeanMu: s.MeanMu,
+				DelayedJobs: s.DelayedJobs, ZeroRiskNodes: s.ZeroRiskNodes,
+			})
+		}
+	}
+	return res, nil
+}
+
+// runForRecorder executes the simulation and hands back the raw recorder
+// for post-processing (the jobs must already be arrival-scaled).
+func runForRecorder(o Options, jobs []workload.Job) (*metrics.Recorder, error) {
+	rec, _, err := runSimulation(o, jobs)
+	return rec, err
+}
+
+func runSimulation(o Options, jobs []workload.Job) (*metrics.Recorder, *core.Monitor, error) {
+	ccfg := cluster.DefaultConfig()
+	ccfg.RefRating = o.Rating
+	ccfg.WorkConserving = o.WorkConserving
+
+	e := sim.NewEngine()
+	rec := metrics.NewRecorder()
+	newTS := func() (*cluster.TimeShared, error) {
+		return cluster.NewTimeSharedHetero(o.ratings(), ccfg)
+	}
+	newSS := func() (*cluster.SpaceShared, error) {
+		return cluster.NewSpaceSharedHetero(o.ratings(), ccfg)
+	}
+	var pol core.Policy
+	var mon *core.Monitor
+	switch o.Policy {
+	case PolicyEDF:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = core.NewEDF(c, rec)
+	case PolicyLibra, PolicyLibraRisk:
+		c, err := newTS()
+		if err != nil {
+			return nil, nil, err
+		}
+		if o.Policy == PolicyLibra {
+			p := core.NewLibra(c, rec)
+			if sel, ok := toSelection(o.NodeSelection); ok {
+				p.Selection = sel
+			}
+			pol = p
+		} else {
+			p := core.NewLibraRisk(c, rec)
+			p.SigmaThreshold = o.RiskSigmaThreshold
+			if sel, ok := toSelection(o.NodeSelection); ok {
+				p.Selection = sel
+			}
+			pol = p
+		}
+		if o.MonitorInterval > 0 {
+			m, err := core.NewMonitor(c, o.MonitorInterval)
+			if err != nil {
+				return nil, nil, err
+			}
+			mon = m
+			mon.Start(e)
+		}
+	case PolicyFCFS:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = sched.NewFCFS(c, rec)
+	case PolicyBackfillEASY:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = sched.NewBackfill(c, rec, sched.EASYBackfill)
+	case PolicyBackfillConservative:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = sched.NewBackfill(c, rec, sched.ConservativeBackfill)
+	case PolicyBackfillEDF:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		p := sched.NewBackfill(c, rec, sched.EASYBackfill)
+		p.DeadlineOrdered = true
+		pol = p
+	case PolicyQoPS:
+		c, err := newSS()
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = sched.NewQoPS(c, rec, o.QoPSSlackFactor)
+	}
+	if o.Estimator != "" && o.Estimator != "user-estimate" {
+		pred, err := predict.New(o.Estimator)
+		if err != nil {
+			return nil, nil, err
+		}
+		pol = predict.Wrap(pol, rec, pred)
+	}
+	if err := core.RunSimulation(e, pol, rec, jobs, o.InaccuracyPct); err != nil {
+		return nil, nil, err
+	}
+	return rec, mon, nil
+}
+
+func toSelection(s NodeSelection) (core.NodeSelection, bool) {
+	switch s {
+	case SelectBestFit:
+		return core.BestFit, true
+	case SelectFirstFit:
+		return core.FirstFit, true
+	case SelectWorstFit:
+		return core.WorstFit, true
+	default:
+		return 0, false
+	}
+}
+
+func toSummary(s metrics.Summary) Summary {
+	return Summary{
+		Submitted: s.Submitted, Rejected: s.Rejected, Completed: s.Completed,
+		Met: s.Met, Missed: s.Missed, Unfinished: s.Unfinished,
+		MetHighUrgency: s.MetHigh, MetLowUrgency: s.MetLow,
+		PctFulfilled: s.PctFulfilled, AvgSlowdownMet: s.AvgSlowdownMet,
+		AcceptanceRate: s.AcceptanceRate,
+	}
+}
+
+func toOutcomes(rs []metrics.JobResult) []JobOutcome {
+	out := make([]JobOutcome, len(rs))
+	for i, r := range rs {
+		o := JobOutcome{
+			JobID: r.JobID, Finish: r.Finish, Response: r.Response,
+			Delay: r.Delay, Slowdown: r.Slowdown, Reason: r.Reason,
+		}
+		switch r.Outcome {
+		case metrics.Rejected:
+			o.Outcome = OutcomeRejected
+		case metrics.Met:
+			o.Outcome = OutcomeMet
+		case metrics.Missed:
+			o.Outcome = OutcomeMissed
+		default:
+			o.Outcome = OutcomeUnfinished
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func toInternalJobs(jobs []Job) []workload.Job {
+	out := make([]workload.Job, len(jobs))
+	for i, j := range jobs {
+		cls := workload.LowUrgency
+		if j.HighUrgency {
+			cls = workload.HighUrgency
+		}
+		out[i] = workload.Job{
+			ID: j.ID, Submit: j.Submit, Runtime: j.Runtime,
+			TraceEstimate: j.TraceEstimate, NumProc: j.NumProc,
+			Deadline: j.Deadline, Class: cls,
+		}
+	}
+	return out
+}
+
+func fromInternalJobs(jobs []workload.Job) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = Job{
+			ID: j.ID, Submit: j.Submit, Runtime: j.Runtime,
+			TraceEstimate: j.TraceEstimate, NumProc: j.NumProc,
+			Deadline: j.Deadline, HighUrgency: j.Class == workload.HighUrgency,
+		}
+	}
+	return out
+}
+
+// LoadSWF parses a Standard Workload Format trace (e.g. the real SDSC SP2
+// archive file; gzip-compressed .swf.gz streams are detected and handled
+// transparently), keeps the last lastN runnable jobs (0 keeps all), and
+// assigns deadlines per the options' deadline model.
+func LoadSWF(r io.Reader, o Options, lastN int) ([]Job, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := swf.ParseAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	tr = tr.CompletedOnly()
+	if lastN > 0 {
+		tr = tr.LastN(lastN)
+	}
+	jobs, err := workload.FromSWF(tr, o.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := workload.DefaultDeadlineConfig()
+	dcfg.HighUrgencyFraction = o.HighUrgencyFraction
+	dcfg.Ratio = o.DeadlineRatio
+	withDL, err := workload.AssignDeadlines(jobs, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternalJobs(withDL), nil
+}
+
+// SaveSWF writes jobs as a Standard Workload Format trace.
+func SaveSWF(w io.Writer, jobs []Job, maxNodes int) error {
+	return swf.Write(w, workload.ToSWF(toInternalJobs(jobs), maxNodes))
+}
+
+// GenerateCalibratedWorkload fits the synthetic generator to a real SWF
+// trace (arrival intensity and burstiness, runtime distribution,
+// processor mix, estimate error mixture) and generates a statistically
+// matching synthetic workload of o.Jobs jobs with deadlines assigned per
+// the options — the privacy-preserving way to run the experiment suite
+// against a site's own trace without shipping the trace.
+func GenerateCalibratedWorkload(r io.Reader, o Options) ([]Job, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := swf.ParseAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.Calibrate(tr.CompletedOnly(), o.NodeCount())
+	if err != nil {
+		return nil, err
+	}
+	gen.Jobs = o.Jobs
+	gen.Seed = o.Seed
+	base, err := workload.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := workload.DefaultDeadlineConfig()
+	dcfg.HighUrgencyFraction = o.HighUrgencyFraction
+	dcfg.Ratio = o.DeadlineRatio
+	withDL, err := workload.AssignDeadlines(base, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternalJobs(withDL), nil
+}
+
+// BuildFigure regenerates one of the paper's result figures ("figure1"
+// through "figure4") at the given scale. Pass DefaultOptions() for the
+// paper-scale run; smaller Jobs/Nodes values sweep faster.
+func BuildFigure(id string, o Options) (Figure, error) {
+	if err := o.Validate(); err != nil {
+		return Figure{}, err
+	}
+	base := buildBase(o)
+	var f experiment.Figure
+	var err error
+	switch id {
+	case "figure1":
+		f, err = experiment.Figure1(base)
+	case "figure2":
+		f, err = experiment.Figure2(base)
+	case "figure3":
+		f, err = experiment.Figure3(base)
+	case "figure4":
+		f, err = experiment.Figure4(base)
+	case "prediction":
+		f, err = experiment.FigurePrediction(base)
+	case "allpolicies":
+		f, err = experiment.FigureAllPolicies(base)
+	case "hetero":
+		f, err = experiment.FigureHetero(base)
+	default:
+		return Figure{}, fmt.Errorf("clustersched: unknown figure %q (want figure1..figure4, prediction, allpolicies, or hetero)", id)
+	}
+	if err != nil {
+		return Figure{}, err
+	}
+	return fromInternalFigure(f), nil
+}
+
+// FigureIDs lists the paper's regenerable figures in order. The extension
+// experiments ("prediction", "allpolicies", "hetero" — see
+// ExtensionFigureIDs) are built on demand via BuildFigure and are not part
+// of the paper set.
+func FigureIDs() []string { return []string{"figure1", "figure2", "figure3", "figure4"} }
+
+// ExtensionFigureIDs lists the extension experiments beyond the paper.
+func ExtensionFigureIDs() []string { return []string{"allpolicies", "hetero", "prediction"} }
+
+// Replication is a multi-seed measurement: mean, sample standard
+// deviation, and 95 % confidence half-width for the two evaluation
+// metrics.
+type Replication struct {
+	Seeds         int
+	FulfilledMean float64
+	FulfilledStd  float64
+	FulfilledCI95 float64
+	SlowdownMean  float64
+	SlowdownStd   float64
+	SlowdownCI95  float64
+}
+
+// Replicate runs the configured simulation across n workload seeds
+// (derived deterministically from o.Seed) and returns the metric
+// distribution — the statistically sound way to compare policies.
+func Replicate(o Options, n int) (Replication, error) {
+	if err := o.Validate(); err != nil {
+		return Replication{}, err
+	}
+	if n <= 0 {
+		return Replication{}, fmt.Errorf("clustersched: Replicate with n = %d", n)
+	}
+	var kind experiment.PolicyKind
+	switch o.Policy {
+	case PolicyEDF:
+		kind = experiment.EDF
+	case PolicyLibra:
+		kind = experiment.Libra
+	case PolicyLibraRisk:
+		kind = experiment.LibraRisk
+	case PolicyFCFS:
+		kind = experiment.FCFS
+	case PolicyBackfillEASY:
+		kind = experiment.BackfillEASY
+	case PolicyBackfillConservative:
+		kind = experiment.BackfillCons
+	case PolicyQoPS:
+		kind = experiment.QoPS
+	}
+	base := buildBase(o)
+	base.QoPSSlack = o.QoPSSlackFactor
+	if len(o.NodeRatings) > 0 {
+		base.Ratings = o.NodeRatings
+	}
+	spec := experiment.RunSpec{
+		Policy:             kind,
+		ArrivalDelayFactor: o.ArrivalDelayFactor,
+		InaccuracyPct:      o.InaccuracyPct,
+		Deadline:           base.Deadline,
+	}
+	rep, err := experiment.RunReplicated(base, spec, experiment.SeedsFrom(o.Seed, n))
+	if err != nil {
+		return Replication{}, err
+	}
+	return Replication{
+		Seeds:         rep.Seeds,
+		FulfilledMean: rep.FulfilledMean, FulfilledStd: rep.FulfilledStd, FulfilledCI95: rep.FulfilledCI95,
+		SlowdownMean: rep.SlowdownMean, SlowdownStd: rep.SlowdownStd, SlowdownCI95: rep.SlowdownCI95,
+	}, nil
+}
+
+func buildBase(o Options) experiment.BaseConfig {
+	base := experiment.DefaultBase()
+	base.Nodes = o.Nodes
+	base.Rating = o.Rating
+	base.Cluster.RefRating = o.Rating
+	base.Cluster.WorkConserving = o.WorkConserving
+	base.Generator.Jobs = o.Jobs
+	base.Generator.Seed = o.Seed
+	base.Generator.MaxProcs = o.Nodes
+	base.Deadline.HighUrgencyFraction = o.HighUrgencyFraction
+	base.Deadline.Ratio = o.DeadlineRatio
+	return base
+}
+
+// Figure, Panel and Series mirror the experiment harness output for
+// rendering outside this module.
+type Figure struct {
+	ID     string
+	Title  string
+	Panels []Panel
+}
+
+// Panel is one subplot: a metric against a swept parameter.
+type Panel struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Series is one policy's line in a panel.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+func fromInternalFigure(f experiment.Figure) Figure {
+	out := Figure{ID: f.ID, Title: f.Title}
+	for _, p := range f.Panels {
+		np := Panel{Name: p.Name, XLabel: p.XLabel, YLabel: p.YLabel, X: append([]float64(nil), p.X...)}
+		for _, s := range p.Series {
+			np.Series = append(np.Series, Series{Name: s.Name, Y: append([]float64(nil), s.Y...)})
+		}
+		out.Panels = append(out.Panels, np)
+	}
+	return out
+}
+
+func toInternalFigure(f Figure) experiment.Figure {
+	out := experiment.Figure{ID: f.ID, Title: f.Title}
+	for _, p := range f.Panels {
+		np := experiment.Panel{Name: p.Name, XLabel: p.XLabel, YLabel: p.YLabel, X: p.X}
+		for _, s := range p.Series {
+			np.Series = append(np.Series, experiment.Series{Name: s.Name, Y: s.Y})
+		}
+		out.Panels = append(out.Panels, np)
+	}
+	return out
+}
+
+// RenderFigure writes the figure as aligned tables plus ASCII plots.
+func RenderFigure(w io.Writer, f Figure) error {
+	return experiment.WriteFigure(w, toInternalFigure(f))
+}
+
+// RenderFigureCSV writes the figure as tidy CSV (figure,panel,policy,x,y).
+func RenderFigureCSV(w io.Writer, f Figure) error {
+	return experiment.WriteFigureCSV(w, toInternalFigure(f))
+}
+
+// RenderFigureSVG writes the figure as a standalone SVG document with one
+// line chart per panel, in the paper's 2×2 layout.
+func RenderFigureSVG(w io.Writer, f Figure) error {
+	return experiment.WriteFigureSVG(w, toInternalFigure(f))
+}
+
+// RenderWorkloadTable writes the §4 workload-characteristics table for the
+// options' synthetic trace, next to the paper's reference values.
+func RenderWorkloadTable(w io.Writer, o Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	tbl, err := experiment.BuildWorkloadTable(buildBase(o))
+	if err != nil {
+		return err
+	}
+	return experiment.WriteWorkloadTable(w, tbl)
+}

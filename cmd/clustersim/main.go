@@ -1,0 +1,154 @@
+// Command clustersim runs a single cluster admission-control simulation
+// and prints its summary, optionally with a per-job outcome CSV, a
+// monitor time series, or a detailed analysis report.
+//
+// Examples:
+//
+//	clustersim -policy librarisk -inaccuracy 100
+//	clustersim -policy edf -adf 0.3 -urgency 0.8 -jobs-csv out.csv
+//	clustersim -policy libra -trace SDSC-SP2-1998-4.2-cln.swf -last 3000
+//	clustersim -report -users
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clustersched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes one simulation, writing results to stdout.
+func run(args []string, stdout io.Writer) error {
+	o := clustersched.DefaultOptions()
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	policy := fs.String("policy", string(o.Policy), "admission control: edf | libra | librarisk | fcfs | backfill-easy | backfill-conservative | qops")
+	nodes := fs.Int("nodes", o.Nodes, "computation nodes")
+	rating := fs.Float64("rating", o.Rating, "SPEC rating per node")
+	jobs := fs.Int("jobs", o.Jobs, "synthetic workload size")
+	seed := fs.Uint64("seed", o.Seed, "workload seed")
+	adf := fs.Float64("adf", o.ArrivalDelayFactor, "arrival delay factor (<1 = heavier load)")
+	urgency := fs.Float64("urgency", o.HighUrgencyFraction, "fraction of high urgency jobs")
+	ratio := fs.Float64("ratio", o.DeadlineRatio, "deadline high:low ratio")
+	inacc := fs.Float64("inaccuracy", o.InaccuracyPct, "estimate inaccuracy % (0=accurate, 100=trace)")
+	sigma := fs.Float64("sigma", 0, "LibraRisk σ threshold (0 = paper's zero-risk rule)")
+	selection := fs.String("selection", "", "node selection override: best-fit | first-fit | worst-fit")
+	estimator := fs.String("estimator", "", "runtime estimate source: user-estimate | recent-average | scaling")
+	users := fs.Bool("users", false, "generate the workload with a persistent-user population")
+	qopsSlack := fs.Float64("qops-slack", 2, "QoPS slack factor (with -policy qops)")
+	strict := fs.Bool("strict-share", false, "serve jobs at exactly their guaranteed share (no work conservation)")
+	trace := fs.String("trace", "", "replay an SWF trace file instead of the synthetic workload")
+	lastN := fs.Int("last", 0, "with -trace: keep only the last N jobs (0 = all)")
+	jobsCSV := fs.String("jobs-csv", "", "write per-job outcomes to this CSV file")
+	monitor := fs.Float64("monitor", 0, "sample cluster state every N simulated seconds (time-shared policies)")
+	monitorCSV := fs.String("monitor-csv", "", "write monitor samples to this CSV file")
+	report := fs.Bool("report", false, "print a detailed analysis report (distributions, class breakdown, rejection reasons)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o.Policy = clustersched.Policy(*policy)
+	o.Nodes = *nodes
+	o.Rating = *rating
+	o.Jobs = *jobs
+	o.Seed = *seed
+	o.ArrivalDelayFactor = *adf
+	o.HighUrgencyFraction = *urgency
+	o.DeadlineRatio = *ratio
+	o.InaccuracyPct = *inacc
+	o.RiskSigmaThreshold = *sigma
+	o.NodeSelection = clustersched.NodeSelection(*selection)
+	o.Estimator = *estimator
+	o.UserModel = *users
+	o.QoPSSlackFactor = *qopsSlack
+	o.WorkConserving = !*strict
+	o.MonitorInterval = *monitor
+
+	if *report && *trace == "" {
+		out, err := clustersched.Report(o)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, out)
+		return err
+	}
+
+	var res clustersched.Result
+	var err error
+	if *trace != "" {
+		f, ferr := os.Open(*trace)
+		if ferr != nil {
+			return ferr
+		}
+		var loaded []clustersched.Job
+		loaded, err = clustersched.LoadSWF(f, o, *lastN)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res, err = clustersched.SimulateJobs(o, loaded)
+	} else {
+		res, err = clustersched.Simulate(o)
+	}
+	if err != nil {
+		return err
+	}
+
+	s := res.Summary
+	fmt.Fprintf(stdout, "policy                 %s\n", res.Policy)
+	fmt.Fprintf(stdout, "submitted              %d\n", s.Submitted)
+	fmt.Fprintf(stdout, "rejected               %d\n", s.Rejected)
+	fmt.Fprintf(stdout, "completed              %d (met %d, missed %d)\n", s.Completed, s.Met, s.Missed)
+	fmt.Fprintf(stdout, "unfinished             %d\n", s.Unfinished)
+	fmt.Fprintf(stdout, "deadlines fulfilled    %.2f %%\n", s.PctFulfilled)
+	fmt.Fprintf(stdout, "avg slowdown (met)     %.2f\n", s.AvgSlowdownMet)
+	fmt.Fprintf(stdout, "acceptance rate        %.2f\n", s.AcceptanceRate)
+
+	if *monitorCSV != "" && len(res.Monitor) > 0 {
+		if err := writeMonitorCSV(*monitorCSV, res.Monitor); err != nil {
+			return err
+		}
+	}
+	if *jobsCSV != "" {
+		if err := writeJobsCSV(*jobsCSV, res.Jobs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMonitorCSV(path string, samples []clustersched.MonitorSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes")
+	for _, s := range samples {
+		fmt.Fprintf(f, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d\n",
+			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes)
+	}
+	return nil
+}
+
+func writeJobsCSV(path string, jobs []clustersched.JobOutcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "job,outcome,finish,response,delay,slowdown,reason")
+	for _, j := range jobs {
+		fmt.Fprintf(f, "%d,%s,%g,%g,%g,%g,%q\n",
+			j.JobID, j.Outcome, j.Finish, j.Response, j.Delay, j.Slowdown, j.Reason)
+	}
+	return nil
+}

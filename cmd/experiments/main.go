@@ -1,0 +1,183 @@
+// Command experiments regenerates the paper's evaluation — the workload
+// characteristics table (§4) and figures 1-4 — plus the extension
+// experiments, each as aligned tables with ASCII plots and optional CSV
+// and SVG output, or a multi-seed replication of the headline comparison.
+//
+// Examples:
+//
+//	experiments                       # everything at paper scale
+//	experiments -exp fig4             # one figure
+//	experiments -exp extensions       # allpolicies + hetero + prediction
+//	experiments -jobs 500 -nodes 32   # quick scaled-down pass
+//	experiments -csv out/ -svg out/   # also write data files and charts
+//	experiments -replicate 5          # headline numbers with 95% CIs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clustersched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	o := clustersched.DefaultOptions()
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "which experiment: all | table | fig1 | fig2 | fig3 | fig4 | predict | allpolicies | hetero | economics | extensions")
+	jobs := fs.Int("jobs", o.Jobs, "workload size")
+	nodes := fs.Int("nodes", o.Nodes, "cluster size")
+	seed := fs.Uint64("seed", o.Seed, "workload seed")
+	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files into")
+	svgDir := fs.String("svg", "", "directory to also write per-figure SVG charts into")
+	replicate := fs.Int("replicate", 0, "instead of figures, print the headline comparison across N workload seeds with 95% confidence intervals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o.Jobs = *jobs
+	o.Nodes = *nodes
+	o.Seed = *seed
+
+	if *replicate > 0 {
+		return runReplication(stdout, o, *replicate)
+	}
+	if *exp == "economics" {
+		return runEconomics(stdout, o)
+	}
+
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	wantTable := *exp == "all" || *exp == "table"
+	var wantFigs []string
+	switch *exp {
+	case "all":
+		wantFigs = clustersched.FigureIDs()
+	case "table":
+	case "fig1", "fig2", "fig3", "fig4":
+		wantFigs = []string{"figure" + (*exp)[3:]}
+	case "predict":
+		wantFigs = []string{"prediction"}
+	case "allpolicies", "hetero":
+		wantFigs = []string{*exp}
+	case "extensions":
+		wantFigs = clustersched.ExtensionFigureIDs()
+	default:
+		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+
+	if wantTable {
+		if err := clustersched.RenderWorkloadTable(stdout, o); err != nil {
+			return err
+		}
+	}
+	for _, id := range wantFigs {
+		start := time.Now()
+		fig, err := clustersched.BuildFigure(id, o)
+		if err != nil {
+			return err
+		}
+		if err := clustersched.RenderFigure(stdout, fig); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := writeFile(path, fig, clustersched.RenderFigureCSV); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "[wrote %s]\n\n", path)
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, id+".svg")
+			if err := writeFile(path, fig, clustersched.RenderFigureSVG); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "[wrote %s]\n\n", path)
+		}
+	}
+	return nil
+}
+
+// writeFile renders a figure into path with the given renderer.
+func writeFile(path string, fig clustersched.Figure, render func(io.Writer, clustersched.Figure) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f, fig); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runEconomics prices every policy's outcomes under the default SLA
+// economy, for both estimate regimes.
+func runEconomics(stdout io.Writer, o clustersched.Options) error {
+	fmt.Fprintln(stdout, "provider economics per policy (default SLA pricing):")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%-22s %-9s %12s %12s %12s %14s\n",
+		"policy", "estimates", "revenue", "penalties", "profit", "forgone")
+	for _, pol := range clustersched.AllPolicies() {
+		for _, mode := range []struct {
+			label string
+			pct   float64
+		}{{"accurate", 0}, {"trace", 100}} {
+			eo := o
+			eo.Policy = pol
+			eo.InaccuracyPct = mode.pct
+			eo.QoPSSlackFactor = 2
+			eco, err := clustersched.ProviderEconomics(eo)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-22s %-9s %12.0f %12.0f %12.0f %14.0f\n",
+				pol, mode.label, eco.Revenue, eco.Penalties, eco.Profit, eco.ForgoneRevenue)
+		}
+	}
+	return nil
+}
+
+// runReplication prints the paper's headline comparison (all three
+// policies, accurate vs trace estimates) as mean ± 95 % CI over n seeds.
+func runReplication(stdout io.Writer, o clustersched.Options, n int) error {
+	fmt.Fprintf(stdout, "headline comparison across %d workload seeds (mean ± 95%% CI):\n\n", n)
+	fmt.Fprintln(stdout, "policy      estimates  deadlines fulfilled      avg slowdown")
+	for _, pol := range []clustersched.Policy{
+		clustersched.PolicyEDF, clustersched.PolicyLibra, clustersched.PolicyLibraRisk,
+	} {
+		for _, mode := range []struct {
+			label string
+			pct   float64
+		}{{"accurate", 0}, {"trace", 100}} {
+			ro := o
+			ro.Policy = pol
+			ro.InaccuracyPct = mode.pct
+			rep, err := clustersched.Replicate(ro, n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-11s %-9s  %6.2f %% ± %5.2f       %6.2f ± %5.2f\n",
+				pol, mode.label, rep.FulfilledMean, rep.FulfilledCI95,
+				rep.SlowdownMean, rep.SlowdownCI95)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTableOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "table", "-jobs", "300", "-nodes", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "workload characteristics") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunSingleFigureWithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{
+		"-exp", "fig2", "-jobs", "120", "-nodes", "16",
+		"-csv", dir, "-svg", dir,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "figure2") || !strings.Contains(out, "LibraRisk") {
+		t.Fatalf("output:\n%s", out[:min(len(out), 500)])
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "figure2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "figure,panel,policy,x,y\n") {
+		t.Fatal("csv header missing")
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure2.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("svg root missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig9"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunReplicateMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-replicate", "2", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "± ") || !strings.Contains(out, "librarisk") {
+		t.Fatalf("replication output:\n%s", out)
+	}
+}
+
+func TestRunEconomicsMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "economics", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"provider economics", "librarisk", "profit", "qops"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-zap"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-param", "adf", "-values", "0.5,1.0",
+		"-policies", "libra,librarisk",
+		"-nodes", "16", "-jobs", "120",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sweep over adf", "libra", "librarisk", "fulfilled", "0.5", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-param", "urgency", "-values", "0.2,0.8",
+		"-policies", "librarisk",
+		"-nodes", "16", "-jobs", "100", "-csv",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "param,value,policy,fulfilled_pct") {
+		t.Fatalf("csv header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("csv rows = %d, want header + 2", strings.Count(out, "\n")-1)
+	}
+	if !strings.Contains(out, "urgency,0.2,librarisk,") {
+		t.Fatalf("csv row missing:\n%s", out)
+	}
+}
+
+func TestRunEveryParam(t *testing.T) {
+	for _, param := range paramNames() {
+		values := "0.5,1"
+		switch param {
+		case "nodes":
+			values = "8,16"
+		case "jobs":
+			values = "50,80"
+		case "ratio":
+			values = "2,4"
+		}
+		var sb strings.Builder
+		err := run([]string{
+			"-param", param, "-values", values,
+			"-policies", "librarisk", "-nodes", "8", "-jobs", "60",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", param, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-param", "temperature"},
+		{"-values", ""},
+		{"-values", "abc"},
+		{"-policies", ""},
+		{"-param", "nodes", "-values", "1.5"},
+		{"-policies", "lottery", "-nodes", "8", "-jobs", "50"},
+		{"-wat"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command tracegen emits the calibrated synthetic SDSC-SP2-like workload
+// as a Standard Workload Format trace, for use with other simulators or
+// for replaying through clustersim -trace. With -calibrate it first fits
+// the generator to a real trace and emits a statistically matching
+// synthetic clone — a privacy-preserving trace substitute.
+//
+// Examples:
+//
+//	tracegen -jobs 3000 -seed 1 > synthetic-sdsc-sp2.swf
+//	tracegen -calibrate SDSC-SP2-1998-4.2-cln.swf -jobs 3000 -o clone.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clustersched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	o := clustersched.DefaultOptions()
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	jobs := fs.Int("jobs", o.Jobs, "number of jobs")
+	seed := fs.Uint64("seed", o.Seed, "generator seed")
+	nodes := fs.Int("nodes", o.Nodes, "cluster size (caps processor requests)")
+	out := fs.String("o", "", "output file (default stdout)")
+	calibrate := fs.String("calibrate", "", "fit the generator to this SWF trace and emit a statistically matching synthetic clone")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o.Jobs = *jobs
+	o.Seed = *seed
+	o.Nodes = *nodes
+
+	var ws []clustersched.Job
+	var err error
+	if *calibrate != "" {
+		f, ferr := os.Open(*calibrate)
+		if ferr != nil {
+			return ferr
+		}
+		ws, err = clustersched.GenerateCalibratedWorkload(f, o)
+		f.Close()
+	} else {
+		ws, err = clustersched.GenerateWorkload(o)
+	}
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return clustersched.SaveSWF(w, ws, o.Nodes)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-jobs", "50", "-nodes", "16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "; Version: 2.2") {
+		t.Fatalf("missing SWF header:\n%s", out[:min(len(out), 200)])
+	}
+	dataLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, ";") {
+			dataLines++
+		}
+	}
+	if dataLines != 50 {
+		t.Fatalf("job lines = %d, want 50", dataLines)
+	}
+}
+
+func TestRunToFileAndCalibrate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.swf")
+	var sb strings.Builder
+	if err := run([]string{"-jobs", "400", "-nodes", "16", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate a clone from the emitted trace.
+	clonePath := filepath.Join(dir, "clone.swf")
+	if err := run([]string{"-calibrate", path, "-jobs", "200", "-nodes", "16", "-o", clonePath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := os.ReadFile(clonePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(clone), "; MaxNodes: 16") {
+		t.Fatalf("clone header wrong:\n%s", string(clone)[:150])
+	}
+}
+
+func TestRunCalibrateMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-calibrate", "/no/such/file.swf"}, &sb); err == nil {
+		t.Fatal("missing calibration trace accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-jobs", "0"}, &sb); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

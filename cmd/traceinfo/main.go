@@ -1,0 +1,69 @@
+// Command traceinfo summarizes a Standard Workload Format trace the way
+// the paper's §4 characterizes the SDSC SP2 subset: job count, mean
+// inter-arrival time, mean runtime, processor demand, and runtime-estimate
+// accuracy. Gzip-compressed traces are handled transparently.
+//
+// Example:
+//
+//	traceinfo -last 3000 SDSC-SP2-1998-4.2-cln.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clustersched/internal/swf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	lastN := fs.Int("last", 0, "analyze only the last N jobs (0 = all)")
+	cleanOnly := fs.Bool("completed", false, "keep only completed jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceinfo [-last N] [-completed] trace.swf")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := swf.ParseAuto(f) // handles plain and gzip-compressed traces
+	if err != nil {
+		return err
+	}
+	if *cleanOnly {
+		tr = tr.CompletedOnly()
+	}
+	if *lastN > 0 {
+		tr = tr.LastN(*lastN)
+	}
+	info := swf.ParseInfo(&tr.Header)
+	if info.Computer != "" {
+		fmt.Fprintf(stdout, "computer               %s\n", info.Computer)
+	}
+	if info.Procs() > 0 {
+		fmt.Fprintf(stdout, "machine size           %d processors\n", info.Procs())
+	}
+	s := swf.ComputeStats(tr)
+	fmt.Fprintf(stdout, "jobs                   %d\n", s.Jobs)
+	fmt.Fprintf(stdout, "span                   %.1f days\n", float64(s.Span)/86400)
+	fmt.Fprintf(stdout, "mean inter-arrival     %.0f s (%.2f min)\n", s.MeanInterarrival, s.MeanInterarrival/60)
+	fmt.Fprintf(stdout, "mean runtime           %.0f s (%.2f h)\n", s.MeanRunTime, s.MeanRunTime/3600)
+	fmt.Fprintf(stdout, "mean processors        %.1f (max %d)\n", s.MeanProcs, s.MaxProcs)
+	fmt.Fprintf(stdout, "jobs with estimates    %d\n", s.WithEstimate)
+	fmt.Fprintf(stdout, "mean estimate/runtime  %.2fx\n", s.MeanOverestimate)
+	fmt.Fprintf(stdout, "underestimated jobs    %d\n", s.Underestimated)
+	return nil
+}

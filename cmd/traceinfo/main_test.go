@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = `; Computer: IBM SP2
+; MaxNodes: 128
+1 0 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1
+2 1000 0 50 8 -1 -1 8 40 -1 1 4 1 -1 1 -1 -1 -1
+3 2500 2 300 1 -1 -1 1 600 -1 0 5 1 -1 1 -1 -1 -1
+`
+
+func writeFixture(t *testing.T, gz bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.swf")
+	data := []byte(fixture)
+	if gz {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		zw.Close()
+		data = buf.Bytes()
+		path += ".gz"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPlainTrace(t *testing.T) {
+	path := writeFixture(t, false)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"IBM SP2", "128 processors", "jobs                   3", "mean inter-arrival"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGzipTrace(t *testing.T) {
+	path := writeFixture(t, true)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "jobs                   3") {
+		t.Fatalf("gzip output:\n%s", sb.String())
+	}
+}
+
+func TestRunFilters(t *testing.T) {
+	path := writeFixture(t, false)
+	var sb strings.Builder
+	if err := run([]string{"-completed", "-last", "1", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 failed; completed-only keeps 1 and 2, last 1 keeps job 2.
+	if !strings.Contains(sb.String(), "jobs                   1") {
+		t.Fatalf("filtered output:\n%s", sb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"/no/such/trace.swf"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

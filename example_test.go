@@ -1,0 +1,80 @@
+package clustersched_test
+
+import (
+	"fmt"
+	"log"
+
+	"clustersched"
+)
+
+// The quickest path: simulate the paper's default setup (128-node SDSC
+// SP2-like cluster, 3000 jobs, LibraRisk, trace estimates) at a reduced
+// scale and read the two headline metrics.
+func ExampleSimulate() {
+	opts := clustersched.DefaultOptions()
+	opts.Nodes = 16
+	opts.Jobs = 200
+	opts.InaccuracyPct = 0 // perfectly accurate estimates
+	res, err := clustersched.Simulate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// With accurate estimates, admission control never lets a deadline
+	// slip: every accepted job is fulfilled.
+	fmt.Println("missed:", res.Summary.Missed)
+	fmt.Println("unfinished:", res.Summary.Unfinished)
+	// Output:
+	// missed: 0
+	// unfinished: 0
+}
+
+// Workloads can be generated once and replayed against several policies
+// for a controlled comparison.
+func ExampleSimulateJobs() {
+	opts := clustersched.DefaultOptions()
+	opts.Nodes = 16
+	opts.Jobs = 150
+	jobs, err := clustersched.GenerateWorkload(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, policy := range []clustersched.Policy{
+		clustersched.PolicyLibra,
+		clustersched.PolicyLibraRisk,
+	} {
+		opts.Policy = policy
+		res, err := clustersched.SimulateJobs(opts, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s submitted %d\n", policy, res.Summary.Submitted)
+	}
+	// Output:
+	// libra submitted 150
+	// librarisk submitted 150
+}
+
+// Options are validated before anything runs.
+func ExampleOptions_Validate() {
+	opts := clustersched.DefaultOptions()
+	opts.Policy = "round-robin"
+	fmt.Println(opts.Validate())
+	// Output:
+	// clustersched: unknown policy "round-robin"
+}
+
+// Every figure of the paper can be rebuilt programmatically at any scale.
+func ExampleBuildFigure() {
+	opts := clustersched.DefaultOptions()
+	opts.Nodes = 8
+	opts.Jobs = 60
+	fig, err := clustersched.BuildFigure("figure3", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.ID, "panels:", len(fig.Panels))
+	fmt.Println("series per panel:", len(fig.Panels[0].Series))
+	// Output:
+	// figure3 panels: 4
+	// series per panel: 3
+}

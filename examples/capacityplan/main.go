@@ -1,0 +1,52 @@
+// Capacityplan: a service provider's what-if study. Given the expected
+// workload and SLA mix, how many nodes does the cluster need before
+// LibraRisk fulfils a target percentage of deadlines? And how does the
+// answer move when the customer base skews urgent?
+//
+// This is the kind of question the paper's admission-control machinery is
+// built to answer for service-oriented clusters.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersched"
+)
+
+const targetPct = 85.0
+
+func main() {
+	base := clustersched.DefaultOptions()
+	base.Jobs = 750
+	base.Policy = clustersched.PolicyLibraRisk
+	base.InaccuracyPct = 100 // plan for real, inaccurate estimates
+
+	for _, urgency := range []float64{0.2, 0.5, 0.8} {
+		fmt.Printf("high-urgency fraction %.0f %%:\n", urgency*100)
+		fmt.Println("  nodes  fulfilled  avg slowdown")
+		found := false
+		for _, nodes := range []int{16, 24, 32, 48, 64, 96, 128} {
+			o := base
+			o.HighUrgencyFraction = urgency
+			o.Nodes = nodes
+			res, err := clustersched.Simulate(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Summary
+			marker := ""
+			if !found && s.PctFulfilled >= targetPct {
+				marker = fmt.Sprintf("  <- first size meeting the %.0f %% SLA target", targetPct)
+				found = true
+			}
+			fmt.Printf("  %5d  %7.2f %%  %12.2f%s\n", nodes, s.PctFulfilled, s.AvgSlowdownMet, marker)
+		}
+		if !found {
+			fmt.Printf("  (no size up to 128 nodes meets %.0f %%)\n", targetPct)
+		}
+		fmt.Println()
+	}
+}

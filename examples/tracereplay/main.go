@@ -1,0 +1,74 @@
+// Tracereplay: generate a synthetic SDSC-SP2-like trace, write it to disk
+// in Standard Workload Format, load it back (the exact workflow for using
+// the real SDSC-SP2-1998-4.2-cln.swf archive file), and replay the last
+// 500 jobs through LibraRisk.
+//
+//	go run ./examples/tracereplay [trace.swf]
+//
+// With an argument, replays that SWF file instead of generating one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"clustersched"
+)
+
+func main() {
+	opts := clustersched.DefaultOptions()
+	opts.Nodes = 64
+
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	} else {
+		// No trace supplied: synthesize one, exactly what cmd/tracegen does.
+		opts.Jobs = 1000
+		ws, err := clustersched.GenerateWorkload(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path = filepath.Join(os.TempDir(), "synthetic-sdsc-sp2.swf")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := clustersched.SaveSWF(f, ws, opts.Nodes); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote synthetic trace:", path)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	// Keep the last 500 jobs, mirroring the paper's use of the last 3000
+	// jobs of the real trace. Deadlines are synthesized at load time (SWF
+	// has no deadline field).
+	jobs, err := clustersched.LoadSWF(f, opts, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d jobs from %s\n\n", len(jobs), path)
+
+	for _, policy := range []clustersched.Policy{
+		clustersched.PolicyLibra,
+		clustersched.PolicyLibraRisk,
+	} {
+		opts.Policy = policy
+		opts.InaccuracyPct = 100 // honour the trace's own estimates
+		res, err := clustersched.SimulateJobs(opts, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-10s fulfilled %6.2f %%  slowdown %5.2f  rejected %4d  missed %4d\n",
+			policy, s.PctFulfilled, s.AvgSlowdownMet, s.Rejected, s.Missed)
+	}
+}

@@ -1,0 +1,3 @@
+module clustersched
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package analysis post-processes per-job simulation results into the
+// derived views an evaluation report needs beyond the paper's two headline
+// numbers: class breakdowns, distribution statistics, bounded slowdown,
+// per-user fairness, rejection-reason tallies and a textual utilization
+// timeline.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// BoundedSlowdownThreshold is the standard 10-second interactivity
+// threshold for the bounded-slowdown metric (Feitelson et al.), which
+// stops trivially short jobs from dominating mean slowdown.
+const BoundedSlowdownThreshold = 10.0
+
+// ClassBreakdown summarizes outcomes for one urgency class.
+type ClassBreakdown struct {
+	Class        workload.Class
+	Submitted    int
+	Met          int
+	Missed       int
+	Rejected     int
+	PctFulfilled float64
+}
+
+// Report is the full derived view of one simulation run.
+type Report struct {
+	Summary metrics.Summary
+
+	ByClass []ClassBreakdown
+
+	// Distribution statistics over deadline-fulfilled jobs.
+	SlowdownMean        float64
+	SlowdownP50         float64
+	SlowdownP95         float64
+	SlowdownMax         float64
+	ResponseMean        float64
+	ResponseP95         float64
+	BoundedSlowdownMean float64
+
+	// Delay distribution over deadline-missed jobs.
+	DelayMean float64
+	DelayP95  float64
+
+	// RejectionReasons tallies rejection causes, most common first.
+	RejectionReasons []ReasonCount
+}
+
+// ReasonCount pairs a rejection reason with its occurrence count.
+type ReasonCount struct {
+	Reason string
+	Count  int
+}
+
+// Build derives a Report from a recorder's results. The jobs slice (the
+// submitted workload) supplies runtimes for bounded slowdown; pass nil to
+// skip metrics that need it.
+func Build(rec *metrics.Recorder, jobs []workload.Job) Report {
+	byID := make(map[int]workload.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	var rep Report
+	rep.Summary = rec.Summarize()
+
+	classes := map[workload.Class]*ClassBreakdown{}
+	var slow, resp, bounded, delay sim.Sample
+	reasons := map[string]int{}
+	for _, r := range rec.Results() {
+		cb := classes[r.Class]
+		if cb == nil {
+			cb = &ClassBreakdown{Class: r.Class}
+			classes[r.Class] = cb
+		}
+		cb.Submitted++
+		switch r.Outcome {
+		case metrics.Met:
+			cb.Met++
+			slow.Add(r.Slowdown)
+			resp.Add(r.Response)
+			if j, ok := byID[r.JobID]; ok {
+				denom := math.Max(j.Runtime, BoundedSlowdownThreshold)
+				bounded.Add(math.Max(1, r.Response/denom))
+			}
+		case metrics.Missed:
+			cb.Missed++
+			delay.Add(r.Delay)
+		case metrics.Rejected:
+			cb.Rejected++
+			reasons[normalizeReason(r.Reason)]++
+		}
+	}
+	for _, cb := range classes {
+		if cb.Submitted > 0 {
+			cb.PctFulfilled = 100 * float64(cb.Met) / float64(cb.Submitted)
+		}
+		rep.ByClass = append(rep.ByClass, *cb)
+	}
+	sort.Slice(rep.ByClass, func(a, b int) bool { return rep.ByClass[a].Class < rep.ByClass[b].Class })
+
+	rep.SlowdownMean = slow.Mean()
+	rep.SlowdownP50 = slow.Quantile(0.5)
+	rep.SlowdownP95 = slow.Quantile(0.95)
+	rep.SlowdownMax = slow.Quantile(1)
+	rep.ResponseMean = resp.Mean()
+	rep.ResponseP95 = resp.Quantile(0.95)
+	rep.BoundedSlowdownMean = bounded.Mean()
+	rep.DelayMean = delay.Mean()
+	rep.DelayP95 = delay.Quantile(0.95)
+
+	for reason, n := range reasons {
+		rep.RejectionReasons = append(rep.RejectionReasons, ReasonCount{Reason: reason, Count: n})
+	}
+	sort.Slice(rep.RejectionReasons, func(a, b int) bool {
+		if rep.RejectionReasons[a].Count != rep.RejectionReasons[b].Count {
+			return rep.RejectionReasons[a].Count > rep.RejectionReasons[b].Count
+		}
+		return rep.RejectionReasons[a].Reason < rep.RejectionReasons[b].Reason
+	})
+	return rep
+}
+
+// normalizeReason collapses parameterized reasons ("only 3 of 5 required
+// nodes...") into stable buckets for tallying.
+func normalizeReason(r string) string {
+	switch {
+	case r == "":
+		return "(unspecified)"
+	case strings.Contains(r, "required nodes can hold the share"):
+		return "insufficient share capacity"
+	case strings.Contains(r, "required nodes have zero risk"):
+		return "no zero-risk nodes"
+	case strings.Contains(r, "cluster has"):
+		return "oversized processor request"
+	default:
+		return r
+	}
+}
+
+// JainFairness computes Jain's fairness index over per-user fulfilled-job
+// ratios: 1 means every user gets the same fraction of their jobs
+// fulfilled, 1/n means one user gets everything. Users with no submitted
+// jobs are skipped; returns 0 when no user submitted anything.
+func JainFairness(rec *metrics.Recorder, jobs []workload.Job) float64 {
+	userOf := make(map[int]int, len(jobs))
+	for _, j := range jobs {
+		userOf[j.ID] = j.UserID
+	}
+	submitted := map[int]int{}
+	met := map[int]int{}
+	for _, r := range rec.Results() {
+		u := userOf[r.JobID]
+		submitted[u]++
+		if r.Outcome == metrics.Met {
+			met[u]++
+		}
+	}
+	var sum, sumSq float64
+	n := 0
+	for u, s := range submitted {
+		if s == 0 {
+			continue
+		}
+		x := float64(met[u]) / float64(s)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// WriteReport renders the report as aligned text.
+func WriteReport(w io.Writer, rep Report) error {
+	s := rep.Summary
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcomes      submitted %d | met %d | missed %d | rejected %d | unfinished %d\n",
+		s.Submitted, s.Met, s.Missed, s.Rejected, s.Unfinished)
+	fmt.Fprintf(&b, "fulfilled     %.2f %%   acceptance %.2f\n", s.PctFulfilled, s.AcceptanceRate)
+	fmt.Fprintf(&b, "slowdown      mean %.2f | p50 %.2f | p95 %.2f | max %.2f | bounded mean %.2f\n",
+		rep.SlowdownMean, rep.SlowdownP50, rep.SlowdownP95, rep.SlowdownMax, rep.BoundedSlowdownMean)
+	fmt.Fprintf(&b, "response      mean %.0f s | p95 %.0f s\n", rep.ResponseMean, rep.ResponseP95)
+	if s.Missed > 0 {
+		fmt.Fprintf(&b, "miss delay    mean %.0f s | p95 %.0f s\n", rep.DelayMean, rep.DelayP95)
+	}
+	for _, cb := range rep.ByClass {
+		fmt.Fprintf(&b, "class %-13s submitted %4d | met %4d | missed %4d | rejected %4d | fulfilled %6.2f %%\n",
+			cb.Class, cb.Submitted, cb.Met, cb.Missed, cb.Rejected, cb.PctFulfilled)
+	}
+	for _, rc := range rep.RejectionReasons {
+		fmt.Fprintf(&b, "reject reason %-38s %d\n", rc.Reason, rc.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

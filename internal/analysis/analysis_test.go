@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+func wjob(id int, submit, runtime, deadline float64, class workload.Class, user int) workload.Job {
+	return workload.Job{
+		ID: id, Submit: submit, Runtime: runtime, TraceEstimate: runtime,
+		NumProc: 1, Deadline: deadline, Class: class, UserID: user,
+	}
+}
+
+func buildSample(t *testing.T) (*metrics.Recorder, []workload.Job) {
+	t.Helper()
+	rec := metrics.NewRecorder()
+	jobs := []workload.Job{
+		wjob(1, 0, 100, 200, workload.HighUrgency, 1),
+		wjob(2, 0, 100, 150, workload.LowUrgency, 1),
+		wjob(3, 0, 5, 100, workload.LowUrgency, 2), // short: bounded slowdown kicks in
+		wjob(4, 0, 100, 300, workload.HighUrgency, 2),
+	}
+	for _, j := range jobs {
+		rec.Submitted(j)
+	}
+	rec.Complete(jobs[0], 150, 100) // met, slowdown 1.5
+	rec.Complete(jobs[1], 250, 100) // missed, delay 100
+	rec.Complete(jobs[2], 50, 5)    // met, slowdown 10, bounded 5
+	rec.Reject(jobs[3], "only 1 of 5 required nodes have zero risk")
+	return rec, jobs
+}
+
+func TestBuildReportBasics(t *testing.T) {
+	rec, jobs := buildSample(t)
+	rep := Build(rec, jobs)
+	if rep.Summary.Met != 2 || rep.Summary.Missed != 1 || rep.Summary.Rejected != 1 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	if math.Abs(rep.SlowdownMean-5.75) > 1e-9 { // (1.5+10)/2
+		t.Fatalf("SlowdownMean = %v", rep.SlowdownMean)
+	}
+	if rep.SlowdownMax != 10 {
+		t.Fatalf("SlowdownMax = %v", rep.SlowdownMax)
+	}
+	// Bounded: job1 response 150 / max(100,10) = 1.5; job3 response 50 /
+	// max(5,10) = 5.
+	if math.Abs(rep.BoundedSlowdownMean-3.25) > 1e-9 {
+		t.Fatalf("BoundedSlowdownMean = %v", rep.BoundedSlowdownMean)
+	}
+	if rep.DelayMean != 100 {
+		t.Fatalf("DelayMean = %v", rep.DelayMean)
+	}
+	if len(rep.ByClass) != 2 {
+		t.Fatalf("ByClass = %+v", rep.ByClass)
+	}
+	high := rep.ByClass[0]
+	if high.Class != workload.HighUrgency || high.Submitted != 2 || high.Met != 1 || high.Rejected != 1 {
+		t.Fatalf("high breakdown = %+v", high)
+	}
+	if math.Abs(high.PctFulfilled-50) > 1e-9 {
+		t.Fatalf("high PctFulfilled = %v", high.PctFulfilled)
+	}
+	if len(rep.RejectionReasons) != 1 || rep.RejectionReasons[0].Reason != "no zero-risk nodes" {
+		t.Fatalf("reasons = %+v", rep.RejectionReasons)
+	}
+}
+
+func TestBuildWithoutJobsSkipsBounded(t *testing.T) {
+	rec, _ := buildSample(t)
+	rep := Build(rec, nil)
+	if rep.BoundedSlowdownMean != 0 {
+		t.Fatalf("BoundedSlowdownMean = %v without job info", rep.BoundedSlowdownMean)
+	}
+	if rep.SlowdownMean == 0 {
+		t.Fatal("plain slowdown should still be computed")
+	}
+}
+
+func TestNormalizeReasonBuckets(t *testing.T) {
+	cases := map[string]string{
+		"only 3 of 5 required nodes can hold the share": "insufficient share capacity",
+		"only 0 of 2 required nodes have zero risk":     "no zero-risk nodes",
+		"needs 500 processors, cluster has 128":         "oversized processor request",
+		"deadline expired while queued":                 "deadline expired while queued",
+		"":                                              "(unspecified)",
+	}
+	for in, want := range cases {
+		if got := normalizeReason(in); got != want {
+			t.Errorf("normalizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	rec := metrics.NewRecorder()
+	jobs := []workload.Job{
+		wjob(1, 0, 10, 100, workload.LowUrgency, 1),
+		wjob(2, 0, 10, 100, workload.LowUrgency, 1),
+		wjob(3, 0, 10, 100, workload.LowUrgency, 2),
+		wjob(4, 0, 10, 100, workload.LowUrgency, 2),
+	}
+	for _, j := range jobs {
+		rec.Submitted(j)
+	}
+	// Perfectly fair: both users get half their jobs met.
+	rec.Complete(jobs[0], 50, 10)
+	rec.Reject(jobs[1], "x")
+	rec.Complete(jobs[2], 50, 10)
+	rec.Reject(jobs[3], "x")
+	if f := JainFairness(rec, jobs); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("fair split index = %v, want 1", f)
+	}
+
+	// Maximally unfair: user 1 gets everything, user 2 nothing.
+	rec2 := metrics.NewRecorder()
+	for _, j := range jobs {
+		rec2.Submitted(j)
+	}
+	rec2.Complete(jobs[0], 50, 10)
+	rec2.Complete(jobs[1], 50, 10)
+	rec2.Reject(jobs[2], "x")
+	rec2.Reject(jobs[3], "x")
+	if f := JainFairness(rec2, jobs); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("unfair split index = %v, want 0.5 (1/n with n=2)", f)
+	}
+}
+
+func TestJainFairnessEmpty(t *testing.T) {
+	if f := JainFairness(metrics.NewRecorder(), nil); f != 0 {
+		t.Fatalf("empty fairness = %v", f)
+	}
+}
+
+func TestWriteReportRenders(t *testing.T) {
+	rec, jobs := buildSample(t)
+	rep := Build(rec, jobs)
+	var sb strings.Builder
+	if err := WriteReport(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fulfilled", "slowdown", "high-urgency", "no zero-risk nodes", "miss delay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportOnRealSimulation(t *testing.T) {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Jobs = 300
+	cfg.MaxProcs = 8
+	cfg.Users = workload.DefaultUserModelConfig()
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = workload.AssignDeadlines(jobs, workload.DefaultDeadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.NewTimeShared(8, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	e := sim.NewEngine()
+	if err := core.RunSimulation(e, p, rec, jobs, 100); err != nil {
+		t.Fatal(err)
+	}
+	rep := Build(rec, jobs)
+	if rep.Summary.Submitted != 300 {
+		t.Fatalf("submitted = %d", rep.Summary.Submitted)
+	}
+	if rep.SlowdownP95 < rep.SlowdownP50 {
+		t.Fatalf("p95 %v < p50 %v", rep.SlowdownP95, rep.SlowdownP50)
+	}
+	if rep.BoundedSlowdownMean > rep.SlowdownMean+1e-9 {
+		t.Fatalf("bounded mean %v exceeds raw mean %v", rep.BoundedSlowdownMean, rep.SlowdownMean)
+	}
+	f := JainFairness(rec, jobs)
+	if f <= 0 || f > 1+1e-9 {
+		t.Fatalf("fairness index = %v", f)
+	}
+}

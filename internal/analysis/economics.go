@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"clustersched/internal/metrics"
+	"clustersched/internal/workload"
+)
+
+// Pricing is a simple SLA economy in the spirit of the utility-driven
+// cluster work the paper's §2 cites (Irwin et al., Popovici & Wilkes,
+// LibraSLA): a job pays proportionally to its resource demand, scaled up
+// for urgency; a deadline miss refunds the payment and costs a penalty
+// that grows with the delay; a rejection just forgoes revenue.
+type Pricing struct {
+	// PricePerProcHour is the base revenue for one processor-hour of
+	// delivered work.
+	PricePerProcHour float64
+	// UrgencyPremium multiplies the price of high-urgency jobs (tight
+	// deadlines cost more).
+	UrgencyPremium float64
+	// PenaltyPerProcHour accrues on a missed job per processor-hour of
+	// delay beyond the deadline, capped at PenaltyCapFactor × price.
+	PenaltyPerProcHour float64
+	PenaltyCapFactor   float64
+}
+
+// DefaultPricing returns a reasonable SLA economy: urgency doubles price,
+// delay penalties accrue at the base rate and cap at twice the job's
+// price.
+func DefaultPricing() Pricing {
+	return Pricing{
+		PricePerProcHour:   1,
+		UrgencyPremium:     2,
+		PenaltyPerProcHour: 1,
+		PenaltyCapFactor:   2,
+	}
+}
+
+// Validate reports the first pricing error.
+func (p Pricing) Validate() error {
+	switch {
+	case p.PricePerProcHour <= 0:
+		return fmt.Errorf("analysis: PricePerProcHour = %g, want > 0", p.PricePerProcHour)
+	case p.UrgencyPremium < 1:
+		return fmt.Errorf("analysis: UrgencyPremium = %g, want >= 1", p.UrgencyPremium)
+	case p.PenaltyPerProcHour < 0:
+		return fmt.Errorf("analysis: PenaltyPerProcHour = %g, want >= 0", p.PenaltyPerProcHour)
+	case p.PenaltyCapFactor < 0:
+		return fmt.Errorf("analysis: PenaltyCapFactor = %g, want >= 0", p.PenaltyCapFactor)
+	}
+	return nil
+}
+
+// price returns what the job pays when fulfilled.
+func (p Pricing) price(j workload.Job) float64 {
+	procHours := j.Runtime / 3600 * float64(j.NumProc)
+	price := procHours * p.PricePerProcHour
+	if j.Class == workload.HighUrgency {
+		price *= p.UrgencyPremium
+	}
+	return price
+}
+
+// penalty returns the compensation owed for a missed job with the given
+// delay (eq. 3 of the paper).
+func (p Pricing) penalty(j workload.Job, delay float64) float64 {
+	pen := delay / 3600 * float64(j.NumProc) * p.PenaltyPerProcHour
+	if cap := p.PenaltyCapFactor * p.price(j); pen > cap {
+		pen = cap
+	}
+	return pen
+}
+
+// Economy is the provider's ledger for one simulation run.
+type Economy struct {
+	Revenue          float64 // payments from deadline-fulfilled jobs
+	Penalties        float64 // compensation for deadline-missed jobs
+	Profit           float64 // Revenue − Penalties
+	ForgoneRevenue   float64 // price of rejected jobs (opportunity cost)
+	FulfilledProcHrs float64 // delivered processor-hours that were paid for
+}
+
+// Economics prices every outcome of a run under the given SLA economy.
+func Economics(rec *metrics.Recorder, jobs []workload.Job, pricing Pricing) (Economy, error) {
+	if err := pricing.Validate(); err != nil {
+		return Economy{}, err
+	}
+	byID := make(map[int]workload.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	var eco Economy
+	for _, r := range rec.Results() {
+		j, ok := byID[r.JobID]
+		if !ok {
+			continue
+		}
+		switch r.Outcome {
+		case metrics.Met:
+			eco.Revenue += pricing.price(j)
+			eco.FulfilledProcHrs += j.Runtime / 3600 * float64(j.NumProc)
+		case metrics.Missed:
+			eco.Penalties += pricing.penalty(j, r.Delay)
+		case metrics.Rejected:
+			eco.ForgoneRevenue += pricing.price(j)
+		}
+	}
+	eco.Profit = eco.Revenue - eco.Penalties
+	return eco, nil
+}
+
+// WriteEconomy renders the ledger.
+func WriteEconomy(w io.Writer, eco Economy) error {
+	_, err := fmt.Fprintf(w,
+		"revenue            %10.1f\npenalties          %10.1f\nprofit             %10.1f\nforgone revenue    %10.1f\npaid proc-hours    %10.1f\n",
+		eco.Revenue, eco.Penalties, eco.Profit, eco.ForgoneRevenue, eco.FulfilledProcHrs)
+	return err
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+func TestEconomicsLedger(t *testing.T) {
+	rec := metrics.NewRecorder()
+	// 2 proc-hours of high urgency work (price 2×2=4), 1 proc-hour of low
+	// urgency (price 1), and a rejected 3 proc-hour low job (forgone 3).
+	met := wjob(1, 0, 3600, 7200, workload.HighUrgency, 1)
+	met.NumProc = 2
+	missed := wjob(2, 0, 3600, 3600, workload.LowUrgency, 1)
+	rejected := wjob(3, 0, 3600, 7200, workload.LowUrgency, 1)
+	rejected.NumProc = 3
+	jobs := []workload.Job{met, missed, rejected}
+	for _, j := range jobs {
+		rec.Submitted(j)
+	}
+	rec.Complete(met, 5000, 3600)         // met: finish 5000 < 7200
+	rec.Complete(missed, 3600+1800, 3600) // response 5400, deadline 3600: delay 1800 s
+	rec.Reject(rejected, "x")
+
+	eco, err := Economics(rec, jobs, DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eco.Revenue-4) > 1e-9 {
+		t.Fatalf("Revenue = %v, want 4", eco.Revenue)
+	}
+	// Penalty: 0.5 h delay × 1 proc × 1 = 0.5, under the 2× price cap (2).
+	if math.Abs(eco.Penalties-0.5) > 1e-9 {
+		t.Fatalf("Penalties = %v, want 0.5", eco.Penalties)
+	}
+	if math.Abs(eco.Profit-3.5) > 1e-9 {
+		t.Fatalf("Profit = %v", eco.Profit)
+	}
+	if math.Abs(eco.ForgoneRevenue-3) > 1e-9 {
+		t.Fatalf("ForgoneRevenue = %v, want 3", eco.ForgoneRevenue)
+	}
+	if math.Abs(eco.FulfilledProcHrs-2) > 1e-9 {
+		t.Fatalf("FulfilledProcHrs = %v, want 2", eco.FulfilledProcHrs)
+	}
+}
+
+func TestEconomicsPenaltyCap(t *testing.T) {
+	rec := metrics.NewRecorder()
+	j := wjob(1, 0, 3600, 3600, workload.LowUrgency, 1) // price 1, cap 2
+	rec.Submitted(j)
+	rec.Complete(j, 3600+3600+1e6, 3600) // enormous delay
+	eco, err := Economics(rec, []workload.Job{j}, DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eco.Penalties-2) > 1e-9 {
+		t.Fatalf("Penalties = %v, want capped 2", eco.Penalties)
+	}
+}
+
+func TestEconomicsValidation(t *testing.T) {
+	bad := []Pricing{
+		{PricePerProcHour: 0, UrgencyPremium: 2},
+		{PricePerProcHour: 1, UrgencyPremium: 0.5},
+		{PricePerProcHour: 1, UrgencyPremium: 1, PenaltyPerProcHour: -1},
+		{PricePerProcHour: 1, UrgencyPremium: 1, PenaltyCapFactor: -1},
+	}
+	for i, p := range bad {
+		if _, err := Economics(metrics.NewRecorder(), nil, p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestWriteEconomy(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteEconomy(&sb, Economy{Revenue: 10, Penalties: 2, Profit: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "profit") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+// TestLibraRiskEarnsMoreThanLibraUnderTraceEstimates translates the
+// paper's headline into provider money: under inaccurate estimates,
+// risk-aware admission earns more and pays fewer penalties.
+func TestLibraRiskEarnsMoreThanLibraUnderTraceEstimates(t *testing.T) {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Jobs = 400
+	cfg.MaxProcs = 16
+	cfg.MeanInterarrival = 1500
+	cfg.MeanRuntime = 5000
+	cfg.MaxRuntime = 20000
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = workload.AssignDeadlines(jobs, workload.DefaultDeadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mk func(*cluster.TimeShared, *metrics.Recorder) core.Policy) Economy {
+		c, err := cluster.NewTimeShared(16, 168, cluster.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder()
+		p := mk(c, rec)
+		e := sim.NewEngine()
+		if err := core.RunSimulation(e, p, rec, jobs, 100); err != nil {
+			t.Fatal(err)
+		}
+		eco, err := Economics(rec, jobs, DefaultPricing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eco
+	}
+	libra := run(func(c *cluster.TimeShared, rec *metrics.Recorder) core.Policy { return core.NewLibra(c, rec) })
+	risk := run(func(c *cluster.TimeShared, rec *metrics.Recorder) core.Policy { return core.NewLibraRisk(c, rec) })
+	if risk.Profit <= libra.Profit {
+		t.Fatalf("LibraRisk profit %.1f should exceed Libra %.1f", risk.Profit, libra.Profit)
+	}
+}

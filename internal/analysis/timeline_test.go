@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clustersched/internal/metrics"
+	"clustersched/internal/workload"
+)
+
+func TestTimelineSingleJobOccupancy(t *testing.T) {
+	rec := metrics.NewRecorder()
+	j := wjob(1, 0, 100, 1000, workload.LowUrgency, 1)
+	j.NumProc = 4
+	rec.Submitted(j)
+	rec.Complete(j, 100, 100) // runs [0, 100] holding 4 procs
+	tl := Timeline(rec.Results(), 4)
+	if len(tl) != 4 {
+		t.Fatalf("buckets = %d", len(tl))
+	}
+	// Every bucket fully covered: 4 procs in service throughout.
+	for i, b := range tl {
+		if math.Abs(b.MeanProcs-4) > 1e-9 {
+			t.Fatalf("bucket %d MeanProcs = %v, want 4", i, b.MeanProcs)
+		}
+		if math.Abs(b.MeanJobs-1) > 1e-9 {
+			t.Fatalf("bucket %d MeanJobs = %v, want 1", i, b.MeanJobs)
+		}
+	}
+	if tl[0].Arrivals != 1 {
+		t.Fatalf("arrivals = %d", tl[0].Arrivals)
+	}
+	if tl[3].Completions != 1 {
+		t.Fatalf("completions in last bucket = %d", tl[3].Completions)
+	}
+}
+
+func TestTimelinePartialOverlap(t *testing.T) {
+	rec := metrics.NewRecorder()
+	j := wjob(1, 0, 50, 1000, workload.LowUrgency, 1)
+	rec.Submitted(j)
+	j2 := wjob(2, 100, 1, 1000, workload.LowUrgency, 1)
+	rec.Submitted(j2)
+	rec.Complete(j, 50, 50)  // occupies [0, 50]
+	rec.Complete(j2, 100, 1) // instant-ish at 100 (sets the horizon)
+	tl := Timeline(rec.Results(), 2)
+	// Bucket 0 spans [0,50): fully occupied by job 1 → MeanJobs 1.
+	if math.Abs(tl[0].MeanJobs-1) > 0.05 {
+		t.Fatalf("bucket 0 MeanJobs = %v", tl[0].MeanJobs)
+	}
+	// Bucket 1 spans [50,100): nearly idle.
+	if tl[1].MeanJobs > 0.1 {
+		t.Fatalf("bucket 1 MeanJobs = %v", tl[1].MeanJobs)
+	}
+}
+
+func TestTimelineEmptyAndDegenerate(t *testing.T) {
+	if tl := Timeline(nil, 5); tl != nil {
+		t.Fatalf("empty results produced %v", tl)
+	}
+	if tl := Timeline([]metrics.JobResult{{Submit: 5}}, 0); tl != nil {
+		t.Fatal("zero buckets produced a timeline")
+	}
+	// Only rejected jobs: no completion horizon.
+	rec := metrics.NewRecorder()
+	j := wjob(1, 0, 10, 100, workload.LowUrgency, 1)
+	rec.Submitted(j)
+	rec.Reject(j, "x")
+	if tl := Timeline(rec.Results(), 3); tl != nil {
+		t.Fatalf("rejected-only results produced %v", tl)
+	}
+}
+
+func TestWriteTimelineRenders(t *testing.T) {
+	rec := metrics.NewRecorder()
+	j := wjob(1, 0, 7200, 1e6, workload.LowUrgency, 1)
+	j.NumProc = 8
+	rec.Submitted(j)
+	rec.Complete(j, 7200, 7200)
+	tl := Timeline(rec.Results(), 3)
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, tl, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "slice footprint") || !strings.Contains(out, "#") {
+		t.Fatalf("timeline output:\n%s", out)
+	}
+	// Half the 16 processors are busy: the bar should be half filled.
+	if !strings.Contains(out, "####################....................") {
+		t.Fatalf("expected half-filled bar:\n%s", out)
+	}
+	var empty strings.Builder
+	if err := WriteTimeline(&empty, nil, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no timeline") {
+		t.Fatal("empty timeline message missing")
+	}
+}

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+func TestManySimultaneousSubmissionsDrain(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 4)
+	done := 0
+	c.OnJobDone = func(*sim.Engine, *RunningJob) { done++ }
+	for i := 1; i <= 40; i++ {
+		node := (i - 1) % 4
+		if _, err := c.Submit(e, job(i, 0, 10+float64(i), 1e6, 1), 10+float64(i), []int{node}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.MaxEvents = 1_000_000
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 40 {
+		t.Fatalf("done = %d, want 40", done)
+	}
+	if c.Running() != 0 {
+		t.Fatalf("Running = %d after drain", c.Running())
+	}
+}
+
+func TestTinyRuntimeJobCompletes(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 1)
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	if _, err := c.Submit(e, job(1, 0, 1e-6, 1, 1), 1e-6, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, e)
+	if done == nil || !done.DeadlineMet() {
+		t.Fatalf("tiny job outcome = %+v", done)
+	}
+}
+
+func TestSlowdownAndDelayAccessors(t *testing.T) {
+	rj := &RunningJob{
+		Job:    job(1, 100, 50, 200, 1),
+		Finish: 400, // response 300, deadline 200 → delay 100
+		done:   true,
+	}
+	if d := rj.Delay(); math.Abs(d-100) > 1e-9 {
+		t.Fatalf("Delay = %v, want 100", d)
+	}
+	if rj.DeadlineMet() {
+		t.Fatal("DeadlineMet should be false")
+	}
+	if s := rj.Slowdown(50); math.Abs(s-6) > 1e-9 {
+		t.Fatalf("Slowdown = %v, want 6", s)
+	}
+	if s := rj.Slowdown(0); s != 0 {
+		t.Fatalf("Slowdown(0) = %v, want guarded 0", s)
+	}
+	// Met job has zero delay.
+	rj.Finish = 250
+	if d := rj.Delay(); d != 0 {
+		t.Fatalf("Delay = %v for met job", d)
+	}
+	if !rj.DeadlineMet() {
+		t.Fatal("DeadlineMet should be true at finish 250 < 300")
+	}
+}
+
+func TestNoLeakedLiveEventsAfterDrain(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 2)
+	c.OnJobDone = func(*sim.Engine, *RunningJob) {}
+	for i := 1; i <= 6; i++ {
+		if _, err := c.Submit(e, job(i, 0, 20, 1e5, 1), 20, []int{(i - 1) % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runAll(t, e)
+	// Any remaining calendar entries must be cancelled husks, not live
+	// node updates that would fire handlers on a drained cluster.
+	for e.Step() {
+		t.Fatal("live event fired after the cluster drained")
+	}
+}
+
+func TestServedWorkEqualsCompletedRuntime(t *testing.T) {
+	// Exact accounting: after a full drain, total served node-seconds
+	// must equal the sum of completed jobs' real work.
+	e := sim.NewEngine()
+	c := newTS(t, 2)
+	var totalWork float64
+	c.OnJobDone = func(*sim.Engine, *RunningJob) {}
+	r := sim.NewRNG(5)
+	for i := 1; i <= 20; i++ {
+		run := 10 + r.Float64()*200
+		totalWork += run
+		node := r.Intn(2)
+		if _, err := c.Submit(e, job(i, 0, run, 1e6, 1), run*2, []int{node}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runAll(t, e)
+	var served float64
+	for i := 0; i < c.Len(); i++ {
+		served += c.Node(i).ServedWork()
+	}
+	if math.Abs(served-totalWork) > 1e-3*totalWork {
+		t.Fatalf("served %.3f != total work %.3f", served, totalWork)
+	}
+}
+
+func TestClusterUtilizationExact(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 2)
+	c.OnJobDone = func(*sim.Engine, *RunningJob) {}
+	// One job of 100 s on node 0; node 1 idle. At t=200 utilization is
+	// 100 node-s / (2 nodes × 200 s) = 0.25.
+	if _, err := c.Submit(e, job(1, 0, 100, 1e5, 1), 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, e)
+	if u := c.Utilization(200); math.Abs(u-0.25) > 1e-6 {
+		t.Fatalf("Utilization(200) = %v, want 0.25", u)
+	}
+	// Mid-run accounting: at t=50 the job (alone, rate 1) has served 50
+	// node-seconds → 50/(2×50) = 0.5.
+	e2 := sim.NewEngine()
+	c2 := newTS(t, 2)
+	c2.OnJobDone = func(*sim.Engine, *RunningJob) {}
+	if _, err := c2.Submit(e2, job(1, 0, 100, 1e5, 1), 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	e2.SetHorizon(50)
+	runAll(t, e2)
+	if u := c2.Utilization(50); math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("Utilization(50) = %v, want 0.5", u)
+	}
+	if u := c2.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v", u)
+	}
+}
+
+func TestRandomWorkloadInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		e := sim.NewEngine()
+		c, err := NewTimeShared(3, 168, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		finished := map[int]bool{}
+		c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) {
+			// No double completion; finish never precedes start or
+			// submission.
+			if finished[rj.Job.ID] || rj.Finish < rj.Start || rj.Finish < rj.Job.Submit {
+				finished[-1] = true // poison
+			}
+			finished[rj.Job.ID] = true
+		}
+		n := 2 + r.Intn(12)
+		submitted := 0
+		for i := 0; i < n; i++ {
+			i := i
+			at := r.Float64() * 200
+			run := 1 + r.Float64()*100
+			est := run * (0.3 + r.Float64()*3)
+			nodes := []int{r.Intn(3)}
+			if r.Bool(0.3) {
+				nodes = []int{0, 1, 2}
+			}
+			j := workload.Job{
+				ID: i + 1, Submit: at, Runtime: run, TraceEstimate: est,
+				NumProc: len(nodes), Deadline: 1 + r.Float64()*500,
+			}
+			submitted++
+			e.At(at, sim.PriorityArrival, func(e *sim.Engine) {
+				if _, err := c.Submit(e, j, est, nodes); err != nil {
+					finished[-1] = true
+				}
+			})
+		}
+		e.MaxEvents = 1_000_000
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if finished[-1] {
+			return false
+		}
+		return len(finished) == submitted && c.Running() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSharedRandomInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		e := sim.NewEngine()
+		c, err := NewSpaceShared(4, 168, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		completions := 0
+		c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) {
+			completions++
+			if c.FreeCount() < 0 || c.FreeCount() > 4 {
+				completions = -1 << 30
+			}
+		}
+		started := 0
+		// Sequential starts as capacity allows.
+		var trySubmit func(e *sim.Engine, id int)
+		trySubmit = func(e *sim.Engine, id int) {
+			np := 1 + r.Intn(2)
+			if c.FreeCount() < np {
+				return
+			}
+			run := 1 + r.Float64()*50
+			j := workload.Job{ID: id, Submit: e.Now(), Runtime: run, TraceEstimate: run, NumProc: np, Deadline: 1e9}
+			if _, err := c.Start(e, j, run); err != nil {
+				started = -1 << 30
+				return
+			}
+			started++
+		}
+		for i := 0; i < 10; i++ {
+			i := i
+			e.At(r.Float64()*100, sim.PriorityArrival, func(e *sim.Engine) { trySubmit(e, i+1) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return started >= 0 && completions == started && c.FreeCount() == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

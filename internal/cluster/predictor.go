@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Candidate describes a prospective slice for admission analysis: the work
+// it would bring to the node (in reference seconds; converted per node) and
+// its absolute deadline.
+type Candidate struct {
+	JobID       int
+	RefWork     float64
+	AbsDeadline float64
+}
+
+// PredictedDelay is the fluid predictor's verdict for one slice: how far
+// past its absolute deadline the slice is expected to finish under
+// proportional sharing, given everyone's believed remaining work.
+type PredictedDelay struct {
+	JobID       int
+	AbsDeadline float64
+	Finish      float64 // predicted completion time
+	Delay       float64 // max(0, Finish - AbsDeadline)
+}
+
+// fluidItem is the predictor's working state for one slice.
+type fluidItem struct {
+	jobID       int
+	believed    float64
+	absDeadline float64
+}
+
+// PredictDelays runs a deterministic fluid simulation of the node forward
+// in time using the *believed* remaining work of every active slice, plus
+// an optional candidate, and reports each slice's predicted completion and
+// delay. It mirrors the execution engine's weight conventions (including
+// the overrun floor and deadline-crossing cap) and re-derives weights at
+// every predicted completion, exactly as the live node does.
+//
+// This is the information LibraRisk's admission control (Algorithm 1,
+// lines 2-5) needs: the delay every job on node j would incur if the new
+// job were scheduled there. A slice whose believed work is already
+// exhausted is predicted to finish "now"; if its deadline has passed its
+// delay is already positive — the signal Libra's share test cannot see.
+func (n *PSNode) PredictDelays(now float64, cand *Candidate) []PredictedDelay {
+	items := make([]fluidItem, 0, len(n.slices)+1)
+	for _, sl := range n.slices {
+		items = append(items, fluidItem{
+			jobID:       sl.job.Job.ID,
+			believed:    math.Max(0, n.projectedBelieved(sl, now)),
+			absDeadline: sl.job.Job.AbsDeadline(),
+		})
+	}
+	if cand != nil {
+		items = append(items, fluidItem{
+			jobID:       cand.JobID,
+			believed:    math.Max(0, n.WorkToNodeSeconds(cand.RefWork)),
+			absDeadline: cand.AbsDeadline,
+		})
+	}
+	out := make([]PredictedDelay, 0, len(items))
+	weights := make([]float64, len(items))
+	t := now
+	for len(items) > 0 {
+		// Retire items the allocator believes are already done.
+		kept := items[:0]
+		for _, it := range items {
+			if it.believed <= epsWork {
+				out = append(out, verdict(it, t))
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+		if len(items) == 0 {
+			break
+		}
+		// Derive rates with the live engine's conventions.
+		var total float64
+		weights = weights[:len(items)]
+		for i, it := range items {
+			w := n.weightAt(it.believed, it.absDeadline-t)
+			weights[i] = w
+			total += w
+		}
+		// Find the earliest completion at these rates.
+		minDT := math.Inf(1)
+		for i, it := range items {
+			rate := fluidRate(weights[i], total, n.cfg)
+			if rate <= 0 {
+				continue
+			}
+			if dt := it.believed / rate; dt < minDT {
+				minDT = dt
+			}
+		}
+		if math.IsInf(minDT, 1) {
+			// No slice can progress (cannot happen with a positive floor
+			// weight, but guard against config edge cases): everything
+			// left finishes never; report an unbounded delay.
+			for _, it := range items {
+				out = append(out, PredictedDelay{
+					JobID: it.jobID, AbsDeadline: it.absDeadline,
+					Finish: math.Inf(1), Delay: math.Inf(1),
+				})
+			}
+			break
+		}
+		// Also stop at the earliest weight-regime change (deadline
+		// crossing) so the mirrored conventions stay exact.
+		for _, it := range items {
+			if rd := it.absDeadline - t; rd > epsTime && rd < minDT {
+				minDT = rd
+			}
+		}
+		if minDT < epsTime {
+			minDT = epsTime
+		}
+		t += minDT
+		for i := range items {
+			rate := fluidRate(weights[i], total, n.cfg)
+			items[i].believed -= rate * minDT
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+func fluidRate(w, total float64, cfg Config) float64 {
+	switch {
+	case total <= 0:
+		return 0
+	case cfg.WorkConserving || total > 1:
+		return w / total
+	default:
+		return w
+	}
+}
+
+func verdict(it fluidItem, t float64) PredictedDelay {
+	return PredictedDelay{
+		JobID:       it.jobID,
+		AbsDeadline: it.absDeadline,
+		Finish:      t,
+		Delay:       math.Max(0, t-it.absDeadline),
+	}
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math"
+
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// RunningJob is a job instance admitted to a cluster. It is created by the
+// engines' Submit/Start methods and handed back through completion
+// callbacks.
+type RunningJob struct {
+	Job workload.Job
+	// Estimate is the runtime estimate in effect when the job was
+	// admitted, in reference seconds. The scheduler never sees
+	// Job.Runtime.
+	Estimate float64
+	Start    float64
+	Finish   float64 // set when the last slice completes
+	NodeIDs  []int
+
+	remainingSlices int
+	done            bool
+}
+
+// Done reports whether every slice of the job has completed.
+func (rj *RunningJob) Done() bool { return rj.done }
+
+// Delay returns the paper's eq. (3): the amount by which the job's
+// response time exceeded its deadline, or 0 if the deadline was met. Only
+// meaningful after completion.
+func (rj *RunningJob) Delay() float64 {
+	return math.Max(0, (rj.Finish-rj.Job.Submit)-rj.Job.Deadline)
+}
+
+// DeadlineMet reports whether the job finished within its hard deadline.
+func (rj *RunningJob) DeadlineMet() bool {
+	return rj.done && rj.Finish <= rj.Job.AbsDeadline()+epsTime
+}
+
+// Slowdown returns response time divided by the minimum runtime the job
+// needed on the slowest node it occupied.
+func (rj *RunningJob) Slowdown(minRuntime float64) float64 {
+	if minRuntime <= 0 {
+		return 0
+	}
+	return (rj.Finish - rj.Job.Submit) / minRuntime
+}
+
+// slice is the portion of a running job hosted on one node. Work amounts
+// are in node-seconds (dedicated seconds at this node's rating).
+type slice struct {
+	job          *RunningJob
+	realWork     float64 // remaining real work; drives completion
+	believedWork float64 // remaining work per the admitted estimate
+	rate         float64 // current service rate in node-seconds/second
+}
+
+// PSNode is a time-shared node running deadline-proportional processor
+// sharing. Between scheduler events each active slice receives a constant
+// rate derived from its share weight (eq. 1); weights are re-evaluated on
+// every arrival, completion, estimate exhaustion and deadline crossing.
+type PSNode struct {
+	id     int
+	rating float64
+	cfg    Config
+
+	slices []*slice
+	lastT  float64
+	update *sim.Event
+
+	// busyIntegral accumulates ∫Σrates dt — the exact node-seconds of
+	// work served, for utilization accounting.
+	busyIntegral float64
+
+	// onSliceDone is installed by the owning TimeShared cluster.
+	onSliceDone func(e *sim.Engine, sl *slice)
+}
+
+// ID returns the node's index within its cluster.
+func (n *PSNode) ID() int { return n.id }
+
+// Rating returns the node's SPEC rating.
+func (n *PSNode) Rating() float64 { return n.rating }
+
+// NumSlices returns the number of active slices.
+func (n *PSNode) NumSlices() int { return len(n.slices) }
+
+// weightAt computes the proportional-share weight of a slice with the
+// given believed remaining work and remaining deadline, applying the
+// conventions in Config.
+func (n *PSNode) weightAt(believed, remDeadline float64) float64 {
+	switch {
+	case believed <= epsWork:
+		// Overrun: the allocator believes the job is about to exit and
+		// grants only a residual share.
+		return n.cfg.OverrunFloorWeight
+	case remDeadline <= epsTime:
+		// Past deadline with believed work left: the share formula
+		// diverges; demand a full processor.
+		return n.cfg.MaxWeight
+	default:
+		return math.Min(believed/remDeadline, n.cfg.MaxWeight)
+	}
+}
+
+// advance accrues progress from lastT to now at the current rates.
+func (n *PSNode) advance(now float64) {
+	dt := now - n.lastT
+	if dt > 0 {
+		for _, sl := range n.slices {
+			w := sl.rate * dt
+			sl.realWork -= w
+			sl.believedWork -= w
+			n.busyIntegral += w
+		}
+	}
+	n.lastT = now
+}
+
+// ServedWork returns the exact node-seconds of work this node has served
+// up to its last accrual point.
+func (n *PSNode) ServedWork() float64 { return n.busyIntegral }
+
+// recompute re-derives weights and rates for all slices at time now.
+func (n *PSNode) recompute(now float64) {
+	var total float64
+	weights := make([]float64, len(n.slices))
+	for i, sl := range n.slices {
+		w := n.weightAt(sl.believedWork, sl.job.Job.AbsDeadline()-now)
+		weights[i] = w
+		total += w
+	}
+	for i, sl := range n.slices {
+		switch {
+		case total <= 0:
+			sl.rate = 0
+		case n.cfg.WorkConserving:
+			// Redistribute all capacity proportionally: Σ rates = 1.
+			sl.rate = weights[i] / total
+		case total > 1:
+			// Oversubscribed: scale guarantees down proportionally.
+			sl.rate = weights[i] / total
+		default:
+			// Strict shares; the node idles with the rest.
+			sl.rate = weights[i]
+		}
+	}
+}
+
+// nextChange returns the delay until the earliest of: a slice's real
+// completion, a slice's believed-work exhaustion (weight regime change), or
+// a slice's deadline crossing (weight regime change). Returns +Inf when
+// nothing is pending.
+func (n *PSNode) nextChange(now float64) float64 {
+	next := math.Inf(1)
+	for _, sl := range n.slices {
+		if sl.rate > 0 {
+			if t := sl.realWork / sl.rate; t < next {
+				next = t
+			}
+			if sl.believedWork > epsWork {
+				if t := sl.believedWork / sl.rate; t < next {
+					next = t
+				}
+			}
+		}
+		if rd := sl.job.Job.AbsDeadline() - now; rd > epsTime && rd < next && sl.believedWork > epsWork {
+			next = rd
+		}
+	}
+	return next
+}
+
+// reschedule cancels any pending update event and schedules the next one.
+func (n *PSNode) reschedule(e *sim.Engine) {
+	if n.update != nil {
+		n.update.Cancel()
+		n.update = nil
+	}
+	next := n.nextChange(e.Now())
+	if math.IsInf(next, 1) {
+		return
+	}
+	if next < 1e-6 {
+		next = 1e-6 // guarantee forward progress despite float noise
+	}
+	n.update = e.After(next, sim.PriorityCompletion, n.onUpdate)
+}
+
+// onUpdate is the node's event handler: accrue progress, retire completed
+// slices, re-derive rates, schedule the next change.
+func (n *PSNode) onUpdate(e *sim.Engine) {
+	n.update = nil
+	n.advance(e.Now())
+	n.retireCompleted(e)
+	n.recompute(e.Now())
+	n.reschedule(e)
+}
+
+func (n *PSNode) retireCompleted(e *sim.Engine) {
+	kept := n.slices[:0]
+	var done []*slice
+	for _, sl := range n.slices {
+		if sl.realWork <= epsWork {
+			done = append(done, sl)
+		} else {
+			kept = append(kept, sl)
+		}
+	}
+	n.slices = kept
+	for _, sl := range done {
+		n.onSliceDone(e, sl)
+	}
+}
+
+// addSlice places a new slice on the node and re-derives rates.
+func (n *PSNode) addSlice(e *sim.Engine, sl *slice) {
+	n.advance(e.Now())
+	n.slices = append(n.slices, sl)
+	n.recompute(e.Now())
+	n.reschedule(e)
+}
+
+// projectedBelieved returns a slice's believed remaining work at time now
+// without mutating node state (progress since the last accrual point is
+// applied virtually).
+func (n *PSNode) projectedBelieved(sl *slice, now float64) float64 {
+	return sl.believedWork - sl.rate*(now-n.lastT)
+}
+
+// LibraShare returns the node's total processor-time share as Libra's
+// admission test computes it (eq. 2): the sum over active slices of
+// believed remaining work / remaining deadline. Slices whose believed work
+// is exhausted contribute zero — the allocator thinks they are about to
+// exit, which is precisely how inaccurate (under-)estimates fool Libra. A
+// slice past its deadline with believed work left contributes +Inf,
+// rendering the node unsuitable.
+func (n *PSNode) LibraShare(now float64) float64 {
+	var total float64
+	for _, sl := range n.slices {
+		total += libraShare(n.projectedBelieved(sl, now), sl.job.Job.AbsDeadline()-now)
+	}
+	return total
+}
+
+// LibraShareWith returns LibraShare plus the share a candidate job slice
+// (work in node-seconds, absolute deadline) would add.
+func (n *PSNode) LibraShareWith(now, work, absDeadline float64) float64 {
+	return n.LibraShare(now) + libraShare(work, absDeadline-now)
+}
+
+func libraShare(believed, remDeadline float64) float64 {
+	switch {
+	case believed <= epsWork:
+		return 0
+	case remDeadline <= epsTime:
+		return math.Inf(1)
+	default:
+		return believed / remDeadline
+	}
+}
+
+// WorkToNodeSeconds converts reference-seconds of work to this node's
+// dedicated seconds via the machine-independent MI length.
+func (n *PSNode) WorkToNodeSeconds(refSeconds float64) float64 {
+	return refSeconds * n.cfg.RefRating / n.rating
+}
+
+// Utilization returns the fraction of capacity currently allocated
+// (Σ rates), for monitoring.
+func (n *PSNode) Utilization() float64 {
+	var total float64
+	for _, sl := range n.slices {
+		total += sl.rate
+	}
+	return total
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// SpaceShared is a cluster of dedicated nodes: each node runs at most one
+// job slice at a time (the EDF execution substrate). A parallel job holds
+// numproc whole nodes for its full runtime; with heterogeneous ratings the
+// gang runs at the pace of its slowest node.
+type SpaceShared struct {
+	cfg     Config
+	ratings []float64
+	busy    []bool
+	free    int
+
+	// OnJobDone fires when a job completes and its nodes are already
+	// released, so the handler observes the post-completion free count.
+	OnJobDone func(e *sim.Engine, rj *RunningJob)
+
+	running int
+	active  []*RunningJob
+}
+
+// NewSpaceShared builds a homogeneous dedicated cluster.
+func NewSpaceShared(n int, rating float64, cfg Config) (*SpaceShared, error) {
+	ratings := make([]float64, n)
+	for i := range ratings {
+		ratings[i] = rating
+	}
+	return NewSpaceSharedHetero(ratings, cfg)
+}
+
+// NewSpaceSharedHetero builds a dedicated cluster with per-node ratings.
+func NewSpaceSharedHetero(ratings []float64, cfg Config) (*SpaceShared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	for i, r := range ratings {
+		if r <= 0 {
+			return nil, fmt.Errorf("cluster: node %d rating %g, want > 0", i, r)
+		}
+	}
+	return &SpaceShared{
+		cfg:     cfg,
+		ratings: append([]float64(nil), ratings...),
+		busy:    make([]bool, len(ratings)),
+		free:    len(ratings),
+	}, nil
+}
+
+// Len returns the number of nodes.
+func (c *SpaceShared) Len() int { return len(c.ratings) }
+
+// FreeCount returns the number of idle nodes.
+func (c *SpaceShared) FreeCount() int { return c.free }
+
+// Running returns the number of executing jobs.
+func (c *SpaceShared) Running() int { return c.running }
+
+// RuntimeOn returns the dedicated runtime of refSeconds of work on the
+// fastest numproc idle nodes, without starting anything — what an EDF
+// admission test needs to decide whether a deadline is still reachable.
+// Returns 0 and false when fewer than numproc nodes are idle.
+func (c *SpaceShared) RuntimeOn(refSeconds float64, numproc int) (float64, bool) {
+	ids := c.pickFree(numproc)
+	if ids == nil {
+		return 0, false
+	}
+	return c.gangRuntime(refSeconds, ids), true
+}
+
+// BestPossibleRuntime returns the dedicated runtime on the fastest numproc
+// nodes regardless of their current occupancy — the most optimistic finish
+// a queued job could hope for.
+func (c *SpaceShared) BestPossibleRuntime(refSeconds float64, numproc int) (float64, bool) {
+	if numproc > len(c.ratings) {
+		return 0, false
+	}
+	sorted := append([]float64(nil), c.ratings...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slowest := sorted[numproc-1]
+	return refSeconds * c.cfg.RefRating / slowest, true
+}
+
+// Start runs the job on the fastest numproc idle nodes. The caller must
+// have performed admission; Start fails only on resource shortage or bad
+// arguments.
+func (c *SpaceShared) Start(e *sim.Engine, job workload.Job, estimate float64) (*RunningJob, error) {
+	if estimate <= 0 {
+		return nil, fmt.Errorf("cluster: job %d estimate %g, want > 0", job.ID, estimate)
+	}
+	ids := c.pickFree(job.NumProc)
+	if ids == nil {
+		return nil, fmt.Errorf("cluster: job %d needs %d nodes, only %d free", job.ID, job.NumProc, c.free)
+	}
+	for _, id := range ids {
+		c.busy[id] = true
+	}
+	c.free -= len(ids)
+	c.running++
+	rj := &RunningJob{
+		Job:      job,
+		Estimate: estimate,
+		Start:    e.Now(),
+		NodeIDs:  ids,
+	}
+	c.active = append(c.active, rj)
+	duration := c.gangRuntime(job.Runtime, ids)
+	e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
+		for _, id := range ids {
+			c.busy[id] = false
+		}
+		c.free += len(ids)
+		c.running--
+		for i, a := range c.active {
+			if a == rj {
+				c.active = append(c.active[:i], c.active[i+1:]...)
+				break
+			}
+		}
+		rj.done = true
+		rj.Finish = e.Now()
+		if c.OnJobDone != nil {
+			c.OnJobDone(e, rj)
+		}
+	})
+	return rj, nil
+}
+
+// pickFree returns the ids of the fastest numproc idle nodes, or nil.
+func (c *SpaceShared) pickFree(numproc int) []int {
+	if numproc <= 0 || numproc > c.free {
+		return nil
+	}
+	ids := make([]int, 0, c.free)
+	for i, b := range c.busy {
+		if !b {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if c.ratings[ids[a]] != c.ratings[ids[b]] {
+			return c.ratings[ids[a]] > c.ratings[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:numproc]
+}
+
+// gangRuntime is the dedicated runtime of refSeconds of reference work on
+// the given nodes: the gang advances at its slowest member's pace.
+func (c *SpaceShared) gangRuntime(refSeconds float64, ids []int) float64 {
+	slowest := c.ratings[ids[0]]
+	for _, id := range ids[1:] {
+		if c.ratings[id] < slowest {
+			slowest = c.ratings[id]
+		}
+	}
+	return refSeconds * c.cfg.RefRating / slowest
+}
+
+// MinRuntime returns the job's dedicated runtime on its allocated gang,
+// the denominator of the slowdown metric.
+func (c *SpaceShared) MinRuntime(rj *RunningJob) float64 {
+	return c.gangRuntime(rj.Job.Runtime, rj.NodeIDs)
+}
+
+// EstimatedFinish returns when the scheduler believes the job will
+// complete: its start time plus its estimated runtime on its gang. Used by
+// backfilling and slack-based admission policies that plan ahead from
+// estimates.
+func (c *SpaceShared) EstimatedFinish(rj *RunningJob) float64 {
+	return rj.Start + c.gangRuntime(rj.Estimate, rj.NodeIDs)
+}
+
+// RunningJobs returns the currently executing jobs in start order; the
+// slice is freshly allocated.
+func (c *SpaceShared) RunningJobs() []*RunningJob {
+	out := append([]*RunningJob(nil), c.active...)
+	return out
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+func newSS(t *testing.T, n int) *SpaceShared {
+	t.Helper()
+	c, err := NewSpaceShared(n, 168, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSpaceSharedStartAndComplete(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 4)
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) {
+		done = rj
+		if c.FreeCount() != 4 {
+			t.Errorf("FreeCount = %d inside OnJobDone, want nodes released first", c.FreeCount())
+		}
+	}
+	rj, err := c.Start(e, job(1, 0, 100, 500, 2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeCount() != 2 || c.Running() != 1 {
+		t.Fatalf("FreeCount = %d Running = %d after start", c.FreeCount(), c.Running())
+	}
+	if len(rj.NodeIDs) != 2 {
+		t.Fatalf("NodeIDs = %v", rj.NodeIDs)
+	}
+	runAll(t, e)
+	if done == nil || math.Abs(done.Finish-100) > 1e-9 {
+		t.Fatalf("finish = %+v, want 100", done)
+	}
+	if !done.DeadlineMet() {
+		t.Fatal("deadline should be met")
+	}
+	if c.Running() != 0 {
+		t.Fatalf("Running = %d after completion", c.Running())
+	}
+}
+
+func TestSpaceSharedInsufficientNodes(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 2)
+	if _, err := c.Start(e, job(1, 0, 100, 500, 3), 100); err == nil {
+		t.Fatal("started a 3-proc job on a 2-node cluster")
+	}
+	if _, err := c.Start(e, job(1, 0, 100, 500, 1), 0); err == nil {
+		t.Fatal("zero estimate accepted")
+	}
+}
+
+func TestSpaceSharedDedicatedNoSharing(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 2)
+	finish := map[int]float64{}
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { finish[rj.Job.ID] = rj.Finish }
+	if _, err := c.Start(e, job(1, 0, 100, 500, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(e, job(2, 0, 100, 500, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, e)
+	// Unlike time sharing, both finish at their dedicated runtimes.
+	if math.Abs(finish[1]-100) > 1e-9 || math.Abs(finish[2]-100) > 1e-9 {
+		t.Fatalf("finishes = %v, want both 100", finish)
+	}
+}
+
+func TestSpaceSharedPicksFastestFree(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.RefRating = 100
+	c, err := NewSpaceSharedHetero([]float64{100, 300, 200}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	rj, err := c.Start(e, job(1, 0, 60, 600, 2), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fastest two are nodes 1 (300) and 2 (200).
+	if len(rj.NodeIDs) != 2 || rj.NodeIDs[0] != 1 || rj.NodeIDs[1] != 2 {
+		t.Fatalf("NodeIDs = %v, want [1 2]", rj.NodeIDs)
+	}
+	runAll(t, e)
+	// Gang pace = slowest member (200): 60 ref-s × 100/200 = 30 s.
+	if math.Abs(done.Finish-30) > 1e-9 {
+		t.Fatalf("finish = %v, want 30", done.Finish)
+	}
+	if mr := c.MinRuntime(done); math.Abs(mr-30) > 1e-9 {
+		t.Fatalf("MinRuntime = %v, want 30", mr)
+	}
+}
+
+func TestRuntimeOn(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.RefRating = 100
+	c, err := NewSpaceSharedHetero([]float64{100, 200}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := c.RuntimeOn(60, 1); !ok || math.Abs(rt-30) > 1e-9 {
+		t.Fatalf("RuntimeOn(60,1) = %v,%v want 30 on fastest node", rt, ok)
+	}
+	if rt, ok := c.RuntimeOn(60, 2); !ok || math.Abs(rt-60) > 1e-9 {
+		t.Fatalf("RuntimeOn(60,2) = %v,%v want 60 (slowest of gang)", rt, ok)
+	}
+	if _, ok := c.RuntimeOn(60, 3); ok {
+		t.Fatal("RuntimeOn with too many procs should fail")
+	}
+	// Occupy the fast node; only the slow one remains.
+	if _, err := c.Start(e, job(1, 0, 1000, 9000, 1), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := c.RuntimeOn(60, 1); !ok || math.Abs(rt-60) > 1e-9 {
+		t.Fatalf("RuntimeOn after occupancy = %v,%v want 60", rt, ok)
+	}
+}
+
+func TestBestPossibleRuntime(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.RefRating = 100
+	c, err := NewSpaceSharedHetero([]float64{100, 200}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy everything; BestPossibleRuntime ignores occupancy.
+	if _, err := c.Start(e, job(1, 0, 1000, 9000, 2), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := c.BestPossibleRuntime(60, 1); !ok || math.Abs(rt-30) > 1e-9 {
+		t.Fatalf("BestPossibleRuntime = %v,%v want 30", rt, ok)
+	}
+	if _, ok := c.BestPossibleRuntime(60, 3); ok {
+		t.Fatal("BestPossibleRuntime beyond cluster size should fail")
+	}
+}
+
+func TestSpaceSharedSequentialReuse(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 1)
+	var finishes []float64
+	c.OnJobDone = func(e *sim.Engine, rj *RunningJob) {
+		finishes = append(finishes, rj.Finish)
+		if len(finishes) == 1 {
+			if _, err := c.Start(e, job(2, e.Now(), 50, 500, 1), 50); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := c.Start(e, job(1, 0, 100, 500, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, e)
+	if len(finishes) != 2 || math.Abs(finishes[1]-150) > 1e-9 {
+		t.Fatalf("finishes = %v, want second at 150", finishes)
+	}
+}
+
+func TestNewSpaceSharedRejectsBadArgs(t *testing.T) {
+	if _, err := NewSpaceShared(0, 168, DefaultConfig()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewSpaceSharedHetero([]float64{0}, DefaultConfig()); err == nil {
+		t.Error("zero rating accepted")
+	}
+}

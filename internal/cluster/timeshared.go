@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// TimeShared is a cluster of proportional-share nodes (the Libra and
+// LibraRisk execution substrate).
+type TimeShared struct {
+	cfg   Config
+	nodes []*PSNode
+
+	// OnJobDone, if set, is invoked when the last slice of a job
+	// completes.
+	OnJobDone func(e *sim.Engine, rj *RunningJob)
+
+	running int
+}
+
+// NewTimeShared builds a homogeneous cluster of n nodes with the given
+// SPEC rating.
+func NewTimeShared(n int, rating float64, cfg Config) (*TimeShared, error) {
+	ratings := make([]float64, n)
+	for i := range ratings {
+		ratings[i] = rating
+	}
+	return NewTimeSharedHetero(ratings, cfg)
+}
+
+// NewTimeSharedHetero builds a cluster with per-node SPEC ratings.
+func NewTimeSharedHetero(ratings []float64, cfg Config) (*TimeShared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	c := &TimeShared{cfg: cfg}
+	for i, r := range ratings {
+		if r <= 0 {
+			return nil, fmt.Errorf("cluster: node %d rating %g, want > 0", i, r)
+		}
+		node := &PSNode{id: i, rating: r, cfg: cfg}
+		node.onSliceDone = c.sliceDone
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Len returns the number of nodes.
+func (c *TimeShared) Len() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *TimeShared) Node(i int) *PSNode { return c.nodes[i] }
+
+// Config returns the execution-model conventions in force.
+func (c *TimeShared) Config() Config { return c.cfg }
+
+// Running returns the number of jobs currently executing.
+func (c *TimeShared) Running() int { return c.running }
+
+// Submit places a job on the given nodes (one slice each) with the given
+// runtime estimate in reference seconds. The nodes must be distinct and
+// exactly NumProc many; admission policy is the caller's responsibility.
+func (c *TimeShared) Submit(e *sim.Engine, job workload.Job, estimate float64, nodeIDs []int) (*RunningJob, error) {
+	if len(nodeIDs) != job.NumProc {
+		return nil, fmt.Errorf("cluster: job %d needs %d nodes, got %d", job.ID, job.NumProc, len(nodeIDs))
+	}
+	if estimate <= 0 {
+		return nil, fmt.Errorf("cluster: job %d estimate %g, want > 0", job.ID, estimate)
+	}
+	seen := make(map[int]bool, len(nodeIDs))
+	for _, id := range nodeIDs {
+		if id < 0 || id >= len(c.nodes) {
+			return nil, fmt.Errorf("cluster: node id %d out of range", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate node id %d", id)
+		}
+		seen[id] = true
+	}
+	rj := &RunningJob{
+		Job:             job,
+		Estimate:        estimate,
+		Start:           e.Now(),
+		NodeIDs:         append([]int(nil), nodeIDs...),
+		remainingSlices: len(nodeIDs),
+	}
+	for _, id := range nodeIDs {
+		node := c.nodes[id]
+		sl := &slice{
+			job:          rj,
+			realWork:     node.WorkToNodeSeconds(job.Runtime),
+			believedWork: node.WorkToNodeSeconds(estimate),
+		}
+		node.addSlice(e, sl)
+	}
+	c.running++
+	return rj, nil
+}
+
+func (c *TimeShared) sliceDone(e *sim.Engine, sl *slice) {
+	rj := sl.job
+	rj.remainingSlices--
+	if rj.remainingSlices > 0 {
+		return
+	}
+	rj.done = true
+	rj.Finish = e.Now()
+	c.running--
+	if c.OnJobDone != nil {
+		c.OnJobDone(e, rj)
+	}
+}
+
+// Utilization returns the exact fraction of cluster capacity used over
+// [0, now]: total node-seconds served divided by nodes × elapsed time.
+// Slices that are mid-interval are accounted up to their node's last
+// accrual point, which event processing keeps within one event of now.
+func (c *TimeShared) Utilization(now float64) float64 {
+	if now <= 0 || len(c.nodes) == 0 {
+		return 0
+	}
+	var served float64
+	for _, n := range c.nodes {
+		served += n.ServedWork()
+		// Account the open interval since the node's last event.
+		if dt := now - n.lastT; dt > 0 {
+			for _, sl := range n.slices {
+				served += sl.rate * dt
+			}
+		}
+	}
+	return served / (float64(len(c.nodes)) * now)
+}
+
+// MinRuntime returns the job's dedicated runtime on the slowest node it
+// was allocated, the denominator of the paper's slowdown metric.
+func (c *TimeShared) MinRuntime(rj *RunningJob) float64 {
+	worst := 0.0
+	for _, id := range rj.NodeIDs {
+		if t := c.nodes[id].WorkToNodeSeconds(rj.Job.Runtime); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

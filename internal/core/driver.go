@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// defaultEventBudget is a generous runaway guard: well above what any
+// paper-scale workload generates, small enough to fail fast on a model
+// regression that loops.
+const defaultEventBudget = 50_000_000
+
+// RunSimulation feeds every job to the policy at its submit time, with the
+// estimate visible at the given inaccuracy level (0 = perfectly accurate,
+// 100 = the trace's actual estimates), runs the simulation to completion,
+// and flushes the recorder so unfinished jobs are accounted for.
+func RunSimulation(e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []workload.Job, inaccuracyPct float64) error {
+	if err := workload.ValidateAll(jobs); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for _, j := range jobs {
+		j := j
+		e.At(j.Submit, sim.PriorityArrival, func(e *sim.Engine) {
+			p.Submit(e, j, j.EstimateAt(inaccuracyPct))
+		})
+	}
+	if e.MaxEvents == 0 {
+		e.MaxEvents = defaultEventBudget
+	}
+	if err := e.Run(); err != nil {
+		return fmt.Errorf("core: simulation aborted: %w", err)
+	}
+	rec.Flush()
+	return nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// EDF is the non-preemptive Earliest Deadline First comparison strategy:
+// space-shared (one job per processor), with a queue of incoming jobs
+// ordered by deadline. Unlike Libra and LibraRisk it does not reject at
+// submission; it waits for the requested number of processors for the
+// earliest-deadline job, reselecting if an even earlier-deadline job
+// arrives meanwhile, and rejects a selected job only just before execution
+// if its deadline has expired or can no longer be met per its runtime
+// estimate — the paper's deliberately more generous admission control.
+type EDF struct {
+	Cluster  *cluster.SpaceShared
+	Recorder *metrics.Recorder
+
+	queue edfQueue
+}
+
+// edfItem is one queued job with the estimate in force at submission.
+type edfItem struct {
+	job      workload.Job
+	estimate float64
+	seq      int // FIFO tiebreak for equal deadlines
+}
+
+type edfQueue []edfItem
+
+func (q edfQueue) Len() int { return len(q) }
+func (q edfQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.job.AbsDeadline() != b.job.AbsDeadline() {
+		return a.job.AbsDeadline() < b.job.AbsDeadline()
+	}
+	return a.seq < b.seq
+}
+func (q edfQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *edfQueue) Push(x any)   { *q = append(*q, x.(edfItem)) }
+func (q *edfQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NewEDF wires an EDF policy to a space-shared cluster.
+func NewEDF(c *cluster.SpaceShared, rec *metrics.Recorder) *EDF {
+	p := &EDF{Cluster: c, Recorder: rec}
+	c.OnJobDone = func(e *sim.Engine, rj *cluster.RunningJob) {
+		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+		p.dispatch(e)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *EDF) Name() string { return "EDF" }
+
+// QueueLen returns the number of jobs waiting for processors.
+func (p *EDF) QueueLen() int { return p.queue.Len() }
+
+// Submit implements Policy: enqueue and try to dispatch.
+func (p *EDF) Submit(e *sim.Engine, job workload.Job, estimate float64) {
+	p.Recorder.Submitted(job)
+	if job.NumProc > p.Cluster.Len() {
+		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		return
+	}
+	heap.Push(&p.queue, edfItem{job: job, estimate: estimate, seq: job.ID})
+	p.dispatch(e)
+}
+
+// dispatch starts queued jobs in deadline order while the head job's
+// processors are available; it blocks (no backfilling) on the first job
+// that must keep waiting.
+func (p *EDF) dispatch(e *sim.Engine) {
+	now := e.Now()
+	for p.queue.Len() > 0 {
+		head := p.queue[0]
+		if p.Cluster.FreeCount() < head.job.NumProc {
+			// The selected job waits for processors; nothing behind it may
+			// overtake (non-preemptive, no backfill). Its admission check
+			// happens when it is about to execute.
+			return
+		}
+		heap.Pop(&p.queue)
+		// Admission just prior to execution.
+		if now >= head.job.AbsDeadline() {
+			p.Recorder.Reject(head.job, "deadline expired while queued")
+			continue
+		}
+		rt, ok := p.Cluster.RuntimeOn(head.estimate, head.job.NumProc)
+		if !ok {
+			// FreeCount said yes; this cannot fail, but stay safe.
+			p.Recorder.Reject(head.job, "processors vanished before start")
+			continue
+		}
+		if now+rt > head.job.AbsDeadline() {
+			p.Recorder.Reject(head.job, "deadline unreachable per runtime estimate")
+			continue
+		}
+		if _, err := p.Cluster.Start(e, head.job, head.estimate); err != nil {
+			p.Recorder.Reject(head.job, "start failed: "+err.Error())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+func tsJob(id int, submit, runtime, deadline float64, numproc int) workload.Job {
+	return workload.Job{
+		ID: id, Submit: submit, Runtime: runtime,
+		TraceEstimate: runtime, NumProc: numproc, Deadline: deadline,
+	}
+}
+
+func newLibraHarness(t *testing.T, nodes int) (*sim.Engine, *Libra, *metrics.Recorder) {
+	t.Helper()
+	c, err := cluster.NewTimeShared(nodes, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	return sim.NewEngine(), NewLibra(c, rec), rec
+}
+
+func TestLibraAcceptsFeasibleJob(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 2)
+	p.Submit(e, tsJob(1, 0, 100, 200, 1), 100)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Met != 1 || s.Rejected != 0 {
+		t.Fatalf("summary = %+v, want one met job", s)
+	}
+}
+
+func TestLibraRejectsInfeasibleJob(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 2)
+	// Share = 300/100 = 3 > 1 on every node.
+	p.Submit(e, tsJob(1, 0, 300, 100, 1), 300)
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 {
+		t.Fatalf("summary = %+v, want rejection", s)
+	}
+}
+
+func TestLibraRejectsWhenNodesSaturated(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 1)
+	// First job takes share 0.8.
+	p.Submit(e, tsJob(1, 0, 80, 100, 1), 80)
+	// Second needs 0.5: total 1.3 > 1 → reject.
+	p.Submit(e, tsJob(2, 0, 50, 100, 1), 50)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 || s.Met != 1 {
+		t.Fatalf("summary = %+v, want 1 met + 1 rejected", s)
+	}
+}
+
+func TestLibraRejectsOversizedJob(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 2)
+	p.Submit(e, tsJob(1, 0, 10, 100, 5), 10)
+	rec.Flush()
+	if s := rec.Summarize(); s.Rejected != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestLibraBestFitSaturatesLoadedNode(t *testing.T) {
+	e, p, _ := newLibraHarness(t, 2)
+	// Load node 0 modestly by submitting a job that lands somewhere; with
+	// two empty nodes and FirstFit ties, BestFit picks node 0 by id.
+	p.Submit(e, tsJob(1, 0, 20, 200, 1), 20)
+	// Next single-proc job must co-locate on the already-loaded node (best
+	// fit = least available share afterwards), leaving node 1 empty.
+	p.Submit(e, tsJob(2, 0, 20, 200, 1), 20)
+	if got := p.Cluster.Node(0).NumSlices(); got != 2 {
+		t.Fatalf("node 0 slices = %d, want 2 (best fit saturates)", got)
+	}
+	if got := p.Cluster.Node(1).NumSlices(); got != 0 {
+		t.Fatalf("node 1 slices = %d, want 0", got)
+	}
+}
+
+func TestLibraWorstFitSpreadsLoad(t *testing.T) {
+	e, p, _ := newLibraHarness(t, 2)
+	p.Selection = WorstFit
+	p.Submit(e, tsJob(1, 0, 20, 200, 1), 20)
+	p.Submit(e, tsJob(2, 0, 20, 200, 1), 20)
+	if p.Cluster.Node(0).NumSlices() != 1 || p.Cluster.Node(1).NumSlices() != 1 {
+		t.Fatalf("slices = %d,%d, want spread 1,1",
+			p.Cluster.Node(0).NumSlices(), p.Cluster.Node(1).NumSlices())
+	}
+}
+
+func TestLibraParallelJobNeedsAllNodesSuitable(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 2)
+	// Saturate node 0 almost fully.
+	p.Submit(e, tsJob(1, 0, 95, 100, 1), 95)
+	// A 2-proc job needing share 0.5 fits node 1 but not node 0 → reject.
+	p.Submit(e, tsJob(2, 0, 50, 100, 2), 50)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 {
+		t.Fatalf("summary = %+v, want the parallel job rejected", s)
+	}
+}
+
+func TestLibraAcceptedJobsStartImmediately(t *testing.T) {
+	e, p, _ := newLibraHarness(t, 1)
+	p.Submit(e, tsJob(1, 0, 50, 200, 1), 50)
+	if p.Cluster.Running() != 1 {
+		t.Fatal("accepted job did not start immediately")
+	}
+}
+
+// TestLibraFooledByUnderestimate reproduces the paper's core observation:
+// with underestimated runtimes, Libra's share test sees a nearly-empty
+// node and keeps accepting jobs whose deadlines then get destroyed.
+func TestLibraFooledByUnderestimate(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 1)
+	// Real 500 s, believed 10 s, deadline 600 s.
+	p.Submit(e, tsJob(1, 0, 500, 600, 1), 10)
+	// At t=50 the first job has overrun its estimate; Libra sees share 0.
+	e.At(50, sim.PriorityArrival, func(e *sim.Engine) {
+		p.Submit(e, tsJob(2, 50, 300, 320, 1), 300)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 0 {
+		t.Fatalf("Libra rejected %d jobs; the share test should have been fooled into accepting both", s.Rejected)
+	}
+	if s.Missed == 0 {
+		t.Fatal("expected at least one deadline miss from the overrun collision")
+	}
+}
+
+func TestLibraAccurateFeasibleStreamAllMet(t *testing.T) {
+	e, p, rec := newLibraHarness(t, 4)
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Jobs = 60
+	cfg.MaxProcs = 4
+	cfg.MeanInterarrival = 400
+	cfg.MeanRuntime = 300
+	cfg.MaxRuntime = 3600
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = workload.AssignDeadlines(jobs, workload.DefaultDeadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSimulation(e, p, rec, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	if s.Unfinished != 0 {
+		t.Fatalf("unfinished = %d", s.Unfinished)
+	}
+	// Accurate estimates: every accepted job must meet its deadline — the
+	// Libra invariant.
+	if s.Missed != 0 {
+		t.Fatalf("missed = %d with accurate estimates; invariant violated", s.Missed)
+	}
+	if s.Met == 0 {
+		t.Fatal("no jobs met; harness broken")
+	}
+	if math.IsNaN(s.AvgSlowdownMet) || s.AvgSlowdownMet < 1 {
+		t.Fatalf("AvgSlowdownMet = %v", s.AvgSlowdownMet)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// LibraRisk is the paper's contribution (Algorithm 1): Libra's
+// proportional-share execution, but a node is suitable for a new job only
+// if its risk of deadline delay σ (eq. 6) is zero after tentatively adding
+// the job. The delays entering σ come from a fluid forward simulation of
+// the node using everyone's *believed* remaining work, so jobs that have
+// silently overrun an underestimate — invisible to Libra's share test —
+// surface as predicted delays and poison the node's risk.
+type LibraRisk struct {
+	Cluster  *cluster.TimeShared
+	Recorder *metrics.Recorder
+	// Selection orders the zero-risk nodes a job is allocated to.
+	// Algorithm 1 walks nodes in index order, so FirstFit is the default.
+	Selection NodeSelection
+	// SigmaThreshold relaxes the zero-risk test to σ ≤ threshold; the
+	// default 0 is the paper's rule. Used by the ablation bench.
+	SigmaThreshold float64
+	// MeanRule switches the suitability test from σ = 0 (the paper's
+	// Algorithm 1) to µ = 1, i.e. *no* predicted deadline delay at all.
+	// σ = 0 additionally admits uniformly-delayed configurations — in
+	// practice a lone over-estimated job on an empty node — so comparing
+	// the two quantifies the value of that forgiveness (ablation).
+	MeanRule bool
+}
+
+// NewLibraRisk wires a LibraRisk policy to a time-shared cluster.
+func NewLibraRisk(c *cluster.TimeShared, rec *metrics.Recorder) *LibraRisk {
+	p := &LibraRisk{Cluster: c, Recorder: rec, Selection: FirstFit}
+	c.OnJobDone = func(_ *sim.Engine, rj *cluster.RunningJob) {
+		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *LibraRisk) Name() string { return "LibraRisk" }
+
+// NodeRisk evaluates one node: the deadline-delay values of all its jobs
+// plus the candidate (Algorithm 1 lines 2-7), their mean µ and risk σ.
+// The σ here is numerically identical to RiskOfDelay over the same values
+// (Welford's single-pass population form), without materializing them.
+func (p *LibraRisk) NodeRisk(now float64, n *cluster.PSNode, cand *cluster.Candidate) (mu, sigma float64) {
+	preds := n.PredictDelays(now, cand)
+	var w sim.Welford
+	for _, pr := range preds {
+		w.Add(DeadlineDelay(pr.Delay, pr.AbsDeadline-now))
+	}
+	return w.Mean(), w.StdDevPop()
+}
+
+// Submit implements Policy: Algorithm 1.
+func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
+	p.Recorder.Submitted(job)
+	if job.NumProc > p.Cluster.Len() {
+		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		return
+	}
+	now := e.Now()
+	cand := &cluster.Candidate{JobID: job.ID, RefWork: estimate, AbsDeadline: job.AbsDeadline()}
+	zeroRisk := make([]nodeFit, 0, p.Cluster.Len())
+	for i := 0; i < p.Cluster.Len(); i++ {
+		n := p.Cluster.Node(i)
+		mu, sigma := p.NodeRisk(now, n, cand)
+		suitable := sigma <= p.SigmaThreshold+sigmaTolerance
+		if p.MeanRule {
+			suitable = mu <= 1+sigmaTolerance
+		}
+		if suitable {
+			// Record the post-acceptance share so BestFit/WorstFit
+			// selections have the same notion of fit Libra uses.
+			zeroRisk = append(zeroRisk, nodeFit{id: i, share: n.LibraShareWith(now, estimate, cand.AbsDeadline)})
+		}
+	}
+	if len(zeroRisk) < job.NumProc {
+		p.Recorder.Reject(job, fmt.Sprintf("only %d of %d required nodes have zero risk", len(zeroRisk), job.NumProc))
+		return
+	}
+	orderBySelection(zeroRisk, p.Selection)
+	ids := make([]int, job.NumProc)
+	for i := range ids {
+		ids[i] = zeroRisk[i].id
+	}
+	if _, err := p.Cluster.Submit(e, job, estimate, ids); err != nil {
+		p.Recorder.Reject(job, "placement failed: "+err.Error())
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+)
+
+func newRiskHarness(t *testing.T, nodes int) (*sim.Engine, *LibraRisk, *metrics.Recorder) {
+	t.Helper()
+	c, err := cluster.NewTimeShared(nodes, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	return sim.NewEngine(), NewLibraRisk(c, rec), rec
+}
+
+func TestLibraRiskAcceptsFeasibleJob(t *testing.T) {
+	e, p, rec := newRiskHarness(t, 2)
+	p.Submit(e, tsJob(1, 0, 100, 200, 1), 100)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if s := rec.Summarize(); s.Met != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestLibraRiskRejectsWhenAcceptanceDelaysExisting(t *testing.T) {
+	e, p, rec := newRiskHarness(t, 1)
+	// Existing job: share 0.8, zero predicted delay.
+	p.Submit(e, tsJob(1, 0, 80, 100, 1), 80)
+	// Candidate share 0.5 → someone would be delayed → σ > 0 → reject.
+	p.Submit(e, tsJob(2, 0, 50, 100, 1), 50)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 || s.Met != 1 {
+		t.Fatalf("summary = %+v, want 1 met + 1 rejected", s)
+	}
+}
+
+// TestLibraRiskSeesThroughUnderestimate is the paper's headline mechanism:
+// the same scenario that fools Libra (TestLibraFooledByUnderestimate) must
+// be caught by the risk test, protecting the second job.
+func TestLibraRiskSeesThroughUnderestimate(t *testing.T) {
+	e, p, rec := newRiskHarness(t, 1)
+	// Real 900 s, believed 10 s, deadline 600 s: overruns from t=10 on and
+	// is still running when its deadline passes at t=600.
+	p.Submit(e, tsJob(1, 0, 900, 600, 1), 10)
+	// Submit the competitor at t=650: job 1 is past its deadline yet
+	// believed done, so Libra's share test sees an empty node, but the
+	// predictor reports a positive delay for job 1, σ > 0, and the new job
+	// must be rejected.
+	e.At(650, sim.PriorityArrival, func(e *sim.Engine) {
+		p.Submit(e, tsJob(2, 650, 300, 320, 1), 300)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 {
+		t.Fatalf("summary = %+v: LibraRisk should reject onto a node with a delayed job", s)
+	}
+}
+
+func TestLibraRiskForgivesPureOverestimateOnEmptyNode(t *testing.T) {
+	// estimate 300 > deadline 200, but the node is empty so the candidate
+	// is the only job: its deadline-delay is uniform → σ = 0 → accepted.
+	// Reality: runtime 100 < deadline 200 → met. Libra would have rejected
+	// (share 1.5): this is LibraRisk's tolerance of overestimation.
+	e, p, rec := newRiskHarness(t, 1)
+	p.Submit(e, tsJob(1, 0, 100, 200, 1), 300)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Met != 1 || s.Rejected != 0 {
+		t.Fatalf("summary = %+v, want the overestimated job accepted and met", s)
+	}
+}
+
+func TestLibraVsRiskOnSameOverestimate(t *testing.T) {
+	// The same job Libra rejects outright.
+	e, p, rec := newLibraHarness(t, 1)
+	p.Submit(e, tsJob(1, 0, 100, 200, 1), 300)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if s := rec.Summarize(); s.Rejected != 1 {
+		t.Fatalf("Libra summary = %+v, want rejection of share 1.5", s)
+	}
+}
+
+func TestLibraRiskRejectsOversizedJob(t *testing.T) {
+	e, p, rec := newRiskHarness(t, 2)
+	p.Submit(e, tsJob(1, 0, 10, 100, 3), 10)
+	rec.Flush()
+	if s := rec.Summarize(); s.Rejected != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestLibraRiskParallelNeedsEnoughZeroRiskNodes(t *testing.T) {
+	e, p, rec := newRiskHarness(t, 2)
+	// Node 0 and 1 each get a job with share 0.9.
+	p.Submit(e, tsJob(1, 0, 90, 100, 2), 90)
+	// 2-proc candidate with share 0.5 would delay jobs on both nodes.
+	p.Submit(e, tsJob(2, 0, 50, 100, 2), 50)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 1 {
+		t.Fatalf("summary = %+v, want candidate rejected", s)
+	}
+}
+
+func TestLibraRiskNodeRiskValues(t *testing.T) {
+	e, p, _ := newRiskHarness(t, 1)
+	n := p.Cluster.Node(0)
+	// Empty node, feasible candidate: µ = 1, σ = 0.
+	mu, sigma := p.NodeRisk(e.Now(), n, &cluster.Candidate{JobID: 9, RefWork: 50, AbsDeadline: 100})
+	if mu != 1 || !ZeroRisk(sigma) {
+		t.Fatalf("empty node: µ=%v σ=%v", mu, sigma)
+	}
+	// Load the node to share 0.9, then test a candidate that would delay.
+	p.Submit(e, tsJob(1, 0, 90, 100, 1), 90)
+	mu, sigma = p.NodeRisk(e.Now(), n, &cluster.Candidate{JobID: 10, RefWork: 50, AbsDeadline: 100})
+	if ZeroRisk(sigma) {
+		t.Fatalf("overloaded node: σ=%v, want positive", sigma)
+	}
+	if mu <= 1 {
+		t.Fatalf("overloaded node: µ=%v, want > 1", mu)
+	}
+}
+
+func TestLibraRiskSigmaThresholdRelaxation(t *testing.T) {
+	eStrict, pStrict, recStrict := newRiskHarness(t, 1)
+	eLoose, pLoose, recLoose := newRiskHarness(t, 1)
+	pLoose.SigmaThreshold = 100 // effectively accept-anything-with-capacity
+
+	for _, h := range []struct {
+		e   *sim.Engine
+		p   *LibraRisk
+		rec *metrics.Recorder
+	}{{eStrict, pStrict, recStrict}, {eLoose, pLoose, recLoose}} {
+		h.p.Submit(h.e, tsJob(1, 0, 80, 100, 1), 80)
+		h.p.Submit(h.e, tsJob(2, 0, 50, 100, 1), 50)
+		if err := h.e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		h.rec.Flush()
+	}
+	if s := recStrict.Summarize(); s.Rejected != 1 {
+		t.Fatalf("strict: %+v", s)
+	}
+	if s := recLoose.Summarize(); s.Rejected != 0 {
+		t.Fatalf("loose threshold should accept: %+v", s)
+	}
+}
+
+func TestLibraRiskFirstFitDefaultOrdering(t *testing.T) {
+	e, p, _ := newRiskHarness(t, 3)
+	p.Submit(e, tsJob(1, 0, 10, 100, 1), 10)
+	// All nodes zero-risk; FirstFit → node 0.
+	if p.Cluster.Node(0).NumSlices() != 1 {
+		t.Fatalf("first-fit should pick node 0; slices = %d,%d,%d",
+			p.Cluster.Node(0).NumSlices(), p.Cluster.Node(1).NumSlices(), p.Cluster.Node(2).NumSlices())
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/sim"
+)
+
+// MonitorSample is one periodic observation of a time-shared cluster.
+type MonitorSample struct {
+	Time float64
+	// Utilization is the mean allocated capacity across nodes (0..1).
+	Utilization float64
+	// RunningJobs is the number of executing jobs.
+	RunningJobs int
+	// BusyNodes is the number of nodes with at least one slice.
+	BusyNodes int
+	// MeanSigma is the mean risk of deadline delay (eq. 6) over all
+	// nodes, evaluated with no candidate — the cluster's live risk level.
+	// Note σ of a node holding a single delayed job is 0 (no spread);
+	// MeanMu and DelayedJobs catch that case.
+	MeanSigma float64
+	// MeanMu is the mean of the nodes' mean deadline delay µ (eq. 5);
+	// 1 means no job anywhere is predicted to be delayed.
+	MeanMu float64
+	// DelayedJobs counts slices whose predicted completion exceeds their
+	// deadline right now.
+	DelayedJobs int
+	// ZeroRiskNodes counts nodes whose σ is currently zero.
+	ZeroRiskNodes int
+}
+
+// Monitor samples a time-shared cluster at a fixed interval for the
+// duration of a simulation, producing the time series the paper's risk
+// argument is about: watch MeanSigma spike exactly when inaccurate
+// estimates have poisoned nodes.
+type Monitor struct {
+	Cluster  *cluster.TimeShared
+	Interval float64
+	// Limit stops sampling after this many samples (a safety valve; 0
+	// means 1e6).
+	Limit int
+
+	samples []MonitorSample
+}
+
+// NewMonitor creates a monitor; call Start before Engine.Run.
+func NewMonitor(c *cluster.TimeShared, interval float64) (*Monitor, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: monitor interval %g, want > 0", interval)
+	}
+	return &Monitor{Cluster: c, Interval: interval}, nil
+}
+
+// Start schedules the first sample. Sampling re-arms itself only while
+// jobs are in the system or the calendar is non-empty, so it cannot keep
+// an otherwise-finished simulation alive forever.
+func (m *Monitor) Start(e *sim.Engine) {
+	e.At(e.Now(), sim.PriorityMonitor, m.tick)
+}
+
+func (m *Monitor) tick(e *sim.Engine) {
+	m.samples = append(m.samples, m.sample(e.Now()))
+	limit := m.Limit
+	if limit == 0 {
+		limit = 1_000_000
+	}
+	if len(m.samples) >= limit {
+		return
+	}
+	// Keep sampling only while something else is pending: the monitor's
+	// own event is the only one left when the workload has drained.
+	if e.Pending() > 0 {
+		e.After(m.Interval, sim.PriorityMonitor, m.tick)
+	}
+}
+
+func (m *Monitor) sample(now float64) MonitorSample {
+	s := MonitorSample{Time: now, RunningJobs: m.Cluster.Running()}
+	n := m.Cluster.Len()
+	var utilSum, sigmaSum, muSum float64
+	muNodes := 0
+	for i := 0; i < n; i++ {
+		node := m.Cluster.Node(i)
+		utilSum += node.Utilization()
+		if node.NumSlices() > 0 {
+			s.BusyNodes++
+		}
+		preds := node.PredictDelays(now, nil)
+		dds := make([]float64, len(preds))
+		for j, pr := range preds {
+			dds[j] = DeadlineDelay(pr.Delay, pr.AbsDeadline-now)
+			if pr.Delay > 0 {
+				s.DelayedJobs++
+			}
+		}
+		mu, sigma := RiskOfDelay(dds)
+		sigmaSum += sigma
+		if len(dds) > 0 {
+			muSum += mu
+			muNodes++
+		} else {
+			// An empty node has no delays: its µ is the ideal 1.
+			muSum++
+			muNodes++
+		}
+		if ZeroRisk(sigma) {
+			s.ZeroRiskNodes++
+		}
+	}
+	if n > 0 {
+		s.Utilization = utilSum / float64(n)
+		s.MeanSigma = sigmaSum / float64(n)
+	}
+	if muNodes > 0 {
+		s.MeanMu = muSum / float64(muNodes)
+	}
+	return s
+}
+
+// Samples returns the collected time series.
+func (m *Monitor) Samples() []MonitorSample { return m.samples }
+
+// WriteCSV emits the time series as CSV.
+func (m *Monitor) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes"); err != nil {
+		return err
+	}
+	for _, s := range m.samples {
+		if _, err := fmt.Fprintf(w, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d\n",
+			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

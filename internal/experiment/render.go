@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePanelTable renders one panel as an aligned text table: one row per
+// swept x value, one column per policy.
+func WritePanelTable(w io.Writer, p Panel) error {
+	if _, err := fmt.Fprintf(w, "%s\n", p.Name); err != nil {
+		return err
+	}
+	header := []string{p.XLabel}
+	for _, s := range p.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i, x := range p.X {
+		row := []string{trimFloat(x)}
+		for _, s := range p.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteFigure renders a whole figure: title, then each panel as a table
+// followed by an ASCII plot.
+func WriteFigure(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		if err := WritePanelTable(w, p); err != nil {
+			return err
+		}
+		if err := WritePanelPlot(w, p, 60, 16); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePanelPlot renders a crude ASCII line chart of the panel, one mark
+// per series ('E' EDF, 'L' Libra, 'R' LibraRisk, digits otherwise).
+func WritePanelPlot(w io.Writer, p Panel, width, height int) error {
+	if len(p.X) == 0 || width < 8 || height < 4 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return nil
+	}
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xlo, xhi := p.X[0], p.X[len(p.X)-1]
+	if xhi-xlo < 1e-12 {
+		xhi = xlo + 1
+	}
+	for si, s := range p.Series {
+		mark := seriesMark(s.Name, si)
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(float64(width-1) * (p.X[i] - xlo) / (xhi - xlo))
+			row := height - 1 - int(float64(height-1)*(y-lo)/(hi-lo))
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			} else if grid[row][col] != mark {
+				grid[row][col] = '*' // collision
+			}
+		}
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.2f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.2f ", lo)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(p.Series))
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesMark(s.Name, si), s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%11s%s  [x: %s %s..%s]\n\n", "", strings.Join(legend, " "),
+		p.XLabel, trimFloat(xlo), trimFloat(xhi))
+	return err
+}
+
+func seriesMark(name string, idx int) byte {
+	switch name {
+	case "EDF":
+		return 'E'
+	case "Libra":
+		return 'L'
+	case "LibraRisk":
+		return 'R'
+	}
+	return byte('1' + idx%9)
+}
+
+// WriteFigureCSV emits the figure as tidy CSV: figure, panel, policy, x, y.
+func WriteFigureCSV(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintln(w, "figure,panel,policy,x,y"); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for i, x := range p.X {
+				if _, err := fmt.Fprintf(w, "%s,%q,%s,%g,%g\n", f.ID, p.Name, s.Name, x, s.Y[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteWorkloadTable renders the §4 workload characteristics table with
+// the paper's reference values alongside.
+func WriteWorkloadTable(w io.Writer, t WorkloadTable) error {
+	rows := []struct {
+		name  string
+		got   string
+		paper string
+	}{
+		{"jobs", fmt.Sprintf("%d", t.Jobs), "3000 (last jobs of SDSC SP2 trace)"},
+		{"mean inter-arrival time", fmt.Sprintf("%.0f s", t.MeanInterarrivalSec), "2131 s (35.52 min)"},
+		{"mean runtime", fmt.Sprintf("%.0f s", t.MeanRuntimeSec), "~9720 s (2.7 h)"},
+		{"mean processors", fmt.Sprintf("%.1f", t.MeanProcs), "17"},
+		{"offered utilization", fmt.Sprintf("%.2f", t.OfferedUtilization), "high (trace util. 83.2%)"},
+		{"exact estimates", fmt.Sprintf("%.1f %%", t.PctExactEstimates), "minority"},
+		{"underestimates", fmt.Sprintf("%.1f %%", t.PctUnderestimates), "minority"},
+		{"overestimates", fmt.Sprintf("%.1f %%", t.PctOverestimates), "majority (\"often over estimated\")"},
+		{"mean over-estimation ratio", fmt.Sprintf("%.1fx", t.MeanOverestimateRatio), ">> 1"},
+	}
+	if _, err := fmt.Fprintln(w, "workload characteristics (synthetic vs paper)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-28s %-12s %s\n", r.name, r.got, r.paper); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunReplicatedBasics(t *testing.T) {
+	base := testBase()
+	base.Generator.Jobs = 150
+	spec := RunSpec{Policy: LibraRisk, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: base.Deadline}
+	rep, err := RunReplicated(base, spec, SeedsFrom(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seeds != 5 {
+		t.Fatalf("Seeds = %d", rep.Seeds)
+	}
+	if rep.FulfilledMean <= 0 || rep.FulfilledMean > 100 {
+		t.Fatalf("FulfilledMean = %v", rep.FulfilledMean)
+	}
+	if rep.FulfilledStd < 0 || rep.FulfilledCI95 < 0 {
+		t.Fatalf("negative spread: %+v", rep)
+	}
+	// With distinct seeds some variation is expected.
+	if rep.FulfilledStd == 0 {
+		t.Fatal("zero variance across distinct seeds is implausible")
+	}
+	if rep.SlowdownMean < 1 {
+		t.Fatalf("SlowdownMean = %v", rep.SlowdownMean)
+	}
+	// CI95 should exceed the standard error but stay proportionate.
+	se := rep.FulfilledStd / math.Sqrt(5)
+	if rep.FulfilledCI95 < se || rep.FulfilledCI95 > 13*se {
+		t.Fatalf("CI95 = %v vs SE %v", rep.FulfilledCI95, se)
+	}
+}
+
+func TestRunReplicatedSingleSeedNoCI(t *testing.T) {
+	base := testBase()
+	base.Generator.Jobs = 100
+	spec := RunSpec{Policy: EDF, ArrivalDelayFactor: 1, InaccuracyPct: 0, Deadline: base.Deadline}
+	rep, err := RunReplicated(base, spec, []uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FulfilledStd != 0 || rep.FulfilledCI95 != 0 {
+		t.Fatalf("single seed should have zero spread: %+v", rep)
+	}
+}
+
+func TestRunReplicatedNoSeeds(t *testing.T) {
+	if _, err := RunReplicated(testBase(), RunSpec{Policy: EDF, Deadline: DefaultBase().Deadline}, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+}
+
+func TestRunReplicatedDeterministic(t *testing.T) {
+	base := testBase()
+	base.Generator.Jobs = 100
+	spec := RunSpec{Policy: Libra, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: base.Deadline}
+	a, err := RunReplicated(base, spec, SeedsFrom(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplicated(base, spec, SeedsFrom(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("replication not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedsFrom(t *testing.T) {
+	s := SeedsFrom(10, 4)
+	if len(s) != 4 || s[0] != 10 {
+		t.Fatalf("SeedsFrom = %v", s)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate seed in %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(tCritical(0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+	if got := tCritical(1); got != 12.706 {
+		t.Fatalf("t(1) = %v", got)
+	}
+	if got := tCritical(100); got != 1.96 {
+		t.Fatalf("t(100) = %v", got)
+	}
+	// Monotone decreasing over the table.
+	prev := math.Inf(1)
+	for df := 1; df <= 20; df++ {
+		v := tCritical(df)
+		if v > prev {
+			t.Fatalf("t not decreasing at df=%d", df)
+		}
+		prev = v
+	}
+}
+
+// TestReplicatedHeadlineHoldsAcrossSeeds is the statistical version of the
+// shape test: LibraRisk's advantage over Libra under trace estimates must
+// not be a single-seed artefact.
+func TestReplicatedHeadlineHoldsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed test skipped in -short mode")
+	}
+	base := testBase()
+	seeds := SeedsFrom(1, 5)
+	libra, err := RunReplicated(base, RunSpec{Policy: Libra, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: base.Deadline}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risk, err := RunReplicated(base, RunSpec{Policy: LibraRisk, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: base.Deadline}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-overlapping confidence intervals.
+	if risk.FulfilledMean-risk.FulfilledCI95 <= libra.FulfilledMean+libra.FulfilledCI95 {
+		t.Errorf("LibraRisk %0.1f±%0.1f vs Libra %0.1f±%0.1f: intervals overlap",
+			risk.FulfilledMean, risk.FulfilledCI95, libra.FulfilledMean, libra.FulfilledCI95)
+	}
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustersched/internal/metrics"
+	"clustersched/internal/workload"
+)
+
+// Result pairs a spec with its summary.
+type Result struct {
+	Spec    RunSpec
+	Summary metrics.Summary
+	Err     error
+}
+
+// Sweep runs every spec against the shared base workload, fanning out over
+// a bounded worker pool. Results are returned in spec order regardless of
+// completion order; individual failures are captured per result rather
+// than aborting the sweep.
+func Sweep(base BaseConfig, baseJobs []workload.Job, specs []RunSpec) []Result {
+	workers := base.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(specs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s, err := Run(base, baseJobs, specs[i])
+				results[i] = Result{Spec: specs[i], Summary: s, Err: err}
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// FirstError returns the first failure in a sweep, if any.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("experiment: %s adf=%g inacc=%g: %w",
+				r.Spec.Policy, r.Spec.ArrivalDelayFactor, r.Spec.InaccuracyPct, r.Err)
+		}
+	}
+	return nil
+}

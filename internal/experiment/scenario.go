@@ -1,0 +1,173 @@
+// Package experiment defines and executes the paper's evaluation: four
+// figures of parameter sweeps comparing EDF, Libra and LibraRisk on a
+// synthetic SDSC SP2 workload, with both accurate and trace runtime
+// estimates. Sweeps run in parallel across independent simulations.
+package experiment
+
+import (
+	"fmt"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sched"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// PolicyKind names an admission-control strategy under test.
+type PolicyKind int
+
+const (
+	EDF PolicyKind = iota
+	Libra
+	LibraRisk
+	// Extension comparators (related work from the paper's §2).
+	FCFS
+	BackfillEASY
+	BackfillCons
+	QoPS
+)
+
+// AllPolicies is the paper's comparison set, in presentation order.
+var AllPolicies = []PolicyKind{EDF, Libra, LibraRisk}
+
+// ExtensionPolicies are the related-work comparators available beyond the
+// paper's three.
+var ExtensionPolicies = []PolicyKind{FCFS, BackfillEASY, BackfillCons, QoPS}
+
+func (k PolicyKind) String() string {
+	switch k {
+	case EDF:
+		return "EDF"
+	case Libra:
+		return "Libra"
+	case LibraRisk:
+		return "LibraRisk"
+	case FCFS:
+		return "FCFS"
+	case BackfillEASY:
+		return "EASY"
+	case BackfillCons:
+		return "Conservative"
+	case QoPS:
+		return "QoPS"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// BaseConfig fixes everything a sweep does not vary.
+type BaseConfig struct {
+	Nodes  int
+	Rating float64
+	// Ratings, when non-empty, overrides Nodes/Rating with per-node SPEC
+	// ratings (heterogeneous cluster); Cluster.RefRating stays the unit
+	// runtimes are expressed in.
+	Ratings   []float64
+	Cluster   cluster.Config
+	Generator workload.GeneratorConfig
+	Deadline  workload.DeadlineConfig
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// QoPSSlack is the slack factor used when Policy is QoPS.
+	QoPSSlack float64
+}
+
+// nodeRatings returns the effective per-node ratings.
+func (b BaseConfig) nodeRatings() []float64 {
+	if len(b.Ratings) > 0 {
+		return b.Ratings
+	}
+	out := make([]float64, b.Nodes)
+	for i := range out {
+		out[i] = b.Rating
+	}
+	return out
+}
+
+// DefaultBase returns the paper's setup: 128 nodes of rating 168, the
+// calibrated 3000-job SDSC SP2-like workload, default deadline model.
+func DefaultBase() BaseConfig {
+	return BaseConfig{
+		Nodes:     workload.SDSCSP2Nodes,
+		Rating:    workload.SDSCSP2Rating,
+		Cluster:   cluster.DefaultConfig(),
+		Generator: workload.DefaultGeneratorConfig(),
+		Deadline:  workload.DefaultDeadlineConfig(),
+	}
+}
+
+// RunSpec is one simulation: a policy, a workload variation, and an
+// estimate inaccuracy level.
+type RunSpec struct {
+	Policy             PolicyKind
+	ArrivalDelayFactor float64
+	InaccuracyPct      float64
+	Deadline           workload.DeadlineConfig
+}
+
+// Run executes one simulation from pre-generated base jobs (before
+// deadline assignment and arrival scaling) and returns its summary.
+func Run(base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summary, error) {
+	jobs, err := workload.AssignDeadlines(baseJobs, spec.Deadline)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	jobs = workload.ScaleArrivals(jobs, spec.ArrivalDelayFactor)
+
+	e := sim.NewEngine()
+	rec := metrics.NewRecorder()
+	pol, err := buildPolicy(base, spec.Policy, rec)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	if err := core.RunSimulation(e, pol, rec, jobs, spec.InaccuracyPct); err != nil {
+		return metrics.Summary{}, err
+	}
+	return rec.Summarize(), nil
+}
+
+// buildPolicy constructs the policy and its execution substrate.
+func buildPolicy(base BaseConfig, kind PolicyKind, rec *metrics.Recorder) (core.Policy, error) {
+	ratings := base.nodeRatings()
+	switch kind {
+	case EDF, FCFS, BackfillEASY, BackfillCons, QoPS:
+		c, err := cluster.NewSpaceSharedHetero(ratings, base.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case EDF:
+			return core.NewEDF(c, rec), nil
+		case FCFS:
+			return sched.NewFCFS(c, rec), nil
+		case BackfillEASY:
+			return sched.NewBackfill(c, rec, sched.EASYBackfill), nil
+		case BackfillCons:
+			return sched.NewBackfill(c, rec, sched.ConservativeBackfill), nil
+		default:
+			slack := base.QoPSSlack
+			if slack == 0 {
+				slack = 2
+			}
+			return sched.NewQoPS(c, rec, slack), nil
+		}
+	case Libra, LibraRisk:
+		c, err := cluster.NewTimeSharedHetero(ratings, base.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		if kind == Libra {
+			return core.NewLibra(c, rec), nil
+		}
+		return core.NewLibraRisk(c, rec), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown policy %v", kind)
+	}
+}
+
+// GenerateBase produces the shared base workload for a sweep.
+func GenerateBase(base BaseConfig) ([]workload.Job, error) {
+	return workload.Generate(base.Generator)
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"testing"
+
+	"clustersched/internal/metrics"
+)
+
+// TestPaperShapeHeadline verifies the paper's qualitative findings at full
+// scale (128 nodes, 3000 jobs, default deadline model). Absolute numbers
+// are not expected to match the authors' testbed; the *ordering* and rough
+// factors are what the reproduction must preserve.
+func TestPaperShapeHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape test skipped in -short mode")
+	}
+	base := DefaultBase()
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol PolicyKind, inacc float64) metrics.Summary {
+		t.Helper()
+		s, err := Run(base, jobs, RunSpec{Policy: pol, ArrivalDelayFactor: 1, InaccuracyPct: inacc, Deadline: base.Deadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	edfAcc, libraAcc, riskAcc := run(EDF, 0), run(Libra, 0), run(LibraRisk, 0)
+	edfTr, libraTr, riskTr := run(EDF, 100), run(Libra, 100), run(LibraRisk, 100)
+
+	// 1. Accurate estimates: Libra fulfills more jobs than EDF …
+	if libraAcc.PctFulfilled <= edfAcc.PctFulfilled {
+		t.Errorf("accurate: Libra %.1f%% should beat EDF %.1f%%", libraAcc.PctFulfilled, edfAcc.PctFulfilled)
+	}
+	// … and LibraRisk fulfills about as many as Libra (within 3 points).
+	if diff := riskAcc.PctFulfilled - libraAcc.PctFulfilled; diff < -3 {
+		t.Errorf("accurate: LibraRisk %.1f%% should match Libra %.1f%%", riskAcc.PctFulfilled, libraAcc.PctFulfilled)
+	}
+	// 2. Accurate estimates: neither proportional-share policy misses.
+	if libraAcc.Missed != 0 || riskAcc.Missed != 0 || edfAcc.Missed != 0 {
+		t.Errorf("accurate estimates must not miss: EDF %d Libra %d LibraRisk %d",
+			edfAcc.Missed, libraAcc.Missed, riskAcc.Missed)
+	}
+	// 3. Trace estimates: LibraRisk fulfills many more jobs than Libra.
+	if riskTr.PctFulfilled < libraTr.PctFulfilled+10 {
+		t.Errorf("trace: LibraRisk %.1f%% should exceed Libra %.1f%% by >= 10 points",
+			riskTr.PctFulfilled, libraTr.PctFulfilled)
+	}
+	// 4. Trace estimates: Libra is only in EDF's neighbourhood ("barely
+	// better"), nowhere near its accurate-estimate advantage.
+	if d := libraTr.PctFulfilled - edfTr.PctFulfilled; d > 15 || d < -15 {
+		t.Errorf("trace: Libra %.1f%% should be near EDF %.1f%%", libraTr.PctFulfilled, edfTr.PctFulfilled)
+	}
+	// 5. EDF has the lowest average slowdown in both regimes.
+	if edfAcc.AvgSlowdownMet >= libraAcc.AvgSlowdownMet || edfTr.AvgSlowdownMet >= libraTr.AvgSlowdownMet {
+		t.Errorf("EDF slowdown should be lowest: acc %.2f vs %.2f, trace %.2f vs %.2f",
+			edfAcc.AvgSlowdownMet, libraAcc.AvgSlowdownMet, edfTr.AvgSlowdownMet, libraTr.AvgSlowdownMet)
+	}
+	// 6. Trace estimates: LibraRisk achieves lower slowdown than Libra.
+	if riskTr.AvgSlowdownMet >= libraTr.AvgSlowdownMet {
+		t.Errorf("trace: LibraRisk slowdown %.2f should be below Libra %.2f",
+			riskTr.AvgSlowdownMet, libraTr.AvgSlowdownMet)
+	}
+	// 7. Both estimate regimes drain completely.
+	for _, s := range []metrics.Summary{edfAcc, libraAcc, riskAcc, edfTr, libraTr, riskTr} {
+		if s.Unfinished != 0 {
+			t.Errorf("unfinished jobs: %+v", s)
+		}
+	}
+}
+
+// TestPaperShapeHeavyLoadEDFWins checks figure 1's crossover: under the
+// heaviest workload (small arrival delay factor) EDF's queue-and-reselect
+// advantage lets it fulfill more jobs than Libra's immediate rejection.
+// The crossover reproduces robustly under trace estimates (figure 1(b));
+// under accurate estimates this simulator's Libra stays marginally ahead
+// even at heavy load (see EXPERIMENTS.md for the divergence note), so the
+// assertion targets the trace regime.
+func TestPaperShapeHeavyLoadEDFWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape test skipped in -short mode")
+	}
+	base := DefaultBase()
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol PolicyKind, adf float64) metrics.Summary {
+		t.Helper()
+		s, err := Run(base, jobs, RunSpec{Policy: pol, ArrivalDelayFactor: adf, InaccuracyPct: 100, Deadline: base.Deadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	heavyEDF := run(EDF, 0.1)
+	heavyLibra := run(Libra, 0.1)
+	if heavyEDF.PctFulfilled <= heavyLibra.PctFulfilled {
+		t.Errorf("heavy load: EDF %.1f%% should beat Libra %.1f%%",
+			heavyEDF.PctFulfilled, heavyLibra.PctFulfilled)
+	}
+	// And the advantage disappears as load lightens: Libra pulls back to
+	// within a few points or ahead (figure 1(b)'s right edge).
+	lightEDF := run(EDF, 1.0)
+	lightLibra := run(Libra, 1.0)
+	heavyGap := heavyEDF.PctFulfilled - heavyLibra.PctFulfilled
+	lightGap := lightEDF.PctFulfilled - lightLibra.PctFulfilled
+	if lightGap >= heavyGap {
+		t.Errorf("EDF's edge should shrink as load lightens: heavy gap %.1f, light gap %.1f",
+			heavyGap, lightGap)
+	}
+}
+
+// TestPaperShapeInaccuracyDegradesFulfilment checks figure 4's trend: as
+// estimate inaccuracy rises, fulfilled percentages fall for every policy,
+// with LibraRisk retaining the most.
+func TestPaperShapeInaccuracyDegradesFulfilment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape test skipped in -short mode")
+	}
+	base := DefaultBase()
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range AllPolicies {
+		at := func(inacc float64) float64 {
+			s, err := Run(base, jobs, RunSpec{Policy: pol, ArrivalDelayFactor: 1, InaccuracyPct: inacc, Deadline: base.Deadline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.PctFulfilled
+		}
+		lo, hi := at(0), at(100)
+		if hi >= lo {
+			t.Errorf("%v: fulfilled %.1f%% at 100%% inaccuracy not below %.1f%% at 0%%", pol, hi, lo)
+		}
+	}
+}

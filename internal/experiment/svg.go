@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering of figures: dependency-free line charts, one panel per
+// chart, laid out in a 2×2 grid per figure, matching the paper's layout.
+
+// svgPalette assigns each policy its line colour; extras cycle.
+var svgPalette = map[string]string{
+	"EDF":          "#d62728",
+	"Libra":        "#1f77b4",
+	"LibraRisk":    "#2ca02c",
+	"FCFS":         "#7f7f7f",
+	"EASY":         "#9467bd",
+	"Conservative": "#8c564b",
+	"QoPS":         "#e377c2",
+}
+
+var svgFallback = []string{"#17becf", "#bcbd22", "#ff7f0e", "#aec7e8"}
+
+func seriesColor(name string, idx int) string {
+	if c, ok := svgPalette[name]; ok {
+		return c
+	}
+	return svgFallback[idx%len(svgFallback)]
+}
+
+// panel geometry in pixels.
+const (
+	svgPanelW   = 460
+	svgPanelH   = 320
+	svgMarginL  = 62
+	svgMarginR  = 14
+	svgMarginT  = 40
+	svgMarginB  = 46
+	svgLegendDY = 16
+)
+
+// WriteFigureSVG renders the figure as a standalone SVG document with the
+// panels in two columns.
+func WriteFigureSVG(w io.Writer, f Figure) error {
+	cols := 2
+	rows := (len(f.Panels) + cols - 1) / cols
+	if rows == 0 {
+		rows = 1
+	}
+	width := cols * svgPanelW
+	height := rows*svgPanelH + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s: %s</text>`+"\n",
+		width/2, xmlEscape(f.ID), xmlEscape(f.Title))
+	for i, p := range f.Panels {
+		x := (i % cols) * svgPanelW
+		y := 30 + (i/cols)*svgPanelH
+		fmt.Fprintf(&b, `<g transform="translate(%d,%d)">`+"\n", x, y)
+		renderPanelSVG(&b, p)
+		b.WriteString("</g>\n")
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderPanelSVG(b *strings.Builder, p Panel) {
+	plotW := svgPanelW - svgMarginL - svgMarginR
+	plotH := svgPanelH - svgMarginT - svgMarginB
+	// Panel title.
+	fmt.Fprintf(b, `<text x="%d" y="16" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+		svgPanelW/2, xmlEscape(p.Name))
+	if len(p.X) == 0 {
+		return
+	}
+	xlo, xhi := p.X[0], p.X[len(p.X)-1]
+	if xhi-xlo < 1e-12 {
+		xhi = xlo + 1
+	}
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			ylo = math.Min(ylo, y)
+			yhi = math.Max(yhi, y)
+		}
+	}
+	if math.IsInf(ylo, 1) {
+		ylo, yhi = 0, 1
+	}
+	if yhi-ylo < 1e-12 {
+		yhi = ylo + 1
+	}
+	// A little headroom.
+	pad := (yhi - ylo) * 0.06
+	ylo -= pad
+	yhi += pad
+	px := func(x float64) float64 {
+		return svgMarginL + (x-xlo)/(xhi-xlo)*float64(plotW)
+	}
+	py := func(y float64) float64 {
+		return svgMarginT + (1-(y-ylo)/(yhi-ylo))*float64(plotH)
+	}
+	// Axes box and gridlines with tick labels.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444" stroke-width="1"/>`+"\n",
+		svgMarginL, svgMarginT, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		fy := ylo + (yhi-ylo)*float64(i)/4
+		yy := py(fy)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			svgMarginL, yy, svgMarginL+plotW, yy)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="9">%s</text>`+"\n",
+			svgMarginL-4, yy+3, trimFloat(fy))
+	}
+	for _, x := range p.X {
+		xx := px(x)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee" stroke-width="0.5"/>`+"\n",
+			xx, svgMarginT, xx, svgMarginT+plotH)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="9">%s</text>`+"\n",
+			xx, svgMarginT+plotH+12, trimFloat(x))
+	}
+	// Axis labels.
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+		svgMarginL+plotW/2, svgPanelH-10, xmlEscape(p.XLabel))
+	fmt.Fprintf(b, `<text x="12" y="%d" text-anchor="middle" font-family="sans-serif" font-size="10" transform="rotate(-90 12 %d)">%s</text>`+"\n",
+		svgMarginT+plotH/2, svgMarginT+plotH/2, xmlEscape(p.YLabel))
+	// Series polylines with point markers.
+	for si, s := range p.Series {
+		color := seriesColor(s.Name, si)
+		var pts []string
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X[i]), py(y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, pt := range pts {
+			fmt.Fprintf(b, `<circle cx="%s" cy="%s" r="2.2" fill="%s"/>`+"\n",
+				strings.Split(pt, ",")[0], strings.Split(pt, ",")[1], color)
+		}
+		// Legend entry.
+		ly := svgMarginT + 8 + si*svgLegendDY
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgMarginL+8, ly, svgMarginL+26, ly, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="9">%s</text>`+"\n",
+			svgMarginL+30, ly+3, xmlEscape(s.Name))
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoFigure() Figure {
+	return Figure{
+		ID:    "figureX",
+		Title: "demo <figure> & test",
+		Panels: []Panel{
+			{
+				Name: "(a) metric", XLabel: "x axis", YLabel: "y axis",
+				X: []float64{1, 2, 3},
+				Series: []Series{
+					{Name: "EDF", Y: []float64{10, 20, 30}},
+					{Name: "LibraRisk", Y: []float64{30, 25, 12}},
+				},
+			},
+			{
+				Name: "(b) other", XLabel: "x", YLabel: "y",
+				X: []float64{1, 2, 3},
+				Series: []Series{
+					{Name: "custom-series", Y: []float64{1, 1, 1}},
+				},
+			},
+		},
+	}
+}
+
+func TestWriteFigureSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureSVG(&sb, demoFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("missing svg root:\n%s", out[:min(len(out), 200)])
+	}
+	// The output must be well-formed XML (escaping of the <figure> title
+	// included).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "EDF", "LibraRisk", "x axis", "demo &lt;figure&gt; &amp; test"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteFigureSVGColours(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureSVG(&sb, demoFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, svgPalette["EDF"]) || !strings.Contains(out, svgPalette["LibraRisk"]) {
+		t.Fatal("policy palette colours missing")
+	}
+	// Unknown series use the fallback palette.
+	if !strings.Contains(out, svgFallback[0]) {
+		t.Fatal("fallback colour missing for custom series")
+	}
+}
+
+func TestWriteFigureSVGDegenerate(t *testing.T) {
+	cases := []Figure{
+		{ID: "empty"},
+		{ID: "nopoints", Panels: []Panel{{Name: "(a)"}}},
+		{ID: "flat", Panels: []Panel{{
+			Name: "(a)", X: []float64{5, 5},
+			Series: []Series{{Name: "EDF", Y: []float64{3, 3}}},
+		}}},
+		{ID: "nan", Panels: []Panel{{
+			Name: "(a)", X: []float64{1, 2},
+			Series: []Series{{Name: "EDF", Y: []float64{math.NaN(), math.Inf(1)}}},
+		}}},
+	}
+	for _, f := range cases {
+		var sb strings.Builder
+		if err := WriteFigureSVG(&sb, f); err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		if !strings.Contains(sb.String(), "</svg>") {
+			t.Fatalf("%s: truncated output", f.ID)
+		}
+	}
+}
+
+func TestSeriesColorCycle(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		seen[seriesColor("unknown", i)] = true
+	}
+	if len(seen) != len(svgFallback) {
+		t.Fatalf("fallback cycle produced %d colours, want %d", len(seen), len(svgFallback))
+	}
+}

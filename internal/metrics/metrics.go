@@ -1,0 +1,209 @@
+// Package metrics records per-job outcomes and derives the paper's two
+// evaluation metrics: the percentage of submitted jobs completed within
+// their deadlines, and the average slowdown over deadline-fulfilled jobs.
+package metrics
+
+import (
+	"fmt"
+
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// Outcome classifies what became of a submitted job.
+type Outcome int
+
+const (
+	// Rejected by admission control (immediately or, for EDF, at
+	// selection time).
+	Rejected Outcome = iota
+	// Met: completed within its deadline.
+	Met
+	// Missed: completed, but after its deadline.
+	Missed
+	// Unfinished: still in the system when the simulation ended. Treated
+	// as not fulfilled.
+	Unfinished
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Rejected:
+		return "rejected"
+	case Met:
+		return "met"
+	case Missed:
+		return "missed"
+	case Unfinished:
+		return "unfinished"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// JobResult is the final record for one submitted job.
+type JobResult struct {
+	JobID    int
+	Class    workload.Class
+	NumProc  int
+	Outcome  Outcome
+	Submit   float64
+	Finish   float64 // completion time; 0 for rejected jobs
+	Response float64 // Finish - Submit for completed jobs
+	Delay    float64 // eq. 3: response beyond the deadline, 0 if met
+	Slowdown float64 // response / minimum runtime, for completed jobs
+	Reason   string  // rejection reason, if any
+}
+
+// Recorder accumulates job results during a simulation. It is not
+// goroutine-safe; each simulation owns one.
+type Recorder struct {
+	results  []JobResult
+	pending  map[int]workload.Job
+	rejected int
+	// Observer, if set, is invoked with every finalized result (rejection
+	// or completion) as it is recorded. Online runtime predictors hook it
+	// to learn from completions.
+	Observer func(JobResult)
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{pending: make(map[int]workload.Job)}
+}
+
+// Submitted registers a job entering the system (before any admission
+// decision). Every submitted job must later be rejected, completed, or
+// flushed as unfinished.
+func (r *Recorder) Submitted(j workload.Job) {
+	r.pending[j.ID] = j
+}
+
+// Reject records an admission-control rejection.
+func (r *Recorder) Reject(j workload.Job, reason string) {
+	delete(r.pending, j.ID)
+	r.rejected++
+	res := JobResult{
+		JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
+		Outcome: Rejected, Submit: j.Submit, Reason: reason,
+	}
+	r.results = append(r.results, res)
+	if r.Observer != nil {
+		r.Observer(res)
+	}
+}
+
+// Complete records a job completion. minRuntime is the job's dedicated
+// runtime on the slowest node it occupied (the slowdown denominator).
+func (r *Recorder) Complete(j workload.Job, finish, minRuntime float64) {
+	delete(r.pending, j.ID)
+	res := JobResult{
+		JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
+		Submit: j.Submit, Finish: finish,
+		Response: finish - j.Submit,
+	}
+	if minRuntime > 0 {
+		res.Slowdown = res.Response / minRuntime
+	}
+	if finish <= j.AbsDeadline()+1e-6 {
+		res.Outcome = Met
+	} else {
+		res.Outcome = Missed
+		res.Delay = res.Response - j.Deadline
+	}
+	r.results = append(r.results, res)
+	if r.Observer != nil {
+		r.Observer(res)
+	}
+}
+
+// Flush marks every still-pending job as unfinished; call once when the
+// simulation ends.
+func (r *Recorder) Flush() {
+	for _, j := range r.pending {
+		r.results = append(r.results, JobResult{
+			JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
+			Outcome: Unfinished, Submit: j.Submit,
+		})
+	}
+	r.pending = make(map[int]workload.Job)
+}
+
+// Results returns the accumulated records (unsorted).
+func (r *Recorder) Results() []JobResult { return r.results }
+
+// Pending returns the number of jobs without a final outcome yet.
+func (r *Recorder) Pending() int { return len(r.pending) }
+
+// Summary is the aggregate view of one simulation run.
+type Summary struct {
+	Submitted  int
+	Rejected   int
+	Completed  int
+	Met        int
+	Missed     int
+	Unfinished int
+
+	// PctFulfilled is the paper's primary metric: jobs completed within
+	// deadline as a percentage of all submitted jobs.
+	PctFulfilled float64
+	// AvgSlowdownMet is the paper's secondary metric: mean slowdown over
+	// deadline-fulfilled jobs only.
+	AvgSlowdownMet float64
+	// AvgSlowdownCompleted covers all completed jobs, for diagnostics.
+	AvgSlowdownCompleted float64
+	// MeanDelayMissed is the mean eq.-3 delay over deadline-missed jobs.
+	MeanDelayMissed float64
+	// AcceptanceRate is accepted (completed or unfinished) / submitted.
+	AcceptanceRate float64
+
+	// MetHigh and MetLow split fulfilled jobs by urgency class.
+	MetHigh, MetLow             int
+	SubmittedHigh, SubmittedLow int
+}
+
+// Summarize computes the aggregate metrics. Unfinished jobs count as
+// submitted but not fulfilled, mirroring the paper's metric definition.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	var sdMet, sdAll, delay sim.Welford
+	for _, res := range r.results {
+		s.Submitted++
+		switch res.Class {
+		case workload.HighUrgency:
+			s.SubmittedHigh++
+		case workload.LowUrgency:
+			s.SubmittedLow++
+		}
+		switch res.Outcome {
+		case Rejected:
+			s.Rejected++
+		case Unfinished:
+			s.Unfinished++
+		case Met:
+			s.Completed++
+			s.Met++
+			sdMet.Add(res.Slowdown)
+			sdAll.Add(res.Slowdown)
+			switch res.Class {
+			case workload.HighUrgency:
+				s.MetHigh++
+			case workload.LowUrgency:
+				s.MetLow++
+			}
+		case Missed:
+			s.Completed++
+			s.Missed++
+			sdAll.Add(res.Slowdown)
+			delay.Add(res.Delay)
+		}
+	}
+	if s.Submitted > 0 {
+		s.PctFulfilled = 100 * float64(s.Met) / float64(s.Submitted)
+		s.AcceptanceRate = float64(s.Completed+s.Unfinished) / float64(s.Submitted)
+	}
+	s.AvgSlowdownMet = sdMet.Mean()
+	s.AvgSlowdownCompleted = sdAll.Mean()
+	s.MeanDelayMissed = delay.Mean()
+	return s
+}

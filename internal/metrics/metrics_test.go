@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/workload"
+)
+
+func wjob(id int, submit, runtime, deadline float64, class workload.Class) workload.Job {
+	return workload.Job{
+		ID: id, Submit: submit, Runtime: runtime, TraceEstimate: runtime,
+		NumProc: 1, Deadline: deadline, Class: class,
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder()
+	j1 := wjob(1, 0, 100, 200, workload.HighUrgency)
+	j2 := wjob(2, 10, 100, 150, workload.LowUrgency)
+	j3 := wjob(3, 20, 100, 300, workload.LowUrgency)
+	j4 := wjob(4, 30, 100, 300, workload.HighUrgency)
+
+	r.Submitted(j1)
+	r.Submitted(j2)
+	r.Submitted(j3)
+	r.Submitted(j4)
+	if r.Pending() != 4 {
+		t.Fatalf("Pending = %d", r.Pending())
+	}
+
+	r.Complete(j1, 150, 100) // met: finish 150 ≤ 200; slowdown 1.5
+	r.Complete(j2, 200, 100) // missed: 200 - 10 = 190 > 150; delay 40
+	r.Reject(j3, "no nodes") // rejected
+	r.Flush()                // j4 unfinished
+
+	s := r.Summarize()
+	if s.Submitted != 4 || s.Met != 1 || s.Missed != 1 || s.Rejected != 1 || s.Unfinished != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.PctFulfilled-25) > 1e-9 {
+		t.Fatalf("PctFulfilled = %v, want 25", s.PctFulfilled)
+	}
+	if math.Abs(s.AvgSlowdownMet-1.5) > 1e-9 {
+		t.Fatalf("AvgSlowdownMet = %v, want 1.5", s.AvgSlowdownMet)
+	}
+	if math.Abs(s.MeanDelayMissed-40) > 1e-9 {
+		t.Fatalf("MeanDelayMissed = %v, want 40", s.MeanDelayMissed)
+	}
+	if s.MetHigh != 1 || s.MetLow != 0 || s.SubmittedHigh != 2 || s.SubmittedLow != 2 {
+		t.Fatalf("class splits wrong: %+v", s)
+	}
+	if math.Abs(s.AcceptanceRate-0.75) > 1e-9 {
+		t.Fatalf("AcceptanceRate = %v, want 0.75 (3 of 4 accepted)", s.AcceptanceRate)
+	}
+}
+
+func TestCompleteExactlyAtDeadlineCounts(t *testing.T) {
+	r := NewRecorder()
+	j := wjob(1, 0, 100, 200, workload.LowUrgency)
+	r.Submitted(j)
+	r.Complete(j, 200, 100)
+	s := r.Summarize()
+	if s.Met != 1 {
+		t.Fatalf("finishing exactly at the deadline must count as met: %+v", s)
+	}
+}
+
+func TestDelayMatchesEquationThree(t *testing.T) {
+	r := NewRecorder()
+	j := wjob(1, 50, 100, 200, workload.LowUrgency)
+	r.Submitted(j)
+	r.Complete(j, 300, 100) // response 250, deadline 200 → delay 50
+	res := r.Results()[0]
+	if res.Outcome != Missed || math.Abs(res.Delay-50) > 1e-9 {
+		t.Fatalf("result = %+v, want delay 50", res)
+	}
+}
+
+func TestZeroMinRuntimeAvoidsDivZero(t *testing.T) {
+	r := NewRecorder()
+	j := wjob(1, 0, 100, 200, workload.LowUrgency)
+	r.Submitted(j)
+	r.Complete(j, 100, 0)
+	if sd := r.Results()[0].Slowdown; sd != 0 || math.IsNaN(sd) {
+		t.Fatalf("Slowdown = %v", sd)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if s.PctFulfilled != 0 || s.AvgSlowdownMet != 0 || s.AcceptanceRate != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	r := NewRecorder()
+	j := wjob(1, 0, 100, 200, workload.LowUrgency)
+	r.Submitted(j)
+	r.Flush()
+	r.Flush()
+	if s := r.Summarize(); s.Unfinished != 1 || s.Submitted != 1 {
+		t.Fatalf("double flush corrupted results: %+v", s)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Rejected: "rejected", Met: "met", Missed: "missed", Unfinished: "unfinished",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Outcome(42).String() == "" {
+		t.Error("unknown outcome should still print")
+	}
+}

@@ -1,0 +1,305 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+func TestIdentityPassesThrough(t *testing.T) {
+	p := Identity{}
+	if got := p.Predict(3, 1234); got != 1234 {
+		t.Fatalf("Predict = %v", got)
+	}
+	p.Observe(3, 1234, 10) // must be a no-op, not panic
+	if got := p.Predict(3, 99); got != 99 {
+		t.Fatalf("Predict after observe = %v", got)
+	}
+}
+
+func TestRecentAverageLearnsPerUser(t *testing.T) {
+	p := NewRecentAverage(2)
+	// No history: falls back to the user estimate.
+	if got := p.Predict(1, 500); got != 500 {
+		t.Fatalf("cold Predict = %v", got)
+	}
+	p.Observe(1, 500, 100)
+	if got := p.Predict(1, 500); got != 100 {
+		t.Fatalf("after one obs = %v", got)
+	}
+	p.Observe(1, 500, 200)
+	if got := p.Predict(1, 500); got != 150 {
+		t.Fatalf("avg of last two = %v", got)
+	}
+	p.Observe(1, 500, 300)
+	if got := p.Predict(1, 500); got != 250 { // window slides: (200+300)/2
+		t.Fatalf("sliding window = %v", got)
+	}
+	// User 2's history is independent.
+	if got := p.Predict(2, 777); got != 777 {
+		t.Fatalf("user 2 cold = %v", got)
+	}
+}
+
+func TestRecentAverageCap(t *testing.T) {
+	p := NewRecentAverage(2)
+	p.Cap = true
+	p.Observe(1, 500, 400)
+	if got := p.Predict(1, 300); got != 300 {
+		t.Fatalf("capped Predict = %v, want the user estimate ceiling", got)
+	}
+}
+
+func TestRecentAverageDefaultK(t *testing.T) {
+	p := NewRecentAverage(0)
+	if p.K != 2 {
+		t.Fatalf("K = %d, want default 2", p.K)
+	}
+}
+
+func TestScalingLearnsRatio(t *testing.T) {
+	p := NewScaling(1) // alpha 1: adopt the last ratio outright
+	if got := p.Predict(1, 400); got != 400 {
+		t.Fatalf("cold Predict = %v", got)
+	}
+	p.Observe(1, 400, 100) // ratio 0.25
+	if got := p.Predict(1, 800); got != 200 {
+		t.Fatalf("Predict = %v, want 800×0.25", got)
+	}
+	p.Observe(1, 100, 100) // ratio 1
+	if got := p.Predict(1, 300); got != 300 {
+		t.Fatalf("Predict = %v after ratio reset", got)
+	}
+}
+
+func TestScalingEWMA(t *testing.T) {
+	p := NewScaling(0.5)
+	p.Observe(1, 100, 50) // ratio 0.5
+	p.Observe(1, 100, 100)
+	// EWMA: 0.5 + 0.5×(1.0 − 0.5) = 0.75
+	if got := p.Predict(1, 100); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("Predict = %v, want 75", got)
+	}
+}
+
+func TestScalingIgnoresDegenerateObservations(t *testing.T) {
+	p := NewScaling(0.5)
+	p.Observe(1, 0, 100)
+	p.Observe(1, 100, 0)
+	if got := p.Predict(1, 400); got != 400 {
+		t.Fatalf("degenerate observations must not poison the ratio: %v", got)
+	}
+}
+
+func TestScalingDefaultAlpha(t *testing.T) {
+	if p := NewScaling(-1); p.Alpha != 0.5 {
+		t.Fatalf("Alpha = %v", p.Alpha)
+	}
+	if p := NewScaling(2); p.Alpha != 0.5 {
+		t.Fatalf("Alpha = %v", p.Alpha)
+	}
+}
+
+func TestRecentAveragePad(t *testing.T) {
+	p := NewRecentAverage(2)
+	p.Pad = 2
+	p.Observe(1, 500, 100)
+	if got := p.Predict(1, 500); got != 200 {
+		t.Fatalf("padded Predict = %v, want 200", got)
+	}
+	p.Cap = true
+	if got := p.Predict(1, 150); got != 150 {
+		t.Fatalf("cap after pad = %v, want the user estimate", got)
+	}
+}
+
+func TestScalingPadNeverExceedsUserEstimate(t *testing.T) {
+	p := NewScaling(1)
+	p.Pad = 10
+	p.Observe(1, 100, 50) // ratio 0.5; padded 5× estimate would overshoot
+	if got := p.Predict(1, 100); got != 100 {
+		t.Fatalf("padded Predict = %v, want clamped to the user estimate", got)
+	}
+	p.Pad = 1.5
+	if got := p.Predict(1, 100); got != 75 {
+		t.Fatalf("padded Predict = %v, want 50×1.5", got)
+	}
+}
+
+func TestDeployedPredictorsRarelyUnderestimate(t *testing.T) {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Jobs = 3000
+	cfg.Users = workload.DefaultUserModelConfig()
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]Observation, len(jobs))
+	for i, j := range jobs {
+		obs[i] = Observation{UserID: j.UserID, Estimate: j.TraceEstimate, Runtime: j.Runtime}
+	}
+	id := Evaluate(Identity{}, obs)
+	for _, name := range []string{"recent-average", "scaling"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := Evaluate(p, obs)
+		// The deployment-padded predictors must be tighter than user
+		// estimates without drifting into chronic underestimation.
+		if acc.MeanOverFactor >= id.MeanOverFactor {
+			t.Errorf("%s over-factor %.2f not below user estimates %.2f",
+				name, acc.MeanOverFactor, id.MeanOverFactor)
+		}
+		if acc.UnderestimatedPct > 40 {
+			t.Errorf("%s underestimates %.0f%% of jobs; padding broken", name, acc.UnderestimatedPct)
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":               "user-estimate",
+		"user-estimate":  "user-estimate",
+		"recent-average": "recent-average-2",
+		"scaling":        "scaling",
+	} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("New(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := New("oracle"); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+func TestEvaluateOrderMatters(t *testing.T) {
+	// Predict-before-observe: the first job of a user must be scored with
+	// the fallback (user estimate), not with hindsight.
+	obs := []Observation{
+		{UserID: 1, Estimate: 1000, Runtime: 100},
+		{UserID: 1, Estimate: 1000, Runtime: 100},
+	}
+	acc := Evaluate(NewRecentAverage(2), obs)
+	if acc.Jobs != 2 {
+		t.Fatalf("Jobs = %d", acc.Jobs)
+	}
+	// First job error |1000-100|/100 = 9; second |100-100|/100 = 0.
+	if math.Abs(acc.MeanAbsRelErr-4.5) > 1e-9 {
+		t.Fatalf("MeanAbsRelErr = %v, want 4.5", acc.MeanAbsRelErr)
+	}
+	if acc.UnderestimatedPct != 0 {
+		t.Fatalf("UnderestimatedPct = %v", acc.UnderestimatedPct)
+	}
+}
+
+func TestEvaluateSkipsZeroRuntime(t *testing.T) {
+	acc := Evaluate(Identity{}, []Observation{{UserID: 1, Estimate: 10, Runtime: 0}})
+	if acc.Jobs != 0 {
+		t.Fatalf("Jobs = %d", acc.Jobs)
+	}
+}
+
+func TestPredictorsBeatIdentityOnUserWorkload(t *testing.T) {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Jobs = 3000
+	cfg.Users = workload.DefaultUserModelConfig()
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]Observation, len(jobs))
+	for i, j := range jobs {
+		obs[i] = Observation{UserID: j.UserID, Estimate: j.TraceEstimate, Runtime: j.Runtime}
+	}
+	base := Evaluate(Identity{}, obs)
+	for _, p := range []Predictor{NewRecentAverage(2), NewScaling(0.5)} {
+		acc := Evaluate(p, obs)
+		if acc.MeanAbsRelErr >= base.MeanAbsRelErr {
+			t.Errorf("%s error %.2f not below user estimates %.2f",
+				p.Name(), acc.MeanAbsRelErr, base.MeanAbsRelErr)
+		}
+	}
+}
+
+func TestWrappedSubstitutesEstimateAndLearns(t *testing.T) {
+	c, err := cluster.NewTimeShared(2, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	inner := core.NewLibra(c, rec)
+	p := NewScaling(1)
+	w := Wrap(inner, rec, p)
+	if w.Name() != "Libra+scaling" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+	e := sim.NewEngine()
+	// User 7 pads 10×: job 1 runs 100 but claims 1000.
+	j1 := workload.Job{ID: 1, Submit: 0, Runtime: 100, TraceEstimate: 1000, NumProc: 1, Deadline: 5000, UserID: 7}
+	w.Submit(e, j1, 1000)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Completion observed: ratio learned as 0.1. The next padded job is
+	// corrected: deadline 150 with user estimate 1000 would fail Libra's
+	// share test; prediction 100 passes.
+	j2 := workload.Job{ID: 2, Submit: e.Now(), Runtime: 100, TraceEstimate: 1000, NumProc: 1, Deadline: 150, UserID: 7}
+	w.Submit(e, j2, 1000)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	s := rec.Summarize()
+	if s.Rejected != 0 || s.Met != 2 {
+		t.Fatalf("summary = %+v: the corrected estimate should admit job 2", s)
+	}
+}
+
+func TestWrappedWithoutCorrectionRejects(t *testing.T) {
+	// Control for the test above: the same second job with Identity
+	// prediction is rejected.
+	c, err := cluster.NewTimeShared(2, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	inner := core.NewLibra(c, rec)
+	w := Wrap(inner, rec, Identity{})
+	e := sim.NewEngine()
+	j2 := workload.Job{ID: 2, Submit: 0, Runtime: 100, TraceEstimate: 1000, NumProc: 1, Deadline: 150, UserID: 7}
+	w.Submit(e, j2, 1000)
+	rec.Flush()
+	if s := rec.Summarize(); s.Rejected != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestWrappedChainsExistingObserver(t *testing.T) {
+	c, err := cluster.NewTimeShared(1, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	var seen int
+	rec.Observer = func(metrics.JobResult) { seen++ }
+	inner := core.NewLibra(c, rec)
+	w := Wrap(inner, rec, NewScaling(0.5))
+	e := sim.NewEngine()
+	w.Submit(e, workload.Job{ID: 1, Submit: 0, Runtime: 10, TraceEstimate: 10, NumProc: 1, Deadline: 100, UserID: 1}, 10)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("pre-existing observer called %d times, want 1", seen)
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// FCFS is the classic first-come-first-served space-shared scheduler: the
+// oldest queued job waits for its processors; nothing overtakes it. Like
+// the paper's EDF it applies lazy deadline admission — a job is dropped
+// only when selected for execution with an expired or (per its estimate)
+// unreachable deadline. It is the weakest reasonable baseline and the
+// starting point for the backfilling variants.
+type FCFS struct {
+	Cluster  *cluster.SpaceShared
+	Recorder *metrics.Recorder
+	// DeadlineAware, when false, skips the lazy admission check and runs
+	// every job (pure throughput FCFS; deadline misses then show up in
+	// the metrics instead of rejections).
+	DeadlineAware bool
+
+	queue []queued
+}
+
+type queued struct {
+	job      workload.Job
+	estimate float64
+}
+
+// NewFCFS wires an FCFS policy to a space-shared cluster.
+func NewFCFS(c *cluster.SpaceShared, rec *metrics.Recorder) *FCFS {
+	p := &FCFS{Cluster: c, Recorder: rec, DeadlineAware: true}
+	c.OnJobDone = func(e *sim.Engine, rj *cluster.RunningJob) {
+		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+		p.dispatch(e)
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *FCFS) Name() string { return "FCFS" }
+
+// QueueLen returns the number of waiting jobs.
+func (p *FCFS) QueueLen() int { return len(p.queue) }
+
+// Submit implements core.Policy.
+func (p *FCFS) Submit(e *sim.Engine, job workload.Job, estimate float64) {
+	p.Recorder.Submitted(job)
+	if job.NumProc > p.Cluster.Len() {
+		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		return
+	}
+	p.queue = append(p.queue, queued{job: job, estimate: estimate})
+	p.dispatch(e)
+}
+
+func (p *FCFS) dispatch(e *sim.Engine) {
+	now := e.Now()
+	for len(p.queue) > 0 {
+		head := p.queue[0]
+		if p.Cluster.FreeCount() < head.job.NumProc {
+			return
+		}
+		p.queue = p.queue[1:]
+		if p.DeadlineAware {
+			if now >= head.job.AbsDeadline() {
+				p.Recorder.Reject(head.job, "deadline expired while queued")
+				continue
+			}
+			if rt, ok := p.Cluster.RuntimeOn(head.estimate, head.job.NumProc); ok && now+rt > head.job.AbsDeadline() {
+				p.Recorder.Reject(head.job, "deadline unreachable per runtime estimate")
+				continue
+			}
+		}
+		if _, err := p.Cluster.Start(e, head.job, head.estimate); err != nil {
+			p.Recorder.Reject(head.job, "start failed: "+err.Error())
+		}
+	}
+}

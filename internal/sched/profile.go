@@ -1,0 +1,139 @@
+// Package sched provides related-work comparison schedulers beyond the
+// paper's three policies: FCFS, EASY and conservative backfilling, and a
+// QoPS-style slack admission control. The paper's §2 positions LibraRisk
+// against these families; having them runnable makes the comparison
+// concrete. All run on the space-shared substrate and plan ahead from
+// runtime estimates via a processor-availability profile.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Profile is a processor-availability timeline: how many processors are
+// free at each future instant, given planned (estimated) completions and
+// reservations. It supports the two queries backfilling needs: "when is
+// the earliest slot for (procs, duration) at or after t?" and "reserve
+// it".
+//
+// The profile counts processors rather than tracking identities, which is
+// exact for homogeneous clusters (the paper's setting) and a standard
+// approximation otherwise.
+type Profile struct {
+	total int
+	// steps are changes to availability: at steps[i].t, free becomes
+	// steps[i].free. Sorted by t; the state before steps[0] is total.
+	steps []profileStep
+}
+
+type profileStep struct {
+	t    float64
+	free int
+}
+
+// NewProfile returns an all-free profile for a cluster of total
+// processors.
+func NewProfile(total int) *Profile {
+	if total <= 0 {
+		panic(fmt.Sprintf("sched: profile with %d processors", total))
+	}
+	return &Profile{total: total}
+}
+
+// Total returns the cluster size the profile covers.
+func (p *Profile) Total() int { return p.total }
+
+// FreeAt returns the number of free processors at time t under the
+// current plan.
+func (p *Profile) FreeAt(t float64) int {
+	free := p.total
+	for _, s := range p.steps {
+		if s.t > t {
+			break
+		}
+		free = s.free
+	}
+	return free
+}
+
+// Reserve blocks procs processors during [start, end). It panics if the
+// interval is invalid; it is the caller's job to query EarliestSlot first,
+// so over-reservation indicates a planner bug and must not pass silently.
+func (p *Profile) Reserve(start, end float64, procs int) {
+	if end <= start || procs <= 0 {
+		panic(fmt.Sprintf("sched: bad reservation [%g, %g) x%d", start, end, procs))
+	}
+	p.ensureStep(start)
+	p.ensureStep(end)
+	for i := range p.steps {
+		if p.steps[i].t >= start && p.steps[i].t < end {
+			p.steps[i].free -= procs
+			if p.steps[i].free < 0 {
+				panic(fmt.Sprintf("sched: over-reservation at t=%g", p.steps[i].t))
+			}
+		}
+	}
+}
+
+// ensureStep inserts a step boundary at t carrying the availability in
+// force just before it.
+func (p *Profile) ensureStep(t float64) {
+	idx := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].t >= t })
+	if idx < len(p.steps) && p.steps[idx].t == t {
+		return
+	}
+	free := p.total
+	if idx > 0 {
+		free = p.steps[idx-1].free
+	}
+	p.steps = append(p.steps, profileStep{})
+	copy(p.steps[idx+1:], p.steps[idx:])
+	p.steps[idx] = profileStep{t: t, free: free}
+}
+
+// EarliestSlot returns the earliest time >= after at which procs
+// processors stay free for duration. Returns +Inf when procs exceeds the
+// cluster size.
+func (p *Profile) EarliestSlot(after, duration float64, procs int) float64 {
+	if procs > p.total {
+		return math.Inf(1)
+	}
+	if duration <= 0 {
+		duration = 0
+	}
+	// Candidate start times: `after` and every step boundary beyond it.
+	candidates := []float64{after}
+	for _, s := range p.steps {
+		if s.t > after {
+			candidates = append(candidates, s.t)
+		}
+	}
+	for _, start := range candidates {
+		if p.fits(start, start+duration, procs) {
+			return start
+		}
+	}
+	// Beyond the last step everything is as free as the final state, which
+	// fits because procs <= total and the last step's free must return to
+	// total once all reservations expire. Defensive fallback:
+	last := after
+	if n := len(p.steps); n > 0 {
+		last = math.Max(after, p.steps[n-1].t)
+	}
+	return last
+}
+
+// fits reports whether procs processors are free throughout [start, end).
+func (p *Profile) fits(start, end float64, procs int) bool {
+	if p.FreeAt(start) < procs {
+		return false
+	}
+	for _, s := range p.steps {
+		if s.t > start && s.t < end && s.free < procs {
+			return false
+		}
+	}
+	return true
+}

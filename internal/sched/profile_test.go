@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersched/internal/sim"
+)
+
+func TestProfileEmptyIsAllFree(t *testing.T) {
+	p := NewProfile(8)
+	if p.Total() != 8 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+	for _, tm := range []float64{0, 1, 1e9} {
+		if got := p.FreeAt(tm); got != 8 {
+			t.Fatalf("FreeAt(%g) = %d", tm, got)
+		}
+	}
+	if got := p.EarliestSlot(5, 100, 8); got != 5 {
+		t.Fatalf("EarliestSlot = %v, want immediate", got)
+	}
+}
+
+func TestProfileReserveAndQuery(t *testing.T) {
+	p := NewProfile(8)
+	p.Reserve(10, 20, 5)
+	if got := p.FreeAt(9); got != 8 {
+		t.Fatalf("FreeAt(9) = %d", got)
+	}
+	if got := p.FreeAt(10); got != 3 {
+		t.Fatalf("FreeAt(10) = %d", got)
+	}
+	if got := p.FreeAt(19.9); got != 3 {
+		t.Fatalf("FreeAt(19.9) = %d", got)
+	}
+	if got := p.FreeAt(20); got != 8 {
+		t.Fatalf("FreeAt(20) = %d", got)
+	}
+}
+
+func TestProfileEarliestSlotSkipsBusyWindow(t *testing.T) {
+	p := NewProfile(8)
+	p.Reserve(10, 20, 5)
+	// 4 procs for duration 15 starting at 0 would span the busy window
+	// where only 3 are free, so the earliest start is 20.
+	if got := p.EarliestSlot(0, 15, 4); got != 20 {
+		t.Fatalf("EarliestSlot = %v, want 20", got)
+	}
+	// 3 procs fit throughout.
+	if got := p.EarliestSlot(0, 15, 3); got != 0 {
+		t.Fatalf("EarliestSlot = %v, want 0", got)
+	}
+	// Short job fits before the window.
+	if got := p.EarliestSlot(0, 10, 8); got != 0 {
+		t.Fatalf("EarliestSlot = %v, want 0 (finishes exactly at window start)", got)
+	}
+}
+
+func TestProfileEarliestSlotAfterConstraint(t *testing.T) {
+	p := NewProfile(4)
+	p.Reserve(0, 100, 4)
+	if got := p.EarliestSlot(50, 10, 1); got != 100 {
+		t.Fatalf("EarliestSlot = %v, want 100", got)
+	}
+}
+
+func TestProfileImpossibleRequest(t *testing.T) {
+	p := NewProfile(4)
+	if got := p.EarliestSlot(0, 10, 5); !math.IsInf(got, 1) {
+		t.Fatalf("EarliestSlot = %v, want +Inf", got)
+	}
+}
+
+func TestProfileOverReservationPanics(t *testing.T) {
+	p := NewProfile(4)
+	p.Reserve(0, 10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-reservation did not panic")
+		}
+	}()
+	p.Reserve(5, 6, 1)
+}
+
+func TestProfileBadReservationPanics(t *testing.T) {
+	p := NewProfile(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted interval did not panic")
+		}
+	}()
+	p.Reserve(10, 5, 1)
+}
+
+func TestProfileStackedReservations(t *testing.T) {
+	p := NewProfile(10)
+	p.Reserve(0, 10, 3)
+	p.Reserve(5, 15, 3)
+	p.Reserve(8, 12, 3)
+	if got := p.FreeAt(9); got != 1 {
+		t.Fatalf("FreeAt(9) = %d, want 1", got)
+	}
+	if got := p.FreeAt(11); got != 4 {
+		t.Fatalf("FreeAt(11) = %d, want 4", got)
+	}
+	if got := p.EarliestSlot(0, 5, 9); got != 15 {
+		t.Fatalf("EarliestSlot = %v, want 15", got)
+	}
+}
+
+func TestProfileSlotThenReserveProperty(t *testing.T) {
+	// Whatever EarliestSlot returns must actually be reservable, and the
+	// slot must really be free throughout.
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		p := NewProfile(16)
+		for i := 0; i < 10; i++ {
+			procs := 1 + r.Intn(16)
+			dur := 1 + r.Float64()*50
+			after := r.Float64() * 100
+			start := p.EarliestSlot(after, dur, procs)
+			if math.IsInf(start, 1) || start < after {
+				return false
+			}
+			if !p.fits(start, start+dur, procs) {
+				return false
+			}
+			p.Reserve(start, start+dur, procs)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewProfilePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewProfile(0) did not panic")
+		}
+	}()
+	NewProfile(0)
+}

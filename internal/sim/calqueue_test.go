@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// drain pops everything and returns the (time, priority, seq) order.
+func drain(q eventSet) []*Event {
+	var out []*Event
+	for {
+		ev := q.pop()
+		if ev == nil {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestCalendarQueueMatchesHeapOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		heapQ := &eventQueue{}
+		calQ := newCalendarQueue()
+		n := 1 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			ev1 := &Event{Time: r.Float64() * 1000, Priority: Priority(r.Intn(3) - 1), seq: uint64(i)}
+			ev2 := &Event{Time: ev1.Time, Priority: ev1.Priority, seq: ev1.seq}
+			heapQ.push(ev1)
+			calQ.push(ev2)
+		}
+		a := drain(heapQ)
+		b := drain(calQ)
+		if len(a) != len(b) || len(a) != n {
+			return false
+		}
+		for i := range a {
+			if a[i].Time != b[i].Time || a[i].Priority != b[i].Priority || a[i].seq != b[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarQueueInterleavedPushPopProperty(t *testing.T) {
+	// Mixed workload: pops interleaved with pushes whose times are >= the
+	// last popped time (the DES discipline). The popped sequence must be
+	// identical across implementations.
+	g := func(seed uint64) bool {
+		r := NewRNG(seed)
+		heapQ := &eventQueue{}
+		calQ := newCalendarQueue()
+		now := 0.0
+		seq := uint64(0)
+		for step := 0; step < 400; step++ {
+			if r.Bool(0.6) || heapQ.len() == 0 {
+				tm := now + r.Float64()*50
+				pr := Priority(r.Intn(3) - 1)
+				seq++
+				heapQ.push(&Event{Time: tm, Priority: pr, seq: seq})
+				calQ.push(&Event{Time: tm, Priority: pr, seq: seq})
+			} else {
+				a := heapQ.pop()
+				b := calQ.pop()
+				if a == nil || b == nil {
+					if !(a == nil && b == nil) {
+						return false
+					}
+					continue
+				}
+				if a.Time != b.Time || a.Priority != b.Priority || a.seq != b.seq {
+					return false
+				}
+				now = a.Time
+			}
+		}
+		if heapQ.len() != calQ.len() {
+			return false
+		}
+		a := drain(heapQ)
+		b := drain(calQ)
+		for i := range a {
+			if a[i].seq != b[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarQueueEmptyPop(t *testing.T) {
+	q := newCalendarQueue()
+	if q.pop() != nil {
+		t.Fatal("pop on empty returned an event")
+	}
+	if q.len() != 0 {
+		t.Fatal("len on empty")
+	}
+}
+
+func TestCalendarQueueSparseTimes(t *testing.T) {
+	// Events separated by enormous gaps exercise the year-skip path.
+	q := newCalendarQueue()
+	times := []float64{0, 1e-6, 5, 1e6, 1e6 + 1, 1e12}
+	for i, tm := range times {
+		q.push(&Event{Time: tm, seq: uint64(i)})
+	}
+	prev := -1.0
+	for i := 0; i < len(times); i++ {
+		ev := q.pop()
+		if ev == nil {
+			t.Fatalf("queue exhausted after %d pops", i)
+		}
+		if ev.Time < prev {
+			t.Fatalf("out of order: %g after %g", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}
+
+func TestEngineCalendarBehavesLikeHeapEngine(t *testing.T) {
+	runWith := func(e *Engine) []float64 {
+		var fired []float64
+		var ping Handler
+		count := 0
+		ping = func(e *Engine) {
+			fired = append(fired, e.Now())
+			count++
+			if count < 50 {
+				e.After(float64(count%7)+0.5, PriorityDefault, ping)
+			}
+		}
+		e.At(1, PriorityDefault, ping)
+		e.At(3, PriorityCompletion, func(e *Engine) { fired = append(fired, -e.Now()) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	a := runWith(NewEngine())
+	b := runWith(NewEngineCalendar())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineCalendarHorizonPushback(t *testing.T) {
+	e := NewEngineCalendar()
+	hits := 0
+	e.At(1, PriorityDefault, func(*Engine) { hits++ })
+	e.At(10, PriorityDefault, func(*Engine) { hits++ })
+	e.SetHorizon(5)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 || e.Pending() != 1 {
+		t.Fatalf("hits=%d pending=%d", hits, e.Pending())
+	}
+	e.SetHorizon(20)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits=%d after widened horizon", hits)
+	}
+}
+
+func BenchmarkEventQueueHeap(b *testing.B) {
+	benchQueue(b, func() eventSet { return &eventQueue{} })
+}
+
+func BenchmarkEventQueueCalendar(b *testing.B) {
+	benchQueue(b, func() eventSet { return newCalendarQueue() })
+}
+
+// benchQueue measures a hold-model workload (pop one, push one) at a
+// steady population of 4096 events, the classic future-event-set
+// benchmark.
+func benchQueue(b *testing.B, mk func() eventSet) {
+	r := NewRNG(1)
+	q := mk()
+	const pop = 4096
+	now := 0.0
+	for i := 0; i < pop; i++ {
+		q.push(&Event{Time: r.Float64() * 100, seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		now = ev.Time
+		ev.next = nil
+		ev.Time = now + r.Exp(50)
+		q.push(ev)
+	}
+}

@@ -1,0 +1,10 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// an event calendar with stable (time, priority, sequence) ordering, a
+// simulation engine, reproducible pseudo-random number streams, standard
+// distributions, and online statistics.
+//
+// The kernel replaces GridSim, the Java event-based simulator used by the
+// paper; it is intentionally minimal and allocation-conscious so that full
+// parameter sweeps (tens of simulations, thousands of jobs each) run in
+// milliseconds and can be driven from testing.B benchmarks.
+package sim

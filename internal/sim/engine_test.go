@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, PriorityDefault, func(*Engine) { order = append(order, 3) })
+	e.At(1, PriorityDefault, func(*Engine) { order = append(order, 1) })
+	e.At(2, PriorityDefault, func(*Engine) { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineSameTimePriorityOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(5, PriorityArrival, func(*Engine) { order = append(order, "arrival") })
+	e.At(5, PriorityCompletion, func(*Engine) { order = append(order, "completion") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "completion" || order[1] != "arrival" {
+		t.Fatalf("order = %v, want [completion arrival]", order)
+	}
+}
+
+func TestEngineSameTimeSamePriorityFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, PriorityDefault, func(*Engine) { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO insertion order", order)
+		}
+	}
+}
+
+func TestEngineHandlerSchedulesFollowUp(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	var ping Handler
+	ping = func(e *Engine) {
+		hits++
+		if hits < 5 {
+			e.After(1, PriorityDefault, ping)
+		}
+	}
+	e.At(0, PriorityDefault, ping)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != 4 {
+		t.Fatalf("Now() = %v, want 4", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(1, PriorityDefault, func(*Engine) { ran = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.At(1, PriorityDefault, func(e *Engine) { hits++; e.Stop() })
+	e.At(2, PriorityDefault, func(*Engine) { hits++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (Stop should halt the loop)", hits)
+	}
+	// Run can resume afterwards.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d after resume, want 2", hits)
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.At(1, PriorityDefault, func(*Engine) { hits++ })
+	e.At(10, PriorityDefault, func(*Engine) { hits++ })
+	e.SetHorizon(5)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (event beyond horizon must not run)", hits)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, PriorityDefault, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, PriorityDefault, func(*Engine) {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNaNTimePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling at NaN did not panic")
+		}
+	}()
+	e.At(math.NaN(), PriorityDefault, func(*Engine) {})
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop Handler
+	loop = func(e *Engine) { e.After(1, PriorityDefault, loop) }
+	e.At(0, PriorityDefault, loop)
+	if err := e.Run(); err != ErrEventBudget {
+		t.Fatalf("Run() = %v, want ErrEventBudget", err)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.At(1, PriorityDefault, func(*Engine) { hits++ })
+	e.At(2, PriorityDefault, func(*Engine) { hits++ })
+	if !e.Step() {
+		t.Fatal("Step() = false with events pending")
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d after one step, want 1", hits)
+	}
+	if !e.Step() {
+		t.Fatal("Step() = false with one event pending")
+	}
+	if e.Step() {
+		t.Fatal("Step() = true with empty calendar")
+	}
+}
+
+func TestEngineProcessedCountsOnlyRunHandlers(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(1, PriorityDefault, func(*Engine) {})
+	ev.Cancel()
+	e.At(2, PriorityDefault, func(*Engine) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Processed(); got != 1 {
+		t.Fatalf("Processed() = %d, want 1", got)
+	}
+}

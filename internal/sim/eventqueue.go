@@ -1,0 +1,102 @@
+package sim
+
+import "container/heap"
+
+// Priority orders events that share the same timestamp. Lower values run
+// first. Using explicit priorities keeps simultaneous events (for example a
+// job completion freeing processors and a job arrival wanting them)
+// deterministic without depending on scheduling order.
+type Priority int
+
+// Standard priorities used by the cluster model. Completions drain before
+// arrivals are admitted, mirroring the behaviour of real resource managers
+// that process finished jobs before considering new submissions.
+const (
+	PriorityCompletion Priority = -10
+	PriorityDefault    Priority = 0
+	PriorityArrival    Priority = 10
+	PriorityMonitor    Priority = 20
+)
+
+// Handler is the callback attached to a scheduled event. It receives the
+// engine so it may schedule follow-up events.
+type Handler func(e *Engine)
+
+// Event is a single entry in the simulation calendar.
+type Event struct {
+	Time     float64
+	Priority Priority
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int    // heap position (binary-heap event set)
+	next     *Event // chain link (calendar-queue event set)
+}
+
+// eventSet is the future-event-set abstraction: the engine works with
+// either the binary heap (default) or the calendar queue.
+type eventSet interface {
+	push(ev *Event)
+	pop() *Event
+	len() int
+}
+
+// Cancel marks the event so its handler will not run. Cancelled events stay
+// in the calendar until popped; this is O(1) and keeps the heap simple.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// eventQueue is a binary heap of events ordered by (Time, Priority, seq).
+type eventQueue struct {
+	events []*Event
+}
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q *eventQueue) Len() int { return len(q.events) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(q.events)
+	q.events = append(q.events, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.events
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	q.events = old[:n-1]
+	return ev
+}
+
+func (q *eventQueue) push(ev *Event) { heap.Push(q, ev) }
+
+func (q *eventQueue) pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Event)
+}
+
+func (q *eventQueue) len() int { return len(q.events) }

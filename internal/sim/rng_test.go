@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 64 outputs", same)
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Stream(1)
+	s2 := root.Stream(2)
+	s1again := NewRNG(7).Stream(1)
+	for i := 0; i < 50; i++ {
+		if s1.Uint64() != s1again.Uint64() {
+			t.Fatal("stream derivation is not deterministic")
+		}
+	}
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 collided on %d of 64 outputs", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 32; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("zero seed produced only %d distinct values in 32 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := NewRNG(seed)
+		m := int(n%1000) + 1
+		for i := 0; i < 32; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(r.Exp(100))
+	}
+	if m := w.Mean(); math.Abs(m-100) > 2 {
+		t.Fatalf("Exp(100) sample mean = %v, want ~100", m)
+	}
+	if w.Min() < 0 {
+		t.Fatalf("Exp produced negative value %v", w.Min())
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(r.Normal(5, 2))
+	}
+	if m := w.Mean(); math.Abs(m-5) > 0.05 {
+		t.Fatalf("Normal(5,2) mean = %v", m)
+	}
+	if s := w.StdDev(); math.Abs(s-2) > 0.05 {
+		t.Fatalf("Normal(5,2) stddev = %v", s)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		x := r.TruncNormal(2, 1, 1, 4)
+		if x < 1 || x > 4 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	r := NewRNG(19)
+	if x := r.TruncNormal(10, 0, 1, 4); x != 4 {
+		t.Fatalf("TruncNormal with zero stddev = %v, want clamped 4", x)
+	}
+	// Truncation region far from the mean must still terminate.
+	x := r.TruncNormal(0, 0.001, 100, 101)
+	if x < 100 || x > 101 {
+		t.Fatalf("pathological TruncNormal = %v, want within [100,101]", x)
+	}
+}
+
+func TestLognormalMeanCV(t *testing.T) {
+	r := NewRNG(23)
+	var w Welford
+	for i := 0; i < 400000; i++ {
+		w.Add(r.LognormalMeanCV(100, 1.5))
+	}
+	if m := w.Mean(); math.Abs(m-100) > 3 {
+		t.Fatalf("LognormalMeanCV(100,1.5) mean = %v, want ~100", m)
+	}
+	cv := w.StdDev() / w.Mean()
+	if math.Abs(cv-1.5) > 0.15 {
+		t.Fatalf("LognormalMeanCV cv = %v, want ~1.5", cv)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// Weibull(scale=1, shape=1) is Exp(1): mean 1.
+	r := NewRNG(29)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(r.Weibull(1, 1))
+	}
+	if m := w.Mean(); math.Abs(m-1) > 0.03 {
+		t.Fatalf("Weibull(1,1) mean = %v, want ~1", m)
+	}
+}
+
+func TestChoiceWeights(t *testing.T) {
+	r := NewRNG(31)
+	counts := make([]int, 3)
+	weights := []float64{1, 2, 7}
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Choice bucket %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoiceIgnoresNonPositive(t *testing.T) {
+	r := NewRNG(37)
+	weights := []float64{0, -5, 3}
+	for i := 0; i < 1000; i++ {
+		if got := r.Choice(weights); got != 2 {
+			t.Fatalf("Choice picked %d, want only index 2", got)
+		}
+	}
+	if got := r.Choice([]float64{0, 0}); got != 0 {
+		t.Fatalf("Choice with all-zero weights = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(41)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm output invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(43)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the SWF parser with arbitrary input: it must never
+// panic, and anything it accepts must survive a write/parse round trip.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzParse ./internal/swf`
+// explores further.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("")
+	f.Add("; only: header\n")
+	f.Add("1 2 3\n")
+	f.Add("1 0 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1")
+	f.Add("1e9 0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n; trailing\n")
+	f.Add(strings.Repeat("9 ", 17) + "9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on accepted trace: %v", err)
+		}
+		tr2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("round trip records %d != %d", len(tr2.Records), len(tr.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, tr.Records[i], tr2.Records[i])
+			}
+		}
+	})
+}
+
+// FuzzParseAuto makes sure the gzip sniffing never panics on arbitrary
+// bytes.
+func FuzzParseAuto(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x1f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		_, _ = ParseAuto(bytes.NewReader(input))
+	})
+}

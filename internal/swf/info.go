@@ -1,0 +1,123 @@
+package swf
+
+import (
+	"compress/gzip"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Info is the typed view of the standard SWF header directives. Archive
+// files carry many more; these are the ones simulators consume.
+type Info struct {
+	Version       string
+	Computer      string
+	Installation  string
+	MaxJobs       int
+	MaxNodes      int
+	MaxProcs      int
+	MaxRuntime    int64 // seconds
+	UnixStartTime int64
+	TimeZone      string
+	Note          string
+}
+
+// ParseInfo extracts the typed header fields; missing fields stay zero.
+func ParseInfo(h *Header) Info {
+	var info Info
+	get := func(key string) string {
+		v, _ := h.Get(key)
+		return v
+	}
+	info.Version = get("Version")
+	info.Computer = get("Computer")
+	info.Installation = get("Installation")
+	info.MaxJobs = atoiPrefix(get("MaxJobs"))
+	info.MaxNodes = atoiPrefix(get("MaxNodes"))
+	info.MaxProcs = atoiPrefix(get("MaxProcs"))
+	info.MaxRuntime = int64(atoiPrefix(get("MaxRuntime")))
+	info.UnixStartTime = int64(atoiPrefix(get("UnixStartTime")))
+	info.TimeZone = get("TimeZone")
+	info.Note = get("Note")
+	return info
+}
+
+// Procs returns the best available machine size: MaxProcs when recorded,
+// otherwise MaxNodes (single-processor nodes, the SP2 case).
+func (i Info) Procs() int {
+	if i.MaxProcs > 0 {
+		return i.MaxProcs
+	}
+	return i.MaxNodes
+}
+
+// atoiPrefix parses the leading integer of a header value, tolerating
+// trailing commentary like "128 (66 in batch partition)".
+func atoiPrefix(s string) int {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) && (s[end] == '-' && end == 0 || s[end] >= '0' && s[end] <= '9') {
+		end++
+	}
+	if end == 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(s[:end])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// gzipMagic is the two-byte gzip file signature.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ParseAuto parses an SWF stream, transparently decompressing gzip —
+// archive traces ship as .swf.gz. The reader need not be seekable.
+func ParseAuto(r io.Reader) (*Trace, error) {
+	br := &peekReader{r: r}
+	head, err := br.peek2()
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		return Parse(zr)
+	}
+	return Parse(br)
+}
+
+// peekReader lets ParseAuto inspect the first two bytes and still hand the
+// full stream to the chosen parser.
+type peekReader struct {
+	r      io.Reader
+	buf    []byte
+	peeked bool
+}
+
+func (p *peekReader) peek2() ([]byte, error) {
+	if p.peeked {
+		return p.buf, nil
+	}
+	p.peeked = true
+	b := make([]byte, 2)
+	n, err := io.ReadFull(p.r, b)
+	p.buf = b[:n]
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF
+	}
+	return p.buf, err
+}
+
+func (p *peekReader) Read(b []byte) (int, error) {
+	if len(p.buf) > 0 {
+		n := copy(b, p.buf)
+		p.buf = p.buf[n:]
+		return n, nil
+	}
+	return p.r.Read(b)
+}

@@ -1,0 +1,124 @@
+package swf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+func TestParseInfoTypedFields(t *testing.T) {
+	in := `; Version: 2.2
+; Computer: IBM SP2
+; Installation: SDSC
+; MaxJobs: 73496
+; MaxNodes: 128 (66 in batch partition)
+; MaxRuntime: 129600
+; UnixStartTime: 893449922
+; TimeZone: US/Pacific
+1 0 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := ParseInfo(&tr.Header)
+	if info.Version != "2.2" || info.Computer != "IBM SP2" || info.Installation != "SDSC" {
+		t.Fatalf("strings wrong: %+v", info)
+	}
+	if info.MaxJobs != 73496 {
+		t.Fatalf("MaxJobs = %d", info.MaxJobs)
+	}
+	if info.MaxNodes != 128 {
+		t.Fatalf("MaxNodes = %d (must tolerate trailing commentary)", info.MaxNodes)
+	}
+	if info.MaxRuntime != 129600 || info.UnixStartTime != 893449922 {
+		t.Fatalf("numerics wrong: %+v", info)
+	}
+	if info.TimeZone != "US/Pacific" {
+		t.Fatalf("TimeZone = %q", info.TimeZone)
+	}
+	if info.Procs() != 128 {
+		t.Fatalf("Procs = %d, want MaxNodes fallback", info.Procs())
+	}
+}
+
+func TestInfoProcsPreference(t *testing.T) {
+	i := Info{MaxNodes: 128, MaxProcs: 1024}
+	if i.Procs() != 1024 {
+		t.Fatalf("Procs = %d, want MaxProcs when present", i.Procs())
+	}
+}
+
+func TestParseInfoMissingFieldsZero(t *testing.T) {
+	info := ParseInfo(&Header{})
+	if info.MaxNodes != 0 || info.Version != "" || info.Procs() != 0 {
+		t.Fatalf("empty header info = %+v", info)
+	}
+}
+
+func TestAtoiPrefix(t *testing.T) {
+	cases := map[string]int{
+		"128":           128,
+		"128 (comment)": 128,
+		" 42 ":          42,
+		"-1":            -1,
+		"abc":           0,
+		"":              0,
+		"12x34":         12,
+	}
+	for in, want := range cases {
+		if got := atoiPrefix(in); got != want {
+			t.Errorf("atoiPrefix(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseAutoPlain(t *testing.T) {
+	tr, err := ParseAuto(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 4 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+}
+
+func TestParseAutoGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 4 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	if v, ok := tr.Header.Get("Version"); !ok || v != "2.2" {
+		t.Fatalf("header lost through gzip: %q %v", v, ok)
+	}
+}
+
+func TestParseAutoEmpty(t *testing.T) {
+	tr, err := ParseAuto(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 0 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+}
+
+func TestParseAutoOneByte(t *testing.T) {
+	// A single byte cannot be gzip; must fall through to plain parse and
+	// fail as a malformed record line rather than crash.
+	if _, err := ParseAuto(strings.NewReader("1")); err == nil {
+		t.Fatal("single-byte garbage accepted")
+	}
+}

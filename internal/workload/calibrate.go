@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clustersched/internal/swf"
+)
+
+// Calibrate fits a GeneratorConfig to a real SWF trace so the synthetic
+// generator reproduces its statistics: arrival intensity and burstiness,
+// runtime distribution, processor-request mix, and the estimate error
+// mixture. This is how the committed SDSC SP2 defaults were derived, and
+// how a user retargets the whole experiment suite at their own machine's
+// trace without redistributing it.
+func Calibrate(tr *swf.Trace, maxProcs int) (GeneratorConfig, error) {
+	recs := tr.Records
+	if len(recs) < 2 {
+		return GeneratorConfig{}, fmt.Errorf("workload: calibration needs >= 2 records, got %d", len(recs))
+	}
+	if maxProcs <= 0 {
+		info := swf.ParseInfo(&tr.Header)
+		maxProcs = info.Procs()
+		if maxProcs <= 0 {
+			maxProcs = maxProcsIn(recs)
+		}
+	}
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = len(recs)
+	cfg.MaxProcs = maxProcs
+
+	// Arrival process: mean and CV of inter-arrival gaps.
+	var interMean, interM2 float64
+	n := 0
+	prev := recs[0].Submit
+	for _, r := range recs[1:] {
+		gap := float64(r.Submit - prev)
+		prev = r.Submit
+		n++
+		d := gap - interMean
+		interMean += d / float64(n)
+		interM2 += d * (gap - interMean)
+	}
+	if interMean <= 0 {
+		return GeneratorConfig{}, fmt.Errorf("workload: trace has non-positive mean inter-arrival")
+	}
+	cfg.MeanInterarrival = interMean
+	if n > 1 {
+		cv := math.Sqrt(interM2/float64(n)) / interMean
+		cfg.InterarrivalCV = clamp(cv, 1.0, 4.0)
+	}
+
+	// Runtime distribution: mean, CV and range over runnable records.
+	var runs []float64
+	for _, r := range recs {
+		if r.RunTime > 0 {
+			runs = append(runs, float64(r.RunTime))
+		}
+	}
+	if len(runs) == 0 {
+		return GeneratorConfig{}, fmt.Errorf("workload: trace has no positive runtimes")
+	}
+	var runMean float64
+	for _, v := range runs {
+		runMean += v
+	}
+	runMean /= float64(len(runs))
+	var runVar float64
+	for _, v := range runs {
+		runVar += (v - runMean) * (v - runMean)
+	}
+	runVar /= float64(len(runs))
+	cfg.MeanRuntime = runMean
+	cfg.RuntimeCV = clamp(math.Sqrt(runVar)/runMean, 0.5, 5)
+	sort.Float64s(runs)
+	cfg.MinRuntime = math.Max(1, runs[0])
+	cfg.MaxRuntime = runs[len(runs)-1]
+
+	// Processor mix: weight per power-of-two bucket (requests are rounded
+	// down to their bucket), plus the non-power fraction.
+	maxPow := 0
+	for (1 << (maxPow + 1)) <= maxProcs {
+		maxPow++
+	}
+	weights := make([]float64, maxPow+1)
+	nonPower := 0
+	procsSeen := 0
+	for _, r := range recs {
+		p := r.Procs()
+		if p <= 0 {
+			continue
+		}
+		if p > maxProcs {
+			p = maxProcs
+		}
+		procsSeen++
+		pow := 0
+		for (1 << (pow + 1)) <= p {
+			pow++
+		}
+		weights[pow]++
+		if p != 1<<pow {
+			nonPower++
+		}
+	}
+	if procsSeen == 0 {
+		return GeneratorConfig{}, fmt.Errorf("workload: trace has no processor counts")
+	}
+	for i := range weights {
+		weights[i] /= float64(procsSeen)
+	}
+	cfg.ProcWeights = weights
+	cfg.NonPowerFraction = float64(nonPower) / float64(procsSeen)
+
+	// Estimate error mixture over records that carry both numbers.
+	est := cfg.Estimates
+	var exact, under, over int
+	var overRatios []float64
+	var underLo, underHi float64 = 1, 0
+	for _, r := range recs {
+		if !r.HasEstimate() || r.RunTime <= 0 {
+			continue
+		}
+		ratio := float64(r.ReqTime) / float64(r.RunTime)
+		switch {
+		case math.Abs(ratio-1) < 0.02:
+			exact++
+		case ratio < 1:
+			under++
+			underLo = math.Min(underLo, ratio)
+			underHi = math.Max(underHi, ratio)
+		default:
+			over++
+			overRatios = append(overRatios, ratio)
+		}
+	}
+	if total := exact + under + over; total > 0 {
+		est.ExactFraction = float64(exact) / float64(total)
+		est.UnderFraction = float64(under) / float64(total)
+		if under > 0 {
+			est.UnderLo = clamp(underLo, 0.05, 0.95)
+			est.UnderHi = clamp(math.Max(underHi, est.UnderLo+0.01), est.UnderLo+0.01, 0.99)
+		}
+		if over > 0 {
+			var om float64
+			for _, v := range overRatios {
+				om += v
+			}
+			om /= float64(len(overRatios))
+			est.OverFactorMean = clamp(om, 1.05, 50)
+			var ov float64
+			for _, v := range overRatios {
+				ov += (v - om) * (v - om)
+			}
+			ov /= float64(len(overRatios))
+			est.OverFactorCV = clamp(math.Sqrt(ov)/om, 0.2, 3)
+			est.OverMax = clamp(percentile(overRatios, 0.99), est.OverMin+1, 200)
+		}
+	}
+	cfg.Estimates = est
+	if err := cfg.Validate(); err != nil {
+		return GeneratorConfig{}, fmt.Errorf("workload: calibration produced invalid config: %w", err)
+	}
+	return cfg, nil
+}
+
+func maxProcsIn(recs []swf.Record) int {
+	m := 1
+	for _, r := range recs {
+		if p := r.Procs(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// percentile returns the q-quantile of xs (sorted copy; linear
+// interpolation).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/swf"
+)
+
+// TestCalibrateRoundTrip is the acid test: generate a synthetic trace,
+// calibrate a config from its SWF form, regenerate, and check the second
+// generation reproduces the first's statistics.
+func TestCalibrateRoundTrip(t *testing.T) {
+	orig := DefaultGeneratorConfig()
+	orig.Jobs = 4000
+	jobs, err := Generate(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ToSWF(jobs, orig.MaxProcs)
+	cfg, err := Calibrate(tr, 0) // MaxNodes comes from the header
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != orig.Jobs {
+		t.Fatalf("Jobs = %d", cfg.Jobs)
+	}
+	if cfg.MaxProcs != orig.MaxProcs {
+		t.Fatalf("MaxProcs = %d, want %d (from header)", cfg.MaxProcs, orig.MaxProcs)
+	}
+	if rel := math.Abs(cfg.MeanInterarrival-orig.MeanInterarrival) / orig.MeanInterarrival; rel > 0.1 {
+		t.Errorf("MeanInterarrival = %.0f, want ~%.0f", cfg.MeanInterarrival, orig.MeanInterarrival)
+	}
+	if rel := math.Abs(cfg.MeanRuntime-orig.MeanRuntime) / orig.MeanRuntime; rel > 0.15 {
+		t.Errorf("MeanRuntime = %.0f, want ~%.0f", cfg.MeanRuntime, orig.MeanRuntime)
+	}
+	// Estimate mixture should land near the original fractions.
+	if d := math.Abs(cfg.Estimates.ExactFraction - orig.Estimates.ExactFraction); d > 0.04 {
+		t.Errorf("ExactFraction = %.3f, want ~%.2f", cfg.Estimates.ExactFraction, orig.Estimates.ExactFraction)
+	}
+	if d := math.Abs(cfg.Estimates.UnderFraction - orig.Estimates.UnderFraction); d > 0.04 {
+		t.Errorf("UnderFraction = %.3f, want ~%.2f", cfg.Estimates.UnderFraction, orig.Estimates.UnderFraction)
+	}
+	if cfg.Estimates.OverFactorMean < 2 || cfg.Estimates.OverFactorMean > 8 {
+		t.Errorf("OverFactorMean = %.2f", cfg.Estimates.OverFactorMean)
+	}
+	// The fitted config must itself generate a workload with matching
+	// first moments.
+	jobs2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m2 float64
+	for _, j := range jobs {
+		m1 += j.Runtime
+	}
+	for _, j := range jobs2 {
+		m2 += j.Runtime
+	}
+	m1 /= float64(len(jobs))
+	m2 /= float64(len(jobs2))
+	if rel := math.Abs(m1-m2) / m1; rel > 0.2 {
+		t.Errorf("regenerated mean runtime %.0f vs original %.0f", m2, m1)
+	}
+}
+
+func TestCalibrateProcMix(t *testing.T) {
+	// A trace of pure 4-processor jobs must put all bucket weight on 4.
+	tr := &swf.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Records = append(tr.Records, swf.Record{
+			JobNumber: i + 1, Submit: int64(i * 100), RunTime: 500,
+			AllocProcs: 4, ReqTime: 1000,
+		})
+	}
+	cfg, err := Calibrate(tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket index 2 is 4 processors.
+	if cfg.ProcWeights[2] != 1 {
+		t.Fatalf("ProcWeights = %v, want all mass on 4", cfg.ProcWeights)
+	}
+	if cfg.NonPowerFraction != 0 {
+		t.Fatalf("NonPowerFraction = %v", cfg.NonPowerFraction)
+	}
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.NumProc != 4 {
+			t.Fatalf("generated NumProc = %d, want 4", j.NumProc)
+		}
+	}
+}
+
+func TestCalibrateRejectsDegenerateTraces(t *testing.T) {
+	if _, err := Calibrate(&swf.Trace{}, 8); err == nil {
+		t.Error("empty trace accepted")
+	}
+	one := &swf.Trace{Records: []swf.Record{{JobNumber: 1, RunTime: 10, AllocProcs: 1}}}
+	if _, err := Calibrate(one, 8); err == nil {
+		t.Error("single-record trace accepted")
+	}
+	zeroRuns := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 0, RunTime: 0, AllocProcs: 1},
+		{JobNumber: 2, Submit: 10, RunTime: 0, AllocProcs: 1},
+	}}
+	if _, err := Calibrate(zeroRuns, 8); err == nil {
+		t.Error("no-runtime trace accepted")
+	}
+	simultaneous := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 5, RunTime: 10, AllocProcs: 1},
+		{JobNumber: 2, Submit: 5, RunTime: 10, AllocProcs: 1},
+	}}
+	if _, err := Calibrate(simultaneous, 8); err == nil {
+		t.Error("zero mean inter-arrival accepted")
+	}
+}
+
+func TestCalibrateMaxProcsFallbacks(t *testing.T) {
+	tr := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 0, RunTime: 100, AllocProcs: 3, ReqTime: 200},
+		{JobNumber: 2, Submit: 50, RunTime: 100, AllocProcs: 7, ReqTime: 200},
+	}}
+	// No header, no explicit max: use the largest observed request.
+	cfg, err := Calibrate(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxProcs != 7 {
+		t.Fatalf("MaxProcs = %d, want 7 (largest seen)", cfg.MaxProcs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if p := percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := percentile(xs, 1); p != 4 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := percentile(xs, 0.5); math.Abs(p-2.5) > 1e-9 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 4 {
+		t.Fatal("percentile mutated its input")
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+
+	"clustersched/internal/sim"
+)
+
+// DeadlineConfig parameterizes the paper's deadline model (§4): each job
+// joins the high urgency class with probability HighUrgencyFraction and
+// receives deadline = factor × real runtime, with the factor drawn from a
+// truncated normal whose mean is MeanLowFactor for high-urgency jobs and
+// Ratio × MeanLowFactor for low-urgency jobs.
+type DeadlineConfig struct {
+	HighUrgencyFraction float64
+	// MeanLowFactor is the mean of the low deadline/runtime factor, i.e.
+	// the tight deadlines given to high urgency jobs.
+	MeanLowFactor float64
+	// Ratio is the deadline high:low ratio; low-urgency (relaxed) jobs get
+	// a factor mean of Ratio × MeanLowFactor.
+	Ratio float64
+	Seed  uint64
+}
+
+// DefaultDeadlineConfig returns the paper's defaults: 20 % high urgency,
+// low factor mean 2, ratio 4.
+func DefaultDeadlineConfig() DeadlineConfig {
+	return DeadlineConfig{
+		HighUrgencyFraction: DefaultHighUrgencyFraction,
+		MeanLowFactor:       MeanLowDeadlineFactor,
+		Ratio:               DefaultDeadlineRatio,
+		Seed:                2,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c DeadlineConfig) Validate() error {
+	switch {
+	case c.HighUrgencyFraction < 0 || c.HighUrgencyFraction > 1:
+		return fmt.Errorf("workload: HighUrgencyFraction = %g, want in [0,1]", c.HighUrgencyFraction)
+	case c.MeanLowFactor < 1:
+		return fmt.Errorf("workload: MeanLowFactor = %g, want >= 1", c.MeanLowFactor)
+	case c.Ratio < 1:
+		return fmt.Errorf("workload: Ratio = %g, want >= 1", c.Ratio)
+	}
+	return nil
+}
+
+// AssignDeadlines returns a copy of jobs with Class and Deadline set. The
+// class sequence is randomly interleaved across arrivals, as in the paper.
+func AssignDeadlines(jobs []Job, cfg DeadlineConfig) ([]Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(cfg.Seed)
+	classRNG := root.Stream(1)
+	factorRNG := root.Stream(2)
+
+	out := make([]Job, len(jobs))
+	copy(out, jobs)
+	for i := range out {
+		mean := cfg.MeanLowFactor * cfg.Ratio
+		out[i].Class = LowUrgency
+		if classRNG.Bool(cfg.HighUrgencyFraction) {
+			out[i].Class = HighUrgency
+			mean = cfg.MeanLowFactor
+		}
+		stddev := mean / DeadlineFactorCVDivisor
+		factor := factorRNG.TruncNormal(mean, stddev, MinDeadlineFactor, mean*4)
+		out[i].Deadline = factor * out[i].Runtime
+	}
+	return out, nil
+}

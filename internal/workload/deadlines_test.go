@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+func TestAssignDeadlinesClassesAndFactors(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 10000
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := DefaultDeadlineConfig()
+	out, err := AssignDeadlines(jobs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var high, low int
+	var highFac, lowFac sim.Welford
+	for _, j := range out {
+		f := j.Deadline / j.Runtime
+		if f < MinDeadlineFactor-1e-9 {
+			t.Fatalf("deadline factor %g below minimum; deadlines must exceed runtimes", f)
+		}
+		switch j.Class {
+		case HighUrgency:
+			high++
+			highFac.Add(f)
+		case LowUrgency:
+			low++
+			lowFac.Add(f)
+		}
+	}
+	if frac := float64(high) / float64(high+low); math.Abs(frac-dcfg.HighUrgencyFraction) > 0.02 {
+		t.Errorf("high urgency fraction = %.3f, want ~%.2f", frac, dcfg.HighUrgencyFraction)
+	}
+	if m := highFac.Mean(); math.Abs(m-dcfg.MeanLowFactor) > 0.15 {
+		t.Errorf("high-urgency factor mean = %.2f, want ~%.1f", m, dcfg.MeanLowFactor)
+	}
+	wantLow := dcfg.MeanLowFactor * dcfg.Ratio
+	if m := lowFac.Mean(); math.Abs(m-wantLow)/wantLow > 0.05 {
+		t.Errorf("low-urgency factor mean = %.2f, want ~%.1f", m, wantLow)
+	}
+}
+
+func TestAssignDeadlinesDoesNotMutateInput(t *testing.T) {
+	jobs := []Job{validJob()}
+	jobs[0].Deadline = 0
+	out, err := AssignDeadlines(jobs, DefaultDeadlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Deadline != 0 {
+		t.Fatal("input mutated")
+	}
+	if out[0].Deadline <= 0 {
+		t.Fatal("output deadline not set")
+	}
+}
+
+func TestAssignDeadlinesDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 200
+	jobs, _ := Generate(cfg)
+	a, _ := AssignDeadlines(jobs, DefaultDeadlineConfig())
+	b, _ := AssignDeadlines(jobs, DefaultDeadlineConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("deadline assignment not deterministic")
+		}
+	}
+}
+
+func TestAssignDeadlinesExtremeFractions(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 500
+	jobs, _ := Generate(cfg)
+
+	dcfg := DefaultDeadlineConfig()
+	dcfg.HighUrgencyFraction = 0
+	out, err := AssignDeadlines(jobs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range out {
+		if j.Class != LowUrgency {
+			t.Fatal("fraction 0 produced a high urgency job")
+		}
+	}
+
+	dcfg.HighUrgencyFraction = 1
+	out, err = AssignDeadlines(jobs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range out {
+		if j.Class != HighUrgency {
+			t.Fatal("fraction 1 produced a low urgency job")
+		}
+	}
+}
+
+func TestAssignDeadlinesRatioOneCollapsesClasses(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 5000
+	jobs, _ := Generate(cfg)
+	dcfg := DefaultDeadlineConfig()
+	dcfg.Ratio = 1
+	out, err := AssignDeadlines(jobs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var highFac, lowFac sim.Welford
+	for _, j := range out {
+		f := j.Deadline / j.Runtime
+		if j.Class == HighUrgency {
+			highFac.Add(f)
+		} else {
+			lowFac.Add(f)
+		}
+	}
+	if math.Abs(highFac.Mean()-lowFac.Mean()) > 0.2 {
+		t.Fatalf("ratio 1: class factor means differ (%.2f vs %.2f)", highFac.Mean(), lowFac.Mean())
+	}
+}
+
+func TestAssignDeadlinesRejectsBadConfig(t *testing.T) {
+	jobs := []Job{validJob()}
+	cases := []DeadlineConfig{
+		{HighUrgencyFraction: -0.1, MeanLowFactor: 2, Ratio: 4},
+		{HighUrgencyFraction: 1.5, MeanLowFactor: 2, Ratio: 4},
+		{HighUrgencyFraction: 0.2, MeanLowFactor: 0.5, Ratio: 4},
+		{HighUrgencyFraction: 0.2, MeanLowFactor: 2, Ratio: 0.5},
+	}
+	for i, c := range cases {
+		if _, err := AssignDeadlines(jobs, c); err == nil {
+			t.Errorf("case %d: bad deadline config accepted", i)
+		}
+	}
+}
+
+func TestHigherRatioGivesLongerLowUrgencyDeadlines(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 3000
+	jobs, _ := Generate(cfg)
+	meanLowDeadline := func(ratio float64) float64 {
+		dcfg := DefaultDeadlineConfig()
+		dcfg.Ratio = ratio
+		out, err := AssignDeadlines(jobs, dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w sim.Welford
+		for _, j := range out {
+			if j.Class == LowUrgency {
+				w.Add(j.Deadline / j.Runtime)
+			}
+		}
+		return w.Mean()
+	}
+	if a, b := meanLowDeadline(2), meanLowDeadline(8); b <= a {
+		t.Fatalf("ratio 8 mean factor %.2f not above ratio 2 mean %.2f", b, a)
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiurnalIntensityBounds(t *testing.T) {
+	c := DefaultDiurnalConfig()
+	for h := 0.0; h < 48; h += 0.25 {
+		v := c.intensity(h * 3600)
+		if v < 1-c.Amplitude-1e-9 || v > 1+c.Amplitude+1e-9 {
+			t.Fatalf("intensity(%gh) = %v outside [%v, %v]", h, v, 1-c.Amplitude, 1+c.Amplitude)
+		}
+	}
+	// Peak at the configured hour.
+	if v := c.intensity(c.PeakHour * 3600); math.Abs(v-(1+c.Amplitude)) > 1e-9 {
+		t.Fatalf("intensity at peak = %v, want %v", v, 1+c.Amplitude)
+	}
+	// Trough half a period later.
+	if v := c.intensity((c.PeakHour + 12) * 3600); math.Abs(v-(1-c.Amplitude)) > 1e-9 {
+		t.Fatalf("intensity at trough = %v, want %v", v, 1-c.Amplitude)
+	}
+}
+
+func TestDiurnalDisabledIsIdentity(t *testing.T) {
+	var c DiurnalConfig
+	for _, tm := range []float64{0, 1e4, 1e6} {
+		if c.intensity(tm) != 1 {
+			t.Fatalf("disabled diurnal intensity = %v", c.intensity(tm))
+		}
+	}
+}
+
+func TestDiurnalMeanIntensityIsOne(t *testing.T) {
+	c := DefaultDiurnalConfig()
+	var sum float64
+	n := 24 * 60
+	for i := 0; i < n; i++ {
+		sum += c.intensity(float64(i) * 60)
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.01 {
+		t.Fatalf("mean intensity over a day = %v, want 1", mean)
+	}
+}
+
+func TestDiurnalGenerationConcentratesArrivals(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 6000
+	cfg.MeanInterarrival = 240 // ~16 days of trace: plenty of cycles
+	cfg.Diurnal = DefaultDiurnalConfig()
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket arrivals by hour of day; the peak half (peak±6h) must carry
+	// clearly more than half the jobs.
+	peak := cfg.Diurnal.PeakHour
+	inPeak := 0
+	for _, j := range jobs {
+		hour := math.Mod(j.Submit/3600, 24)
+		d := math.Abs(hour - peak)
+		if d > 12 {
+			d = 24 - d
+		}
+		if d <= 6 {
+			inPeak++
+		}
+	}
+	frac := float64(inPeak) / float64(len(jobs))
+	if frac < 0.6 {
+		t.Fatalf("peak half-day carries %.0f%% of arrivals, want > 60%%", frac*100)
+	}
+}
+
+func TestDiurnalKeepsMeanInterarrival(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 8000
+	cfg.Diurnal = DefaultDiurnalConfig()
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := jobs[len(jobs)-1].Submit - jobs[0].Submit
+	mean := span / float64(len(jobs)-1)
+	// The harmonic-mean correction of 1/intensity stretching inflates the
+	// effective mean by 1/sqrt(1-A²) ≈ 1.4 at A=0.7; accept a broad band
+	// but catch order-of-magnitude regressions.
+	if mean < cfg.MeanInterarrival*0.8 || mean > cfg.MeanInterarrival*2.2 {
+		t.Fatalf("diurnal mean interarrival = %.0f, base %.0f", mean, cfg.MeanInterarrival)
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	bad := []DiurnalConfig{
+		{Amplitude: -0.1},
+		{Amplitude: 1.0, PeriodHours: 24},
+		{Amplitude: 0.5, PeriodHours: 0},
+		{Amplitude: 0.5, PeriodHours: 24, PeakHour: -2},
+	}
+	for i, c := range bad {
+		cfg := DefaultGeneratorConfig()
+		cfg.Diurnal = c
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}

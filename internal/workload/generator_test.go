@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+func genDefault(t *testing.T) []Job {
+	t.Helper()
+	jobs, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestGenerateCountAndOrder(t *testing.T) {
+	jobs := genDefault(t)
+	if len(jobs) != TraceJobs {
+		t.Fatalf("len = %d, want %d", len(jobs), TraceJobs)
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			t.Fatal("jobs not sorted by submit time")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genDefault(t)
+	b := genDefault(t)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs across identical runs", i)
+		}
+	}
+	cfg := DefaultGeneratorConfig()
+	cfg.Seed = 99
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Runtime == c[i].Runtime {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds produced %d/%d identical runtimes", same, len(a))
+	}
+}
+
+func TestGenerateMatchesPaperStatistics(t *testing.T) {
+	jobs := genDefault(t)
+	var inter, run, procs sim.Welford
+	for i, j := range jobs {
+		if i > 0 {
+			inter.Add(j.Submit - jobs[i-1].Submit)
+		}
+		run.Add(j.Runtime)
+		procs.Add(float64(j.NumProc))
+	}
+	if m := inter.Mean(); math.Abs(m-TraceMeanInterarrival)/TraceMeanInterarrival > 0.10 {
+		t.Errorf("mean interarrival = %.0f s, want within 10%% of %.0f", m, TraceMeanInterarrival)
+	}
+	if m := run.Mean(); math.Abs(m-TraceMeanRuntime)/TraceMeanRuntime > 0.15 {
+		t.Errorf("mean runtime = %.0f s, want within 15%% of %.0f", m, TraceMeanRuntime)
+	}
+	if m := procs.Mean(); math.Abs(m-TraceMeanProcs)/TraceMeanProcs > 0.20 {
+		t.Errorf("mean procs = %.1f, want within 20%% of %.0f", m, TraceMeanProcs)
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	jobs := genDefault(t)
+	for _, j := range jobs {
+		if j.Runtime < cfg.MinRuntime || j.Runtime > cfg.MaxRuntime {
+			t.Fatalf("runtime %g outside [%g, %g]", j.Runtime, cfg.MinRuntime, cfg.MaxRuntime)
+		}
+		if j.NumProc < 1 || j.NumProc > cfg.MaxProcs {
+			t.Fatalf("numproc %d outside [1, %d]", j.NumProc, cfg.MaxProcs)
+		}
+		if j.TraceEstimate <= 0 {
+			t.Fatalf("estimate %g not positive", j.TraceEstimate)
+		}
+	}
+}
+
+func TestGenerateEstimateMixture(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 10000
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exact, under, over int
+	var overFactor sim.Welford
+	for _, j := range jobs {
+		switch {
+		case j.TraceEstimate == j.Runtime:
+			exact++
+		case j.TraceEstimate < j.Runtime:
+			under++
+		default:
+			over++
+			overFactor.Add(j.TraceEstimate / j.Runtime)
+		}
+	}
+	n := float64(len(jobs))
+	if f := float64(exact) / n; math.Abs(f-cfg.Estimates.ExactFraction) > 0.03 {
+		t.Errorf("exact fraction = %.3f, want ~%.2f", f, cfg.Estimates.ExactFraction)
+	}
+	if f := float64(under) / n; math.Abs(f-cfg.Estimates.UnderFraction) > 0.03 {
+		t.Errorf("under fraction = %.3f, want ~%.2f", f, cfg.Estimates.UnderFraction)
+	}
+	// Overestimates dominate and are severe — the paper's "often over
+	// estimated" observation.
+	if float64(over)/n < 0.6 {
+		t.Errorf("over fraction = %.3f, want > 0.6", float64(over)/n)
+	}
+	if m := overFactor.Mean(); m < 2 || m > 8 {
+		t.Errorf("mean over-factor = %.2f, want in [2, 8]", m)
+	}
+}
+
+func TestGenerateUnderestimatesAreStrict(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 5000
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.TraceEstimate < j.Runtime && j.TraceEstimate/j.Runtime < cfg.Estimates.UnderLo-1e-9 {
+			t.Fatalf("underestimate factor %g below configured floor", j.TraceEstimate/j.Runtime)
+		}
+	}
+}
+
+func TestGenerateValidateRejectsBadConfig(t *testing.T) {
+	cases := []func(*GeneratorConfig){
+		func(c *GeneratorConfig) { c.Jobs = 0 },
+		func(c *GeneratorConfig) { c.MeanInterarrival = 0 },
+		func(c *GeneratorConfig) { c.MeanRuntime = -1 },
+		func(c *GeneratorConfig) { c.MinRuntime = 100; c.MaxRuntime = 50 },
+		func(c *GeneratorConfig) { c.MaxProcs = 0 },
+		func(c *GeneratorConfig) { c.NonPowerFraction = 2 },
+		func(c *GeneratorConfig) { c.Estimates.OverFactorMean = 0.5 },
+		func(c *GeneratorConfig) { c.Estimates.ExactFraction = 0.9; c.Estimates.UnderFraction = 0.5 },
+	}
+	for i, mut := range cases {
+		cfg := DefaultGeneratorConfig()
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestGenerateSingleNodeCluster(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 100
+	cfg.MaxProcs = 1
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.NumProc != 1 {
+			t.Fatalf("numproc = %d on single-node cluster", j.NumProc)
+		}
+	}
+}
+
+func TestWeibullShapeForCV(t *testing.T) {
+	for _, cv := range []float64{1.2, 1.8, 2.5} {
+		k := weibullShapeForCV(cv)
+		g1 := math.Gamma(1 + 1/k)
+		g2 := math.Gamma(1 + 2/k)
+		got := math.Sqrt(g2/(g1*g1) - 1)
+		if math.Abs(got-cv) > 0.01 {
+			t.Errorf("shape for cv=%g gives cv=%g", cv, got)
+		}
+	}
+}
+
+func TestGenerateInterarrivalCVLowFallsBackToExp(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 2000
+	cfg.InterarrivalCV = 1.0
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inter sim.Welford
+	for i := 1; i < len(jobs); i++ {
+		inter.Add(jobs[i].Submit - jobs[i-1].Submit)
+	}
+	cv := inter.StdDev() / inter.Mean()
+	if math.Abs(cv-1) > 0.15 {
+		t.Fatalf("exponential interarrival CV = %.2f, want ~1", cv)
+	}
+}
+
+func TestGenerateOfferedLoadIsHeavy(t *testing.T) {
+	// The paper chose SDSC SP2 because its utilization is the highest of
+	// the archive (83.2%); the synthetic workload must offer comparable
+	// load so admission control actually matters.
+	jobs := genDefault(t)
+	u := Utilization(jobs, SDSCSP2Nodes)
+	if u < 0.5 || u > 1.3 {
+		t.Fatalf("offered utilization = %.2f, want heavy (0.5..1.3)", u)
+	}
+}

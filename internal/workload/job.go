@@ -1,0 +1,145 @@
+// Package workload models the paper's workload: jobs with real runtimes,
+// user runtime estimates, processor requirements and synthesized deadlines,
+// either generated to match the SDSC SP2 trace subset statistics or
+// converted from a real SWF trace.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class is a job urgency class. The paper assigns each job to a high
+// urgency class (short deadline relative to runtime) or a low urgency class
+// (long deadline relative to runtime).
+type Class int
+
+const (
+	// HighUrgency jobs have a deadline/runtime factor drawn around the low
+	// mean (tight deadlines).
+	HighUrgency Class = iota
+	// LowUrgency jobs have a deadline/runtime factor drawn around
+	// ratio × the low mean (loose deadlines).
+	LowUrgency
+)
+
+func (c Class) String() string {
+	switch c {
+	case HighUrgency:
+		return "high-urgency"
+	case LowUrgency:
+		return "low-urgency"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Job is one unit of work submitted to the cluster. All durations are in
+// seconds of dedicated execution on a node of the reference SPEC rating;
+// the cluster engine converts to heterogeneous node speeds via MI.
+type Job struct {
+	ID     int
+	Submit float64 // arrival time, seconds since workload start
+	// Runtime is the real dedicated runtime. The scheduler never sees it;
+	// it drives actual completion.
+	Runtime float64
+	// TraceEstimate is the user-supplied runtime estimate ("requested
+	// time" in SWF terms): what the trace recorded, typically
+	// overestimated and sometimes underestimated.
+	TraceEstimate float64
+	// NumProc is the number of processors (nodes) the job needs
+	// simultaneously.
+	NumProc int
+	// Deadline is the SLA deadline relative to Submit. Hard: the job is
+	// useful only if it completes within Submit+Deadline.
+	Deadline float64
+	Class    Class
+	// UserID identifies the submitting user (0 when the workload has no
+	// user model). History-based runtime predictors key on it.
+	UserID int
+}
+
+// AbsDeadline returns the absolute deadline time.
+func (j Job) AbsDeadline() float64 { return j.Submit + j.Deadline }
+
+// LengthMI converts the job's dedicated runtime to a machine-independent
+// length in million instructions, given the reference node's SPEC (MIPS)
+// rating.
+func (j Job) LengthMI(refRating float64) float64 { return j.Runtime * refRating }
+
+// EstimateAt returns the runtime estimate the scheduler sees at the given
+// inaccuracy level, per the paper's §4: 0 % means perfectly accurate
+// estimates (equal to the real runtime), 100 % means the actual estimates
+// from the trace, and intermediate levels interpolate linearly.
+func (j Job) EstimateAt(inaccuracyPct float64) float64 {
+	if inaccuracyPct < 0 {
+		inaccuracyPct = 0
+	}
+	if inaccuracyPct > 100 {
+		inaccuracyPct = 100
+	}
+	est := j.Runtime + inaccuracyPct/100*(j.TraceEstimate-j.Runtime)
+	// A zero or negative estimate would divide shares by zero downstream;
+	// schedulers treat such jobs as needing at least a moment of service.
+	return math.Max(est, 1e-6)
+}
+
+// Validate reports the first modelling error in the job, if any. It guards
+// the generator and the SWF conversion path.
+func (j Job) Validate() error {
+	switch {
+	case j.Submit < 0:
+		return fmt.Errorf("job %d: negative submit %g", j.ID, j.Submit)
+	case j.Runtime <= 0:
+		return fmt.Errorf("job %d: non-positive runtime %g", j.ID, j.Runtime)
+	case j.TraceEstimate <= 0:
+		return fmt.Errorf("job %d: non-positive estimate %g", j.ID, j.TraceEstimate)
+	case j.NumProc <= 0:
+		return fmt.Errorf("job %d: non-positive numproc %d", j.ID, j.NumProc)
+	case j.Deadline <= 0:
+		return fmt.Errorf("job %d: non-positive deadline %g", j.ID, j.Deadline)
+	case math.IsNaN(j.Submit) || math.IsNaN(j.Runtime) || math.IsNaN(j.TraceEstimate) || math.IsNaN(j.Deadline):
+		return fmt.Errorf("job %d: NaN field", j.ID)
+	}
+	return nil
+}
+
+// ScaleArrivals returns a copy of jobs with inter-arrival gaps multiplied
+// by factor — the paper's "arrival delay factor". A factor below 1
+// compresses arrivals (heavier load); 1 leaves the trace timing unchanged.
+// The first job keeps its submit time.
+func ScaleArrivals(jobs []Job, factor float64) []Job {
+	out := make([]Job, len(jobs))
+	copy(out, jobs)
+	if len(out) == 0 || factor == 1 {
+		return out
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	prevOrig := jobs[0].Submit
+	prevNew := jobs[0].Submit
+	for i := 1; i < len(out); i++ {
+		gap := jobs[i].Submit - prevOrig
+		prevOrig = jobs[i].Submit
+		prevNew += gap * factor
+		out[i].Submit = prevNew
+	}
+	return out
+}
+
+// ValidateAll returns the first error across all jobs, also checking that
+// submissions are in nondecreasing time order.
+func ValidateAll(jobs []Job) error {
+	prev := math.Inf(-1)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if j.Submit < prev {
+			return fmt.Errorf("job %d: submit %g before previous %g", j.ID, j.Submit, prev)
+		}
+		prev = j.Submit
+	}
+	return nil
+}

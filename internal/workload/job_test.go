@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validJob() Job {
+	return Job{ID: 1, Submit: 10, Runtime: 100, TraceEstimate: 300, NumProc: 4, Deadline: 250, Class: HighUrgency}
+}
+
+func TestJobAbsDeadline(t *testing.T) {
+	j := validJob()
+	if got := j.AbsDeadline(); got != 260 {
+		t.Fatalf("AbsDeadline = %v, want 260", got)
+	}
+}
+
+func TestJobLengthMI(t *testing.T) {
+	j := validJob()
+	if got := j.LengthMI(168); got != 100*168 {
+		t.Fatalf("LengthMI = %v", got)
+	}
+}
+
+func TestEstimateAtEndpoints(t *testing.T) {
+	j := validJob()
+	if got := j.EstimateAt(0); got != 100 {
+		t.Fatalf("EstimateAt(0) = %v, want real runtime", got)
+	}
+	if got := j.EstimateAt(100); got != 300 {
+		t.Fatalf("EstimateAt(100) = %v, want trace estimate", got)
+	}
+	if got := j.EstimateAt(50); got != 200 {
+		t.Fatalf("EstimateAt(50) = %v, want midpoint 200", got)
+	}
+}
+
+func TestEstimateAtClampsPercent(t *testing.T) {
+	j := validJob()
+	if got := j.EstimateAt(-10); got != 100 {
+		t.Fatalf("EstimateAt(-10) = %v", got)
+	}
+	if got := j.EstimateAt(500); got != 300 {
+		t.Fatalf("EstimateAt(500) = %v", got)
+	}
+}
+
+func TestEstimateAtUnderestimatedJob(t *testing.T) {
+	j := validJob()
+	j.TraceEstimate = 40 // user underestimated
+	if got := j.EstimateAt(100); got != 40 {
+		t.Fatalf("EstimateAt(100) = %v, want 40", got)
+	}
+	if got := j.EstimateAt(50); got != 70 {
+		t.Fatalf("EstimateAt(50) = %v, want 70", got)
+	}
+}
+
+func TestEstimateAtNeverNonPositive(t *testing.T) {
+	f := func(pct uint8, est float64) bool {
+		j := validJob()
+		j.TraceEstimate = math.Abs(est)
+		return j.EstimateAt(float64(pct%101)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Job)
+	}{
+		{"negative submit", func(j *Job) { j.Submit = -1 }},
+		{"zero runtime", func(j *Job) { j.Runtime = 0 }},
+		{"zero estimate", func(j *Job) { j.TraceEstimate = 0 }},
+		{"zero numproc", func(j *Job) { j.NumProc = 0 }},
+		{"zero deadline", func(j *Job) { j.Deadline = 0 }},
+		{"NaN runtime", func(j *Job) { j.Runtime = math.NaN() }},
+	}
+	for _, tc := range cases {
+		j := validJob()
+		tc.mut(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad job", tc.name)
+		}
+	}
+}
+
+func TestValidateAllOrderCheck(t *testing.T) {
+	a, b := validJob(), validJob()
+	b.ID = 2
+	b.Submit = 5 // before a
+	if err := ValidateAll([]Job{a, b}); err == nil {
+		t.Fatal("out-of-order submits accepted")
+	}
+	b.Submit = 10 // ties are fine
+	if err := ValidateAll([]Job{a, b}); err != nil {
+		t.Fatalf("tie rejected: %v", err)
+	}
+}
+
+func TestScaleArrivals(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 100},
+		{ID: 2, Submit: 200},
+		{ID: 3, Submit: 250},
+	}
+	half := ScaleArrivals(jobs, 0.5)
+	want := []float64{100, 150, 175}
+	for i, w := range want {
+		if half[i].Submit != w {
+			t.Fatalf("ScaleArrivals(0.5) submits = %v,%v,%v, want %v",
+				half[0].Submit, half[1].Submit, half[2].Submit, want)
+		}
+	}
+	if jobs[1].Submit != 200 {
+		t.Fatal("ScaleArrivals mutated input")
+	}
+	same := ScaleArrivals(jobs, 1)
+	for i := range jobs {
+		if same[i].Submit != jobs[i].Submit {
+			t.Fatal("factor 1 must be identity")
+		}
+	}
+	zero := ScaleArrivals(jobs, 0)
+	for _, j := range zero {
+		if j.Submit != 100 {
+			t.Fatalf("factor 0 should collapse arrivals onto the first: %+v", zero)
+		}
+	}
+}
+
+func TestScaleArrivalsNegativeFactorClamped(t *testing.T) {
+	jobs := []Job{{Submit: 0}, {Submit: 10}}
+	out := ScaleArrivals(jobs, -3)
+	if out[1].Submit != 0 {
+		t.Fatalf("negative factor should clamp to 0, got %v", out[1].Submit)
+	}
+}
+
+func TestScaleArrivalsPreservesGapsProperty(t *testing.T) {
+	f := func(seed uint64, factPct uint8) bool {
+		cfg := DefaultGeneratorConfig()
+		cfg.Jobs = 50
+		cfg.Seed = seed
+		jobs, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		factor := float64(factPct%20)/10 + 0.1
+		out := ScaleArrivals(jobs, factor)
+		for i := 1; i < len(jobs); i++ {
+			wantGap := (jobs[i].Submit - jobs[i-1].Submit) * factor
+			gotGap := out[i].Submit - out[i-1].Submit
+			if math.Abs(gotGap-wantGap) > 1e-6*(1+wantGap) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if HighUrgency.String() != "high-urgency" || LowUrgency.String() != "low-urgency" {
+		t.Fatal("Class.String wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class should still print")
+	}
+}

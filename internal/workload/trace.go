@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"clustersched/internal/swf"
+)
+
+// FromSWF converts a parsed SWF trace into the internal job stream. Records
+// without a usable estimate inherit their runtime as the "trace estimate"
+// (i.e. they behave as accurate), which is the conservative choice the
+// paper makes by selecting SDSC SP2 specifically because it records real
+// estimates. Processor requests are capped at maxProcs so a trace from a
+// larger machine still replays.
+func FromSWF(tr *swf.Trace, maxProcs int) ([]Job, error) {
+	if maxProcs <= 0 {
+		return nil, fmt.Errorf("workload: maxProcs = %d, want > 0", maxProcs)
+	}
+	jobs := make([]Job, 0, len(tr.Records))
+	for _, r := range tr.Records {
+		if r.RunTime <= 0 || r.Procs() <= 0 {
+			continue // never-ran records cannot be replayed
+		}
+		est := float64(r.ReqTime)
+		if !r.HasEstimate() {
+			est = float64(r.RunTime)
+		}
+		jobs = append(jobs, Job{
+			ID:            r.JobNumber,
+			Submit:        float64(r.Submit),
+			Runtime:       float64(r.RunTime),
+			TraceEstimate: est,
+			NumProc:       min(r.Procs(), maxProcs),
+		})
+	}
+	return jobs, nil
+}
+
+// ToSWF converts a job stream (with or without deadlines) into an SWF
+// trace, recording the user estimate in the requested-time field. Deadline
+// and class, which SWF has no fields for, are stored as header metadata per
+// the convention "deadlines must be re-assigned on load".
+func ToSWF(jobs []Job, maxNodes int) *swf.Trace {
+	tr := &swf.Trace{}
+	tr.Header.Set("Version", "2.2")
+	tr.Header.Set("Computer", "Synthetic IBM SP2 (clustersched)")
+	tr.Header.Set("MaxNodes", fmt.Sprintf("%d", maxNodes))
+	tr.Header.Set("Note", "synthetic SDSC SP2-like workload; deadlines assigned at load time")
+	for _, j := range jobs {
+		tr.Records = append(tr.Records, swf.Record{
+			JobNumber:      j.ID,
+			Submit:         int64(math.Round(j.Submit)),
+			Wait:           swf.Missing,
+			RunTime:        int64(math.Round(j.Runtime)),
+			AllocProcs:     j.NumProc,
+			AvgCPUTime:     swf.Missing,
+			UsedMemory:     swf.Missing,
+			ReqProcs:       j.NumProc,
+			ReqTime:        int64(math.Ceil(j.TraceEstimate)),
+			ReqMemory:      swf.Missing,
+			Status:         swf.StatusCompleted,
+			UserID:         swf.Missing,
+			GroupID:        swf.Missing,
+			Executable:     swf.Missing,
+			QueueNumber:    swf.Missing,
+			PartitionNum:   swf.Missing,
+			PrecedingJob:   swf.Missing,
+			ThinkTimeAfter: swf.Missing,
+		})
+	}
+	return tr
+}
+
+// Utilization estimates the offered load of a job stream on a cluster of
+// the given size: total processor-seconds demanded divided by available
+// processor-seconds over the submission span.
+func Utilization(jobs []Job, nodes int) float64 {
+	if len(jobs) == 0 || nodes <= 0 {
+		return 0
+	}
+	var demand float64
+	first, last := jobs[0].Submit, jobs[0].Submit
+	for _, j := range jobs {
+		demand += j.Runtime * float64(j.NumProc)
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
+	}
+	span := last - first
+	if span <= 0 {
+		return math.Inf(1)
+	}
+	return demand / (span * float64(nodes))
+}

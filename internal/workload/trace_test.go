@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"clustersched/internal/swf"
+)
+
+func TestToFromSWFRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 200
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ToSWF(jobs, SDSCSP2Nodes)
+	var buf bytes.Buffer
+	if err := swf.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := swf.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSWF(tr2, SDSCSP2Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip kept %d of %d jobs", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if back[i].NumProc != jobs[i].NumProc {
+			t.Fatalf("job %d numproc changed", i)
+		}
+		if math.Abs(back[i].Submit-jobs[i].Submit) > 1 {
+			t.Fatalf("job %d submit drifted by more than rounding", i)
+		}
+		if math.Abs(back[i].Runtime-jobs[i].Runtime) > 1 {
+			t.Fatalf("job %d runtime drifted by more than rounding", i)
+		}
+		if back[i].TraceEstimate < jobs[i].TraceEstimate-1 {
+			t.Fatalf("job %d estimate shrank (must round up)", i)
+		}
+	}
+}
+
+func TestFromSWFSkipsUnrunnable(t *testing.T) {
+	tr := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 0, RunTime: 100, AllocProcs: 4, ReqTime: 200},
+		{JobNumber: 2, Submit: 5, RunTime: 0, AllocProcs: 4, ReqTime: 200},
+		{JobNumber: 3, Submit: 9, RunTime: 50, AllocProcs: 0, ReqProcs: 0},
+	}}
+	jobs, err := FromSWF(tr, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Fatalf("FromSWF kept %+v, want only job 1", jobs)
+	}
+}
+
+func TestFromSWFEstimateFallback(t *testing.T) {
+	tr := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 0, RunTime: 100, AllocProcs: 2, ReqTime: swf.Missing},
+	}}
+	jobs, err := FromSWF(tr, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].TraceEstimate != 100 {
+		t.Fatalf("estimate fallback = %g, want runtime 100", jobs[0].TraceEstimate)
+	}
+}
+
+func TestFromSWFCapsProcs(t *testing.T) {
+	tr := &swf.Trace{Records: []swf.Record{
+		{JobNumber: 1, Submit: 0, RunTime: 100, AllocProcs: 512, ReqTime: 200},
+	}}
+	jobs, err := FromSWF(tr, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].NumProc != 128 {
+		t.Fatalf("NumProc = %d, want capped 128", jobs[0].NumProc)
+	}
+}
+
+func TestFromSWFRejectsBadMaxProcs(t *testing.T) {
+	if _, err := FromSWF(&swf.Trace{}, 0); err == nil {
+		t.Fatal("maxProcs 0 accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	jobs := []Job{
+		{Submit: 0, Runtime: 100, NumProc: 2},
+		{Submit: 100, Runtime: 100, NumProc: 2},
+	}
+	// demand = 400 proc-s over a 100 s span on 4 nodes = 1.0
+	if got := Utilization(jobs, 4); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 1.0", got)
+	}
+	if got := Utilization(nil, 4); got != 0 {
+		t.Fatalf("empty Utilization = %v", got)
+	}
+	if got := Utilization(jobs, 0); got != 0 {
+		t.Fatalf("zero-node Utilization = %v", got)
+	}
+	one := []Job{{Submit: 5, Runtime: 10, NumProc: 1}}
+	if got := Utilization(one, 4); !math.IsInf(got, 1) {
+		t.Fatalf("zero-span Utilization = %v, want +Inf", got)
+	}
+}
+
+func TestToSWFHeader(t *testing.T) {
+	tr := ToSWF(nil, 64)
+	if v, ok := tr.Header.Get("MaxNodes"); !ok || v != "64" {
+		t.Fatalf("MaxNodes header = %q, %v", v, ok)
+	}
+}

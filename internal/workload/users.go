@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"clustersched/internal/sim"
+)
+
+// UserModelConfig adds a user population to the synthetic workload. Real
+// traces show two properties that matter for estimate handling: job
+// counts per user are heavily skewed (a few users dominate), and each
+// user's estimation *style* is persistent — chronic padders keep padding,
+// precise users stay precise (Tsafrir et al. 2005). Persistence is what
+// makes history-based runtime prediction work, so experiments on
+// system-generated estimates need this model enabled.
+type UserModelConfig struct {
+	// Count is the number of users; 0 disables the model entirely.
+	Count int
+	// ZipfS is the skew of the user-activity distribution
+	// (P(user u) ∝ 1/(u+1)^s). 0 means uniform activity.
+	ZipfS float64
+	// StyleJitterCV perturbs each job around its user's characteristic
+	// over-estimation factor (lognormal CV). Low values make users highly
+	// predictable.
+	StyleJitterCV float64
+	// RuntimeSpreadCV spreads characteristic runtime scales *across*
+	// users (lognormal CV around the generator's MeanRuntime), and
+	// RuntimeJitterCV perturbs each job around its user's scale. Real
+	// users resubmit similar jobs, so within-user jitter is much smaller
+	// than the population spread — the property last-K-runtimes
+	// predictors exploit.
+	RuntimeSpreadCV float64
+	RuntimeJitterCV float64
+}
+
+// DefaultUserModelConfig returns a 64-user population with realistic skew,
+// moderately consistent personal styles, and within-user runtime locality.
+func DefaultUserModelConfig() UserModelConfig {
+	return UserModelConfig{
+		Count: 64, ZipfS: 1.2, StyleJitterCV: 0.25,
+		RuntimeSpreadCV: 2.0, RuntimeJitterCV: 0.5,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c UserModelConfig) Validate() error {
+	switch {
+	case c.Count < 0:
+		return fmt.Errorf("workload: user Count = %d, want >= 0", c.Count)
+	case c.ZipfS < 0:
+		return fmt.Errorf("workload: ZipfS = %g, want >= 0", c.ZipfS)
+	case c.StyleJitterCV < 0:
+		return fmt.Errorf("workload: StyleJitterCV = %g, want >= 0", c.StyleJitterCV)
+	case c.RuntimeSpreadCV < 0 || c.RuntimeJitterCV < 0:
+		return fmt.Errorf("workload: runtime CVs (%g, %g) must be >= 0", c.RuntimeSpreadCV, c.RuntimeJitterCV)
+	}
+	return nil
+}
+
+// userStyle is one user's persistent estimation behaviour.
+type userStyle struct {
+	kind styleKind
+	// factor is the user's characteristic estimate/runtime ratio (for
+	// padders > 1, for underestimators < 1; 1 for exact users).
+	factor float64
+}
+
+type styleKind int
+
+const (
+	styleExact styleKind = iota
+	styleUnder
+	styleOver
+)
+
+// buildUserPopulation draws the per-user activity weights, styles and
+// characteristic runtime scales. The style mixture reuses the job-level
+// EstimateConfig fractions so the aggregate workload keeps the same
+// over/under/exact composition.
+func buildUserPopulation(r *sim.RNG, ucfg UserModelConfig, ecfg EstimateConfig, meanRuntime float64) (weights []float64, styles []userStyle, scales []float64) {
+	weights = make([]float64, ucfg.Count)
+	styles = make([]userStyle, ucfg.Count)
+	scales = make([]float64, ucfg.Count)
+	for u := 0; u < ucfg.Count; u++ {
+		weights[u] = 1 / math.Pow(float64(u+1), ucfg.ZipfS)
+		scales[u] = r.LognormalMeanCV(meanRuntime, ucfg.RuntimeSpreadCV)
+		p := r.Float64()
+		switch {
+		case p < ecfg.ExactFraction:
+			styles[u] = userStyle{kind: styleExact, factor: 1}
+		case p < ecfg.ExactFraction+ecfg.UnderFraction:
+			f := ecfg.UnderLo + r.Float64()*(ecfg.UnderHi-ecfg.UnderLo)
+			styles[u] = userStyle{kind: styleUnder, factor: f}
+		default:
+			f := clamp(r.LognormalMeanCV(ecfg.OverFactorMean, ecfg.OverFactorCV), ecfg.OverMin, ecfg.OverMax)
+			styles[u] = userStyle{kind: styleOver, factor: f}
+		}
+	}
+	return weights, styles, scales
+}
+
+// sampleUserRuntime draws a runtime around the user's characteristic
+// scale.
+func sampleUserRuntime(r *sim.RNG, scale float64, ucfg UserModelConfig) float64 {
+	if ucfg.RuntimeJitterCV <= 0 {
+		return scale
+	}
+	return scale * r.LognormalMeanCV(1, ucfg.RuntimeJitterCV)
+}
+
+// sampleUserEstimate draws one estimate in the user's persistent style,
+// with per-job jitter.
+func sampleUserEstimate(r *sim.RNG, runtime float64, style userStyle, ucfg UserModelConfig, ecfg EstimateConfig, maxRuntime float64) float64 {
+	jitter := 1.0
+	if ucfg.StyleJitterCV > 0 {
+		jitter = r.LognormalMeanCV(1, ucfg.StyleJitterCV)
+	}
+	switch style.kind {
+	case styleExact:
+		return runtime
+	case styleUnder:
+		f := clamp(style.factor*jitter, 0.05, 0.99)
+		return math.Max(1, runtime*f)
+	default:
+		f := clamp(style.factor*jitter, ecfg.OverMin, ecfg.OverMax)
+		est := runtime * f
+		if ecfg.RoundTo > 0 {
+			est = math.Ceil(est/ecfg.RoundTo) * ecfg.RoundTo
+		}
+		return math.Min(est, maxRuntime*2)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+func genUsers(t *testing.T, jobs int) []Job {
+	t.Helper()
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = jobs
+	cfg.Users = DefaultUserModelConfig()
+	out, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestUserModelAssignsIDs(t *testing.T) {
+	jobs := genUsers(t, 2000)
+	users := map[int]int{}
+	for _, j := range jobs {
+		if j.UserID <= 0 || j.UserID > DefaultUserModelConfig().Count {
+			t.Fatalf("UserID = %d out of range", j.UserID)
+		}
+		users[j.UserID]++
+	}
+	if len(users) < 10 {
+		t.Fatalf("only %d distinct users across 2000 jobs", len(users))
+	}
+}
+
+func TestUserModelDisabledLeavesZeroIDs(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Jobs = 100
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.UserID != 0 {
+			t.Fatalf("UserID = %d with user model disabled", j.UserID)
+		}
+	}
+}
+
+func TestUserModelActivityIsSkewed(t *testing.T) {
+	jobs := genUsers(t, 5000)
+	counts := map[int]int{}
+	for _, j := range jobs {
+		counts[j.UserID]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top5 := 0
+	for i := 0; i < 5 && i < len(all); i++ {
+		top5 += all[i]
+	}
+	if frac := float64(top5) / 5000; frac < 0.3 {
+		t.Fatalf("top-5 users submit only %.0f%% of jobs; Zipf skew missing", frac*100)
+	}
+}
+
+func TestUserModelRuntimeLocality(t *testing.T) {
+	// Within-user runtime CV must be well below the population CV.
+	jobs := genUsers(t, 8000)
+	perUser := map[int]*sim.Welford{}
+	var pop sim.Welford
+	for _, j := range jobs {
+		w := perUser[j.UserID]
+		if w == nil {
+			w = &sim.Welford{}
+			perUser[j.UserID] = w
+		}
+		w.Add(j.Runtime)
+		pop.Add(j.Runtime)
+	}
+	popCV := pop.StdDev() / pop.Mean()
+	var cvSum float64
+	n := 0
+	for _, w := range perUser {
+		if w.N() >= 30 {
+			cvSum += w.StdDev() / w.Mean()
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("no user with enough jobs")
+	}
+	meanUserCV := cvSum / float64(n)
+	if meanUserCV >= popCV*0.8 {
+		t.Fatalf("within-user CV %.2f not below population CV %.2f", meanUserCV, popCV)
+	}
+}
+
+func TestUserModelStylePersistence(t *testing.T) {
+	// A user who overestimates once should overestimate essentially
+	// always (styles persist).
+	jobs := genUsers(t, 8000)
+	over := map[int]int{}
+	under := map[int]int{}
+	total := map[int]int{}
+	for _, j := range jobs {
+		total[j.UserID]++
+		switch {
+		case j.TraceEstimate > j.Runtime*1.001:
+			over[j.UserID]++
+		case j.TraceEstimate < j.Runtime*0.999:
+			under[j.UserID]++
+		}
+	}
+	mixed := 0
+	examined := 0
+	for u, n := range total {
+		if n < 30 {
+			continue
+		}
+		examined++
+		if over[u] > n/5 && under[u] > n/5 {
+			mixed++
+		}
+	}
+	if examined == 0 {
+		t.Skip("no user with enough jobs")
+	}
+	if frac := float64(mixed) / float64(examined); frac > 0.25 {
+		t.Fatalf("%.0f%% of users flip between over- and under-estimating; styles should persist", frac*100)
+	}
+}
+
+func TestUserModelKeepsAggregateCalibration(t *testing.T) {
+	jobs := genUsers(t, 8000)
+	var run sim.Welford
+	over := 0
+	for _, j := range jobs {
+		run.Add(j.Runtime)
+		if j.TraceEstimate > j.Runtime {
+			over++
+		}
+	}
+	if m := run.Mean(); math.Abs(m-TraceMeanRuntime)/TraceMeanRuntime > 0.4 {
+		t.Errorf("mean runtime %.0f drifted too far from calibration %.0f", m, TraceMeanRuntime)
+	}
+	if frac := float64(over) / float64(len(jobs)); frac < 0.5 {
+		t.Errorf("overestimates = %.0f%%, want majority", frac*100)
+	}
+}
+
+func TestUserModelValidate(t *testing.T) {
+	bad := []UserModelConfig{
+		{Count: -1},
+		{Count: 4, ZipfS: -1},
+		{Count: 4, StyleJitterCV: -1},
+		{Count: 4, RuntimeSpreadCV: -1},
+		{Count: 4, RuntimeJitterCV: -2},
+	}
+	for i, c := range bad {
+		cfg := DefaultGeneratorConfig()
+		cfg.Users = c
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestUserModelDeterministic(t *testing.T) {
+	a := genUsers(t, 300)
+	b := genUsers(t, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("user-model generation not deterministic")
+		}
+	}
+}
