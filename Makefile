@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover fuzz experiments examples clean
+.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples clean
 
 all: build vet test
 
@@ -18,6 +18,26 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json reruns the admission-control and predictor benchmarks and
+# writes results/bench_new.txt plus the machine-readable comparison
+# against the committed pre-optimization baseline (results/bench_seed.txt)
+# into BENCH_admission.json.
+bench-json:
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale' \
+		-benchmem -count 5 . | tee results/bench_new.txt
+	$(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt \
+		> BENCH_admission.json
+	@echo wrote BENCH_admission.json
+
+# bench-compare renders the same old/new pair with benchstat when it is
+# installed (no network installs here; `go install
+# golang.org/x/perf/cmd/benchstat@latest` on a connected machine).
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 \
+		&& benchstat results/bench_seed.txt results/bench_new.txt \
+		|| { echo "benchstat not found; falling back to benchjson ratios"; \
+		     $(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt; }
 
 cover:
 	$(GO) test -cover ./...

@@ -368,7 +368,9 @@ func BenchmarkExtensionPolicies(b *testing.B) {
 }
 
 // BenchmarkPredictorScaling isolates the cost of LibraRisk's per-node
-// fluid predictor as concurrent slices grow.
+// fluid predictor as concurrent slices grow, on the scratch-buffer fast
+// path the admission control actually uses (zero allocations in steady
+// state).
 func BenchmarkPredictorScaling(b *testing.B) {
 	for _, n := range []int{1, 4, 16, 64} {
 		n := n
@@ -391,11 +393,169 @@ func BenchmarkPredictorScaling(b *testing.B) {
 			node := c.Node(0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if out := node.PredictDelays(0, cand); len(out) != n+1 {
+				if out := node.PredictDelaysScratch(0, cand); len(out) != n+1 {
 					b.Fatal("prediction lost items")
 				}
 			}
 		})
+	}
+}
+
+// --- Admission fast path ------------------------------------------------
+//
+// The BenchmarkAdmission* group isolates the per-arrival admission cost —
+// the hottest path at paper scale: every submission evaluates every node.
+// `make bench-json` runs exactly this group and writes BENCH_admission.json
+// so the trajectory is machine-readable across PRs.
+
+// admissionCluster builds a paper-scale time-shared cluster with
+// slicesPerNode running slices on every node, placed directly (bypassing
+// admission) so the benchmarks control the load exactly. With overrun
+// true, half the slices have already exhausted their estimates — the
+// poisoned-node state LibraRisk's risk test exists to detect.
+func admissionCluster(b *testing.B, nodes, slicesPerNode int, overrun bool) (*sim.Engine, *cluster.TimeShared) {
+	b.Helper()
+	c, err := cluster.NewTimeShared(nodes, 168, cluster.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine()
+	id := 1
+	for s := 0; s < slicesPerNode; s++ {
+		for n := 0; n < nodes; n++ {
+			estimate := 4000.0
+			if overrun && s%2 == 0 {
+				// Underestimated: believed work will exhaust long before
+				// the real work does, leaving an overrun slice behind.
+				estimate = 100.0
+			}
+			// Deadlines tight enough that loaded nodes predict real
+			// delays, so the scans exercise the full fluid machinery
+			// (MaxWeight regime, deadline crossings) rather than the
+			// all-on-time case.
+			j := workload.Job{
+				ID: id, Runtime: 4000, TraceEstimate: estimate,
+				NumProc: 1, Submit: 0,
+				Deadline: 5000 + float64(id%7)*1500,
+			}
+			if _, err := c.Submit(e, j, estimate, []int{n}); err != nil {
+				b.Fatal(err)
+			}
+			id++
+		}
+	}
+	return e, c
+}
+
+// benchAdmissionRiskScan measures one full LibraRisk admission evaluation
+// — the risk of every node with the candidate tentatively added — which
+// is the per-job cost Algorithm 1 pays on every arrival.
+func benchAdmissionRiskScan(b *testing.B, slicesPerNode int) {
+	_, c := admissionCluster(b, 128, slicesPerNode, true)
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	cand := &cluster.Candidate{JobID: 99999, RefWork: 2000, AbsDeadline: 26000}
+	now := 1000.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sigmaSum float64
+		for n := 0; n < c.Len(); n++ {
+			_, sigma := p.NodeRisk(now, c.Node(n), cand)
+			sigmaSum += sigma
+		}
+		if i == 0 {
+			b.ReportMetric(sigmaSum/float64(c.Len()), "mean-sigma")
+		}
+	}
+}
+
+// BenchmarkAdmissionRiskScan2 evaluates all 128 nodes at 2 slices each.
+func BenchmarkAdmissionRiskScan2(b *testing.B) { benchAdmissionRiskScan(b, 2) }
+
+// BenchmarkAdmissionRiskScan8 evaluates all 128 nodes at 8 slices each.
+func BenchmarkAdmissionRiskScan8(b *testing.B) { benchAdmissionRiskScan(b, 8) }
+
+// BenchmarkAdmissionSubmitReject measures the end-to-end LibraRisk Submit
+// path on a cluster whose nodes all carry overrun slices, so every
+// arrival walks all nodes and is rejected: the worst-case per-job
+// admission cost, recorder bookkeeping included.
+func BenchmarkAdmissionSubmitReject(b *testing.B) {
+	e, c := admissionCluster(b, 128, 4, true)
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := workload.Job{
+			ID: 1_000_000 + i, Runtime: 2000, TraceEstimate: 2000,
+			NumProc: 2, Submit: 0, Deadline: 9000,
+		}
+		p.Submit(e, j, 2000)
+	}
+	b.StopTimer()
+	if s := rec.Summarize(); s.Rejected != s.Submitted {
+		b.Fatalf("expected all rejected, got %+v", s)
+	}
+}
+
+// BenchmarkAdmissionLibraShareScan measures Libra's admission test (eq. 2
+// with the early-exit share accumulation) over all 128 nodes.
+func BenchmarkAdmissionLibraShareScan(b *testing.B) {
+	_, c := admissionCluster(b, 128, 8, false)
+	now := 1000.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suitable := 0
+		for n := 0; n < c.Len(); n++ {
+			if _, ok := c.Node(n).LibraShareWithLimit(now, 2000, 26000, 1+1e-9); ok {
+				suitable++
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(float64(suitable), "suitable-nodes")
+		}
+	}
+}
+
+// BenchmarkAdmissionFirstFitAccept measures the FirstFit acceptance scan
+// on a lightly loaded cluster. Actually admitting a job would mutate the
+// cluster between iterations, so the benchmark mirrors Submit's read-only
+// suitability walk (empty-node shortcut plus early exit at NumProc
+// zero-risk nodes) without placing the job.
+func BenchmarkAdmissionFirstFitAccept(b *testing.B) {
+	// 4 busy nodes, 124 empty: FirstFit needs the first NumProc zero-risk
+	// nodes; with the empty-node shortcut the scan cost collapses.
+	c, err := cluster.NewTimeShared(128, 168, cluster.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine()
+	for n := 0; n < 4; n++ {
+		j := workload.Job{
+			ID: n + 1, Runtime: 4000, TraceEstimate: 100,
+			NumProc: 1, Submit: 0, Deadline: 5000,
+		}
+		if _, err := c.Submit(e, j, 100, []int{n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	cand := &cluster.Candidate{JobID: 99999, RefWork: 2000, AbsDeadline: 26000}
+	now := 500.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mirror Submit's scan for a NumProc=4 job under FirstFit.
+		found := 0
+		for n := 0; n < c.Len() && found < 4; n++ {
+			node := c.Node(n)
+			if node.NumSlices() == 0 {
+				found++
+				continue
+			}
+			if _, sigma := p.NodeRisk(now, node, cand); sigma <= 1e-9 {
+				found++
+			}
+		}
 	}
 }
 

@@ -760,6 +760,78 @@ func BuildFigure(id string, o Options) (Figure, error) {
 	return fromInternalFigure(f), nil
 }
 
+// FigureBuilder regenerates the paper's figures and workload table while
+// generating the shared base workload only once, instead of once per
+// figure. Extension figures (see ExtensionFigureIDs) manage their own
+// workload variations and fall back to BuildFigure.
+type FigureBuilder struct {
+	o    Options
+	base experiment.BaseConfig
+	jobs []workload.Job
+}
+
+// NewFigureBuilder validates the options and prepares a builder; the base
+// workload is generated lazily on the first figure or table request.
+func NewFigureBuilder(o Options) (*FigureBuilder, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &FigureBuilder{o: o, base: buildBase(o)}, nil
+}
+
+func (b *FigureBuilder) baseJobs() ([]workload.Job, error) {
+	if b.jobs == nil {
+		jobs, err := experiment.GenerateBase(b.base)
+		if err != nil {
+			return nil, err
+		}
+		b.jobs = jobs
+	}
+	return b.jobs, nil
+}
+
+// Build regenerates one figure. The paper figures ("figure1" through
+// "figure4") share the builder's single base workload; results are
+// identical to BuildFigure, which regenerates it per call.
+func (b *FigureBuilder) Build(id string) (Figure, error) {
+	var from func(experiment.BaseConfig, []workload.Job) (experiment.Figure, error)
+	switch id {
+	case "figure1":
+		from = experiment.Figure1From
+	case "figure2":
+		from = experiment.Figure2From
+	case "figure3":
+		from = experiment.Figure3From
+	case "figure4":
+		from = experiment.Figure4From
+	default:
+		return BuildFigure(id, b.o)
+	}
+	jobs, err := b.baseJobs()
+	if err != nil {
+		return Figure{}, err
+	}
+	f, err := from(b.base, jobs)
+	if err != nil {
+		return Figure{}, err
+	}
+	return fromInternalFigure(f), nil
+}
+
+// WriteWorkloadTable writes the §4 workload-characteristics table from
+// the builder's shared base workload.
+func (b *FigureBuilder) WriteWorkloadTable(w io.Writer) error {
+	jobs, err := b.baseJobs()
+	if err != nil {
+		return err
+	}
+	tbl, err := experiment.BuildWorkloadTableFrom(b.base, jobs)
+	if err != nil {
+		return err
+	}
+	return experiment.WriteWorkloadTable(w, tbl)
+}
+
 // FigureIDs lists the paper's regenerable figures in order. The extension
 // experiments ("prediction", "allpolicies", "hetero" — see
 // ExtensionFigureIDs) are built on demand via BuildFigure and are not part

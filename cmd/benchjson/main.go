@@ -1,0 +1,231 @@
+// Command benchjson converts `go test -bench` text output into JSON, and
+// optionally merges an old and a new run into a comparison with speedup
+// and allocation-reduction ratios. It exists so the admission fast-path
+// numbers can be committed as a machine-readable artifact
+// (BENCH_admission.json) without requiring benchstat in the toolchain.
+//
+// Examples:
+//
+//	go test -bench Admission -benchmem . | benchjson
+//	benchjson -old results/bench_seed.txt -new results/bench_new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Benchmark is one benchmark's aggregated result: the arithmetic mean
+// over all its runs in the input (repeated runs via -count collapse to
+// one entry) plus any custom metrics.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Comparison pairs an old and a new measurement of the same benchmark.
+type Comparison struct {
+	Name string     `json:"name"`
+	Old  *Benchmark `json:"old,omitempty"`
+	New  *Benchmark `json:"new,omitempty"`
+	// Speedup is old ns/op divided by new ns/op (>1 means faster).
+	Speedup *float64 `json:"speedup,omitempty"`
+	// AllocRatio is old allocs/op divided by new allocs/op.
+	AllocRatio *float64 `json:"alloc_ratio,omitempty"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline `go test -bench` output file to compare against")
+	newPath := fs.String("new", "", "new `go test -bench` output file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var newBenches []Benchmark
+	if *newPath != "" {
+		var err error
+		if newBenches, err = parseFile(*newPath); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if newBenches, err = Parse(stdin); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if *oldPath == "" {
+		return enc.Encode(newBenches)
+	}
+	oldBenches, err := parseFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(Compare(oldBenches, newBenches))
+}
+
+func parseFile(path string) ([]Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse reads `go test -bench` output and aggregates repeated runs of
+// each benchmark (arithmetic mean per metric).
+func Parse(r io.Reader) ([]Benchmark, error) {
+	type acc struct {
+		runs    int
+		ns      float64
+		bytes   float64
+		nBytes  int
+		allocs  float64
+		nAllocs int
+		metrics map[string]float64
+	}
+	accs := map[string]*acc{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then metric pairs: value unit value unit ...
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{metrics: map[string]float64{}}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytes += v
+				a.nBytes++
+			case "allocs/op":
+				a.allocs += v
+				a.nAllocs++
+			default:
+				a.metrics[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		b := Benchmark{Name: name, Runs: a.runs, NsPerOp: a.ns / float64(a.runs)}
+		if a.nBytes > 0 {
+			v := a.bytes / float64(a.nBytes)
+			b.BytesPerOp = &v
+		}
+		if a.nAllocs > 0 {
+			v := a.allocs / float64(a.nAllocs)
+			b.AllocsPerOp = &v
+		}
+		for unit, sum := range a.metrics {
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = sum / float64(a.runs)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix go test appends.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Compare pairs benchmarks by name. Benchmarks present on only one side
+// appear with the other side nil and no ratios.
+func Compare(oldB, newB []Benchmark) []Comparison {
+	oldByName := map[string]*Benchmark{}
+	for i := range oldB {
+		oldByName[oldB[i].Name] = &oldB[i]
+	}
+	newByName := map[string]*Benchmark{}
+	var names []string
+	seen := map[string]bool{}
+	for i := range newB {
+		newByName[newB[i].Name] = &newB[i]
+		names = append(names, newB[i].Name)
+		seen[newB[i].Name] = true
+	}
+	var oldOnly []string
+	for i := range oldB {
+		if !seen[oldB[i].Name] {
+			oldOnly = append(oldOnly, oldB[i].Name)
+		}
+	}
+	sort.Strings(oldOnly)
+	names = append(names, oldOnly...)
+
+	out := make([]Comparison, 0, len(names))
+	for _, name := range names {
+		c := Comparison{Name: name, Old: oldByName[name], New: newByName[name]}
+		if c.Old != nil && c.New != nil {
+			if c.New.NsPerOp > 0 {
+				v := c.Old.NsPerOp / c.New.NsPerOp
+				c.Speedup = &v
+			}
+			if c.Old.AllocsPerOp != nil && c.New.AllocsPerOp != nil && *c.New.AllocsPerOp > 0 {
+				v := *c.Old.AllocsPerOp / *c.New.AllocsPerOp
+				c.AllocRatio = &v
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: clustersched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAdmissionRiskScan2-8    	   50000	     23142 ns/op	     160 B/op	       3 allocs/op
+BenchmarkAdmissionRiskScan2-8    	   50000	     23858 ns/op	     160 B/op	       3 allocs/op
+BenchmarkAdmissionLibraShareScan-8	  800000	      1468 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPolicyLibraRiskFullScale 	      15	  72000000 ns/op	         0.8407 fulfilled-frac	 41000000 B/op	  226633 allocs/op
+PASS
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkAdmissionRiskScan2" {
+		t.Fatalf("name = %q (proc suffix not trimmed?)", b.Name)
+	}
+	if b.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", b.Runs)
+	}
+	if want := (23142.0 + 23858.0) / 2; b.NsPerOp != want {
+		t.Fatalf("ns/op = %g, want %g", b.NsPerOp, want)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Fatalf("allocs/op = %v, want 3", b.AllocsPerOp)
+	}
+	full := benches[2]
+	if full.Metrics["fulfilled-frac"] != 0.8407 {
+		t.Fatalf("custom metric = %v", full.Metrics)
+	}
+}
+
+func TestCompareRatios(t *testing.T) {
+	oldB, err := Parse(strings.NewReader(
+		"BenchmarkX-8 10 1000 ns/op 100 B/op 50 allocs/op\nBenchmarkGone-8 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newB, err := Parse(strings.NewReader(
+		"BenchmarkX-8 10 200 ns/op 10 B/op 5 allocs/op\nBenchmarkNew-8 10 7 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(oldB, newB)
+	if len(cmp) != 3 {
+		t.Fatalf("comparisons = %d, want 3", len(cmp))
+	}
+	x := cmp[0]
+	if x.Name != "BenchmarkX" || x.Speedup == nil || *x.Speedup != 5 {
+		t.Fatalf("X speedup = %+v", x)
+	}
+	if x.AllocRatio == nil || *x.AllocRatio != 10 {
+		t.Fatalf("X alloc ratio = %+v", x.AllocRatio)
+	}
+	if cmp[1].Name != "BenchmarkNew" || cmp[1].Old != nil || cmp[1].Speedup != nil {
+		t.Fatalf("new-only entry = %+v", cmp[1])
+	}
+	if cmp[2].Name != "BenchmarkGone" || cmp[2].New != nil {
+		t.Fatalf("old-only entry = %+v", cmp[2])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader(sample), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"BenchmarkAdmissionRiskScan2"`, `"ns_per_op"`, `"fulfilled-frac"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %s:\n%s", want, out)
+		}
+	}
+}

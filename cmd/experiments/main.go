@@ -82,14 +82,20 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -exp %q", *exp)
 	}
 
+	// One builder for the whole run: the base workload is generated once
+	// and shared by the table and the paper figures.
+	builder, err := clustersched.NewFigureBuilder(o)
+	if err != nil {
+		return err
+	}
 	if wantTable {
-		if err := clustersched.RenderWorkloadTable(stdout, o); err != nil {
+		if err := builder.WriteWorkloadTable(stdout); err != nil {
 			return err
 		}
 	}
 	for _, id := range wantFigs {
 		start := time.Now()
-		fig, err := clustersched.BuildFigure(id, o)
+		fig, err := builder.Build(id)
 		if err != nil {
 			return err
 		}

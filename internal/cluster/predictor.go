@@ -34,16 +34,145 @@ type fluidItem struct {
 // PredictDelays runs a deterministic fluid simulation of the node forward
 // in time using the *believed* remaining work of every active slice, plus
 // an optional candidate, and reports each slice's predicted completion and
-// delay. It mirrors the execution engine's weight conventions (including
-// the overrun floor and deadline-crossing cap) and re-derives weights at
-// every predicted completion, exactly as the live node does.
+// delay, in ascending JobID order. It mirrors the execution engine's
+// weight conventions (including the overrun floor and deadline-crossing
+// cap) and re-derives weights at every predicted completion, exactly as
+// the live node does.
 //
 // This is the information LibraRisk's admission control (Algorithm 1,
 // lines 2-5) needs: the delay every job on node j would incur if the new
 // job were scheduled there. A slice whose believed work is already
 // exhausted is predicted to finish "now"; if its deadline has passed its
 // delay is already positive — the signal Libra's share test cannot see.
+//
+// The returned slice is freshly allocated and safe to retain; hot paths
+// use PredictDelaysScratch instead.
 func (n *PSNode) PredictDelays(now float64, cand *Candidate) []PredictedDelay {
+	if n.cfg.NaivePredictor {
+		return n.predictDelaysNaive(now, cand)
+	}
+	return append([]PredictedDelay{}, n.PredictDelaysScratch(now, cand)...)
+}
+
+// PredictDelaysScratch is PredictDelays on the node's reusable scratch
+// buffers: it performs no allocation in steady state. The returned slice
+// is owned by the node and valid only until the next PredictDelaysScratch
+// call on it; callers that need to retain predictions must copy them.
+// Values and order are identical to PredictDelays.
+func (n *PSNode) PredictDelaysScratch(now float64, cand *Candidate) []PredictedDelay {
+	if n.cfg.NaivePredictor {
+		return n.predictDelaysNaive(now, cand)
+	}
+	want := len(n.slices) + 1
+	if cap(n.predItems) < want {
+		n.predItems = make([]fluidItem, 0, want)
+	}
+	if cap(n.predOut) < want {
+		n.predOut = make([]PredictedDelay, 0, want)
+	}
+	items := n.predItems[:0]
+	for _, sl := range n.slices {
+		items = append(items, fluidItem{
+			jobID:       sl.job.Job.ID,
+			believed:    math.Max(0, n.projectedBelieved(sl, now)),
+			absDeadline: sl.job.Job.AbsDeadline(),
+		})
+	}
+	if cand != nil {
+		items = append(items, fluidItem{
+			jobID:       cand.JobID,
+			believed:    math.Max(0, n.WorkToNodeSeconds(cand.RefWork)),
+			absDeadline: cand.AbsDeadline,
+		})
+	}
+	out := n.predOut[:0]
+	weights := n.scratchWeights(len(items))
+	t := now
+	for len(items) > 0 {
+		// Retire items the allocator believes are already done.
+		kept := items[:0]
+		for _, it := range items {
+			if it.believed <= epsWork {
+				out = insertVerdict(out, verdict(it, t))
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+		if len(items) == 0 {
+			break
+		}
+		// Derive rates with the live engine's conventions.
+		var total float64
+		weights = weights[:len(items)]
+		for i, it := range items {
+			w := n.weightAt(it.believed, it.absDeadline-t)
+			weights[i] = w
+			total += w
+		}
+		// Find the earliest completion at these rates.
+		minDT := math.Inf(1)
+		for i, it := range items {
+			rate := fluidRate(weights[i], total, n.cfg)
+			if rate <= 0 {
+				continue
+			}
+			if dt := it.believed / rate; dt < minDT {
+				minDT = dt
+			}
+		}
+		if math.IsInf(minDT, 1) {
+			// No slice can progress (cannot happen with a positive floor
+			// weight, but guard against config edge cases): everything
+			// left finishes never; report an unbounded delay.
+			for _, it := range items {
+				out = insertVerdict(out, PredictedDelay{
+					JobID: it.jobID, AbsDeadline: it.absDeadline,
+					Finish: math.Inf(1), Delay: math.Inf(1),
+				})
+			}
+			break
+		}
+		// Also stop at the earliest weight-regime change (deadline
+		// crossing) so the mirrored conventions stay exact.
+		for _, it := range items {
+			if rd := it.absDeadline - t; rd > epsTime && rd < minDT {
+				minDT = rd
+			}
+		}
+		if minDT < epsTime {
+			minDT = epsTime
+		}
+		t += minDT
+		for i := range items {
+			rate := fluidRate(weights[i], total, n.cfg)
+			items[i].believed -= rate * minDT
+		}
+	}
+	n.predOut = out
+	return out
+}
+
+// insertVerdict places pd into out keeping it sorted by JobID, shifting
+// the (few) larger entries up in place. Nodes host a handful of slices,
+// so the linear shift beats sorting the whole output afterwards and,
+// unlike sort.Slice, allocates nothing.
+func insertVerdict(out []PredictedDelay, pd PredictedDelay) []PredictedDelay {
+	out = append(out, pd)
+	i := len(out) - 1
+	for i > 0 && out[i-1].JobID > pd.JobID {
+		out[i] = out[i-1]
+		i--
+	}
+	out[i] = pd
+	return out
+}
+
+// predictDelaysNaive is the reference implementation: fresh slices per
+// call and a final sort, kept verbatim for the differential and
+// equivalence tests that prove the scratch fast path produces identical
+// output. Enabled via Config.NaivePredictor.
+func (n *PSNode) predictDelaysNaive(now float64, cand *Candidate) []PredictedDelay {
 	items := make([]fluidItem, 0, len(n.slices)+1)
 	for _, sl := range n.slices {
 		items = append(items, fluidItem{
@@ -96,9 +225,6 @@ func (n *PSNode) PredictDelays(now float64, cand *Candidate) []PredictedDelay {
 			}
 		}
 		if math.IsInf(minDT, 1) {
-			// No slice can progress (cannot happen with a positive floor
-			// weight, but guard against config edge cases): everything
-			// left finishes never; report an unbounded delay.
 			for _, it := range items {
 				out = append(out, PredictedDelay{
 					JobID: it.jobID, AbsDeadline: it.absDeadline,

@@ -70,9 +70,25 @@ type PSNode struct {
 	lastT  float64
 	update *sim.Event
 
+	// version counts state mutations: it is bumped whenever advance
+	// accrues progress, a slice is added, or a completed slice is retired.
+	// Consumers key caches of derived quantities (fluid predictions, risk
+	// aggregates) on it; an unchanged version guarantees the slice set,
+	// remaining-work values and rates are all unchanged since last read.
+	version uint64
+
 	// busyIntegral accumulates ∫Σrates dt — the exact node-seconds of
 	// work served, for utilization accounting.
 	busyIntegral float64
+
+	// weightScratch is reused by recompute so re-deriving rates on every
+	// arrival/completion/deadline event does not allocate.
+	weightScratch []float64
+
+	// Predictor scratch buffers, reused across PredictDelaysScratch calls
+	// so the admission hot path runs allocation-free in steady state.
+	predItems []fluidItem
+	predOut   []PredictedDelay
 
 	// onSliceDone is installed by the owning TimeShared cluster.
 	onSliceDone func(e *sim.Engine, sl *slice)
@@ -86,6 +102,20 @@ func (n *PSNode) Rating() float64 { return n.rating }
 
 // NumSlices returns the number of active slices.
 func (n *PSNode) NumSlices() int { return len(n.slices) }
+
+// Version returns the node's state-mutation counter. Two reads returning
+// the same value bracket a window in which no slice arrived, completed,
+// or accrued progress, so any cache keyed on it is still valid.
+func (n *PSNode) Version() uint64 { return n.version }
+
+// scratchWeights returns a reusable []float64 of length k, growing the
+// node's scratch buffer on demand.
+func (n *PSNode) scratchWeights(k int) []float64 {
+	if cap(n.weightScratch) < k {
+		n.weightScratch = make([]float64, k)
+	}
+	return n.weightScratch[:k]
+}
 
 // weightAt computes the proportional-share weight of a slice with the
 // given believed remaining work and remaining deadline, applying the
@@ -115,6 +145,7 @@ func (n *PSNode) advance(now float64) {
 			sl.believedWork -= w
 			n.busyIntegral += w
 		}
+		n.version++
 	}
 	n.lastT = now
 }
@@ -126,7 +157,7 @@ func (n *PSNode) ServedWork() float64 { return n.busyIntegral }
 // recompute re-derives weights and rates for all slices at time now.
 func (n *PSNode) recompute(now float64) {
 	var total float64
-	weights := make([]float64, len(n.slices))
+	weights := n.scratchWeights(len(n.slices))
 	for i, sl := range n.slices {
 		w := n.weightAt(sl.believedWork, sl.job.Job.AbsDeadline()-now)
 		weights[i] = w
@@ -210,6 +241,9 @@ func (n *PSNode) retireCompleted(e *sim.Engine) {
 		}
 	}
 	n.slices = kept
+	if len(done) > 0 {
+		n.version++
+	}
 	for _, sl := range done {
 		n.onSliceDone(e, sl)
 	}
@@ -219,6 +253,7 @@ func (n *PSNode) retireCompleted(e *sim.Engine) {
 func (n *PSNode) addSlice(e *sim.Engine, sl *slice) {
 	n.advance(e.Now())
 	n.slices = append(n.slices, sl)
+	n.version++
 	n.recompute(e.Now())
 	n.reschedule(e)
 }
@@ -249,6 +284,45 @@ func (n *PSNode) LibraShare(now float64) float64 {
 // (work in node-seconds, absolute deadline) would add.
 func (n *PSNode) LibraShareWith(now, work, absDeadline float64) float64 {
 	return n.LibraShare(now) + libraShare(work, absDeadline-now)
+}
+
+// LibraShareWithLimit is LibraShareWith with an early exit: because every
+// term of the share sum is non-negative, the accumulation can stop as soon
+// as the running total exceeds limit — the node is already unsuitable and
+// the exact overshoot is irrelevant. When the returned ok is true the
+// share is the exact same float64 LibraShareWith computes (identical
+// accumulation order); when false the share is a partial sum > limit.
+func (n *PSNode) LibraShareWithLimit(now, work, absDeadline, limit float64) (share float64, ok bool) {
+	var total float64
+	for _, sl := range n.slices {
+		total += libraShare(n.projectedBelieved(sl, now), sl.job.Job.AbsDeadline()-now)
+		if total > limit {
+			return total, false
+		}
+	}
+	total += libraShare(work, absDeadline-now)
+	return total, total <= limit
+}
+
+// PredictionStable reports whether the node's no-candidate fluid
+// prediction is invariant in absolute time until the next version bump.
+// This holds for an empty node (no predictions at all) and for a
+// work-conserving node running a single slice with believed work left: a
+// lone slice is served at rate 1 regardless of its weight, so its
+// predicted finish lastT+believedWork does not depend on when the
+// predictor looks, and every regime change (believed-work exhaustion,
+// deadline crossing, real completion) is itself a node event that bumps
+// the version. Multi-slice predictions re-derive weights at the
+// evaluation instant and are therefore time-dependent.
+func (n *PSNode) PredictionStable() bool {
+	switch len(n.slices) {
+	case 0:
+		return true
+	case 1:
+		return n.cfg.WorkConserving && n.slices[0].believedWork > epsWork
+	default:
+		return false
+	}
 }
 
 func libraShare(believed, remDeadline float64) float64 {

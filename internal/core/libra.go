@@ -20,6 +20,15 @@ type Libra struct {
 	Recorder *metrics.Recorder
 	// Selection defaults to BestFit, the paper's Libra behaviour.
 	Selection NodeSelection
+	// DisableFastPath turns off the share-accumulation early exit and the
+	// FirstFit scan cutoff so the differential tests can prove they are
+	// behaviour-preserving.
+	DisableFastPath bool
+
+	// fits and ids are reused across Submit calls so admission does not
+	// allocate per arrival.
+	fits []nodeFit
+	ids  []int
 }
 
 // NewLibra wires a Libra policy to a time-shared cluster and installs its
@@ -37,6 +46,12 @@ func (p *Libra) Name() string { return "Libra" }
 
 // Submit implements Policy: the Libra admission test and best-fit
 // placement.
+//
+// Two behaviour-preserving fast paths (proved by the differential test in
+// internal/experiment): the per-node share accumulation aborts as soon as
+// the running total exceeds the admission limit — the terms are
+// non-negative, so the node is already unsuitable — and under FirstFit
+// selection the node walk stops once NumProc suitable nodes are found.
 func (p *Libra) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
 	if job.NumProc > p.Cluster.Len() {
@@ -45,19 +60,35 @@ func (p *Libra) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	}
 	now := e.Now()
 	absDL := job.AbsDeadline()
-	suitable := make([]nodeFit, 0, p.Cluster.Len())
+	const limit = 1 + 1e-9
+	firstFit := p.Selection == FirstFit && !p.DisableFastPath
+	suitable := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
-		s := p.Cluster.Node(i).LibraShareWith(now, estimate, absDL)
-		if s <= 1+1e-9 {
+		var s float64
+		var ok bool
+		if p.DisableFastPath {
+			s = p.Cluster.Node(i).LibraShareWith(now, estimate, absDL)
+			ok = s <= limit
+		} else {
+			s, ok = p.Cluster.Node(i).LibraShareWithLimit(now, estimate, absDL, limit)
+		}
+		if ok {
 			suitable = append(suitable, nodeFit{id: i, share: s})
+			if firstFit && len(suitable) == job.NumProc {
+				break
+			}
 		}
 	}
+	p.fits = suitable
 	if len(suitable) < job.NumProc {
 		p.Recorder.Reject(job, fmt.Sprintf("only %d of %d required nodes can hold the share", len(suitable), job.NumProc))
 		return
 	}
 	orderBySelection(suitable, p.Selection)
-	ids := make([]int, job.NumProc)
+	if cap(p.ids) < job.NumProc {
+		p.ids = make([]int, job.NumProc)
+	}
+	ids := p.ids[:job.NumProc]
 	for i := range ids {
 		ids[i] = suitable[i].id
 	}

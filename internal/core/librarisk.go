@@ -31,6 +31,15 @@ type LibraRisk struct {
 	// practice a lone over-estimated job on an empty node — so comparing
 	// the two quantifies the value of that forgiveness (ablation).
 	MeanRule bool
+	// DisableFastPath turns off the admission fast paths (the empty-node
+	// shortcut and the FirstFit early exit) so the differential tests can
+	// prove they are behaviour-preserving.
+	DisableFastPath bool
+
+	// fits and ids are reused across Submit calls so admission does not
+	// allocate per arrival.
+	fits []nodeFit
+	ids  []int
 }
 
 // NewLibraRisk wires a LibraRisk policy to a time-shared cluster.
@@ -48,17 +57,49 @@ func (p *LibraRisk) Name() string { return "LibraRisk" }
 // NodeRisk evaluates one node: the deadline-delay values of all its jobs
 // plus the candidate (Algorithm 1 lines 2-7), their mean µ and risk σ.
 // The σ here is numerically identical to RiskOfDelay over the same values
-// (Welford's single-pass population form), without materializing them.
+// (Welford's single-pass population form), without materializing a fresh
+// []PredictedDelay: the fluid predictions stream out of the node's
+// reusable scratch buffer straight into the accumulator, in the same
+// ascending-JobID order the allocating path uses.
 func (p *LibraRisk) NodeRisk(now float64, n *cluster.PSNode, cand *cluster.Candidate) (mu, sigma float64) {
-	preds := n.PredictDelays(now, cand)
 	var w sim.Welford
-	for _, pr := range preds {
+	for _, pr := range n.PredictDelaysScratch(now, cand) {
 		w.Add(DeadlineDelay(pr.Delay, pr.AbsDeadline-now))
 	}
 	return w.Mean(), w.StdDevPop()
 }
 
+// nodeSuitable applies Algorithm 1's suitability test to one node.
+//
+// Fast path: an empty node is always suitable under the σ rule, without
+// running the fluid simulation — the prediction set is the candidate
+// alone, a single observation, whose population standard deviation is
+// exactly 0 ≤ any non-negative threshold. The µ rule depends on the
+// candidate's own predicted delay, so it always runs the simulation.
+func (p *LibraRisk) nodeSuitable(now float64, n *cluster.PSNode, cand *cluster.Candidate) bool {
+	if !p.DisableFastPath && !p.MeanRule && n.NumSlices() == 0 {
+		return true
+	}
+	mu, sigma := p.NodeRisk(now, n, cand)
+	if p.MeanRule {
+		return mu <= 1+sigmaTolerance
+	}
+	return sigma <= p.SigmaThreshold+sigmaTolerance
+}
+
 // Submit implements Policy: Algorithm 1.
+//
+// The node walk carries two fast paths, both behaviour-preserving (the
+// differential test in internal/experiment runs paper-scale simulations
+// with and without them and asserts identical summaries):
+//
+//   - FirstFit early exit: Algorithm 1 walks nodes in index order and
+//     FirstFit takes the first NumProc zero-risk nodes, so once that many
+//     are found the remaining nodes cannot change the outcome and the
+//     scan stops. Rejections still scan every node, keeping the recorded
+//     rejection reason identical.
+//   - Post-acceptance shares are only computed when the selection rule
+//     (BestFit/WorstFit) actually orders by them.
 func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
 	if job.NumProc > p.Cluster.Len() {
@@ -67,26 +108,34 @@ func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	}
 	now := e.Now()
 	cand := &cluster.Candidate{JobID: job.ID, RefWork: estimate, AbsDeadline: job.AbsDeadline()}
-	zeroRisk := make([]nodeFit, 0, p.Cluster.Len())
+	firstFit := p.Selection == FirstFit
+	zeroRisk := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
 		n := p.Cluster.Node(i)
-		mu, sigma := p.NodeRisk(now, n, cand)
-		suitable := sigma <= p.SigmaThreshold+sigmaTolerance
-		if p.MeanRule {
-			suitable = mu <= 1+sigmaTolerance
+		if !p.nodeSuitable(now, n, cand) {
+			continue
 		}
-		if suitable {
+		fit := nodeFit{id: i}
+		if !firstFit || p.DisableFastPath {
 			// Record the post-acceptance share so BestFit/WorstFit
 			// selections have the same notion of fit Libra uses.
-			zeroRisk = append(zeroRisk, nodeFit{id: i, share: n.LibraShareWith(now, estimate, cand.AbsDeadline)})
+			fit.share = n.LibraShareWith(now, estimate, cand.AbsDeadline)
+		}
+		zeroRisk = append(zeroRisk, fit)
+		if firstFit && !p.DisableFastPath && len(zeroRisk) == job.NumProc {
+			break
 		}
 	}
+	p.fits = zeroRisk
 	if len(zeroRisk) < job.NumProc {
 		p.Recorder.Reject(job, fmt.Sprintf("only %d of %d required nodes have zero risk", len(zeroRisk), job.NumProc))
 		return
 	}
 	orderBySelection(zeroRisk, p.Selection)
-	ids := make([]int, job.NumProc)
+	if cap(p.ids) < job.NumProc {
+		p.ids = make([]int, job.NumProc)
+	}
+	ids := p.ids[:job.NumProc]
 	for i := range ids {
 		ids[i] = zeroRisk[i].id
 	}

@@ -42,8 +42,51 @@ type Monitor struct {
 	// Limit stops sampling after this many samples (a safety valve; 0
 	// means 1e6).
 	Limit int
+	// DisableCache turns off the per-node baseline prediction cache so
+	// tests can compare cached against recomputed sample series.
+	DisableCache bool
 
 	samples []MonitorSample
+
+	// cache holds each node's last baseline (no-candidate) fluid
+	// prediction, keyed on the node's state version. A node whose version
+	// is unchanged since the previous tick is only re-simulated when its
+	// prediction is time-dependent (see PSNode.PredictionStable);
+	// otherwise the cached absolute finish times are reused and only the
+	// deadline-delay impacts, which depend on the sampling instant, are
+	// re-derived.
+	cache []baselineCache
+	// dds is the scratch buffer for per-node deadline-delay values.
+	dds []float64
+}
+
+// baselineCache is one node's cached baseline prediction.
+type baselineCache struct {
+	valid   bool
+	version uint64
+	time    float64
+	stable  bool
+	preds   []cluster.PredictedDelay
+}
+
+// baseline returns node i's no-candidate predictions at time now, reusing
+// the cached copy when the node's version proves it is still current.
+func (m *Monitor) baseline(i int, node *cluster.PSNode, now float64) []cluster.PredictedDelay {
+	if m.cache == nil {
+		m.cache = make([]baselineCache, m.Cluster.Len())
+	}
+	ent := &m.cache[i]
+	if !m.DisableCache && ent.valid && ent.version == node.Version() &&
+		(ent.stable || ent.time == now) {
+		return ent.preds
+	}
+	preds := node.PredictDelaysScratch(now, nil)
+	ent.preds = append(ent.preds[:0], preds...)
+	ent.valid = true
+	ent.version = node.Version()
+	ent.time = now
+	ent.stable = node.PredictionStable()
+	return ent.preds
 }
 
 // NewMonitor creates a monitor; call Start before Engine.Run.
@@ -88,8 +131,11 @@ func (m *Monitor) sample(now float64) MonitorSample {
 		if node.NumSlices() > 0 {
 			s.BusyNodes++
 		}
-		preds := node.PredictDelays(now, nil)
-		dds := make([]float64, len(preds))
+		preds := m.baseline(i, node, now)
+		if cap(m.dds) < len(preds) {
+			m.dds = make([]float64, len(preds))
+		}
+		dds := m.dds[:len(preds)]
 		for j, pr := range preds {
 			dds[j] = DeadlineDelay(pr.Delay, pr.AbsDeadline-now)
 			if pr.Delay > 0 {

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestFastPathsMatchReferenceAtPaperScale is the tentpole differential
+// test: full paper-scale simulations (128 nodes, 3000 jobs, trace
+// estimates) with every admission fast path enabled must produce
+// byte-identical summaries to the reference configuration — naive
+// allocate-per-call fluid predictor, no FirstFit early exit, no share
+// early-abort, no baseline caching. metrics.Summary is all scalar fields,
+// so plain == is an exact comparison of every headline number the paper
+// reports.
+func TestFastPathsMatchReferenceAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale differential sims in -short mode")
+	}
+	base := DefaultBase()
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []PolicyKind{EDF, Libra, LibraRisk} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, inacc := range []float64{0, 100} {
+				spec := RunSpec{
+					Policy:        kind,
+					InaccuracyPct: inacc,
+					Deadline:      base.Deadline,
+				}
+				fast, err := Run(base, jobs, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := base
+				ref.DisableFastPaths = true
+				ref.Cluster.NaivePredictor = true
+				slow, err := Run(ref, jobs, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast != slow {
+					t.Errorf("inaccuracy %g%%: summaries diverge\nfast %+v\nref  %+v", inacc, fast, slow)
+				}
+			}
+		})
+	}
+}

@@ -126,6 +126,12 @@ func Figure1(base BaseConfig) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	return Figure1From(base, baseJobs)
+}
+
+// Figure1From is Figure1 over a pre-generated base workload, letting
+// callers that build several figures share one generation pass.
+func Figure1From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
 	get, err := sweepGrid(base, baseJobs, Fig1Factors, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		return RunSpec{Policy: pol, ArrivalDelayFactor: x, InaccuracyPct: mode, Deadline: base.Deadline}
 	})
@@ -145,6 +151,12 @@ func Figure2(base BaseConfig) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	return Figure2From(base, baseJobs)
+}
+
+// Figure2From is Figure2 over a pre-generated base workload, letting
+// callers that build several figures share one generation pass.
+func Figure2From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
 	get, err := sweepGrid(base, baseJobs, Fig2Ratios, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.Ratio = x
@@ -166,6 +178,12 @@ func Figure3(base BaseConfig) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	return Figure3From(base, baseJobs)
+}
+
+// Figure3From is Figure3 over a pre-generated base workload, letting
+// callers that build several figures share one generation pass.
+func Figure3From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
 	get, err := sweepGrid(base, baseJobs, Fig3HighUrgencyPct, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.HighUrgencyFraction = x / 100
@@ -188,6 +206,12 @@ func Figure4(base BaseConfig) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	return Figure4From(base, baseJobs)
+}
+
+// Figure4From is Figure4 over a pre-generated base workload, letting
+// callers that build several figures share one generation pass.
+func Figure4From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
 	get, err := sweepGrid(base, baseJobs, Fig4InaccuracyPct, Fig4UrgencyLevels, func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.HighUrgencyFraction = mode / 100
@@ -239,12 +263,25 @@ func modePcts() []float64 {
 	return out
 }
 
-// AllFigures regenerates every figure in order.
+// AllFigures regenerates every figure in order. The base workload is
+// generated once and shared across the figure builders; each builder
+// still derives its own deadline/arrival variations from it.
 func AllFigures(base BaseConfig) ([]Figure, error) {
-	builders := []func(BaseConfig) (Figure, error){Figure1, Figure2, Figure3, Figure4}
+	baseJobs, err := GenerateBase(base)
+	if err != nil {
+		return nil, err
+	}
+	return AllFiguresFrom(base, baseJobs)
+}
+
+// AllFiguresFrom is AllFigures over a pre-generated base workload.
+func AllFiguresFrom(base BaseConfig, baseJobs []workload.Job) ([]Figure, error) {
+	builders := []func(BaseConfig, []workload.Job) (Figure, error){
+		Figure1From, Figure2From, Figure3From, Figure4From,
+	}
 	figs := make([]Figure, 0, len(builders))
 	for _, b := range builders {
-		f, err := b(base)
+		f, err := b(base, baseJobs)
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +311,13 @@ func BuildWorkloadTable(base BaseConfig) (WorkloadTable, error) {
 	if err != nil {
 		return WorkloadTable{}, err
 	}
+	return BuildWorkloadTableFrom(base, jobs)
+}
+
+// BuildWorkloadTableFrom computes the characteristics table from a
+// pre-generated base workload, sharing the generation pass with the
+// figure builders.
+func BuildWorkloadTableFrom(base BaseConfig, jobs []workload.Job) (WorkloadTable, error) {
 	var tbl WorkloadTable
 	tbl.Jobs = len(jobs)
 	var interSum, runSum, procSum, overSum float64

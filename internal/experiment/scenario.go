@@ -72,6 +72,11 @@ type BaseConfig struct {
 	Workers int
 	// QoPSSlack is the slack factor used when Policy is QoPS.
 	QoPSSlack float64
+	// DisableFastPaths turns off the admission fast paths in the Libra and
+	// LibraRisk policies (combine with Cluster.NaivePredictor to also use
+	// the reference fluid predictor). The differential tests run both
+	// configurations at paper scale and assert identical summaries.
+	DisableFastPaths bool
 }
 
 // nodeRatings returns the effective per-node ratings.
@@ -159,9 +164,13 @@ func buildPolicy(base BaseConfig, kind PolicyKind, rec *metrics.Recorder) (core.
 			return nil, err
 		}
 		if kind == Libra {
-			return core.NewLibra(c, rec), nil
+			p := core.NewLibra(c, rec)
+			p.DisableFastPath = base.DisableFastPaths
+			return p, nil
 		}
-		return core.NewLibraRisk(c, rec), nil
+		p := core.NewLibraRisk(c, rec)
+		p.DisableFastPath = base.DisableFastPaths
+		return p, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown policy %v", kind)
 	}
