@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples clean
+.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples chaos-smoke clean
 
 all: build vet test
 
@@ -49,6 +49,19 @@ experiments:
 	$(GO) run ./cmd/experiments -csv results -svg results | tee results/experiments_full.txt
 	$(GO) run ./cmd/experiments -exp extensions -csv results -svg results | tee results/extensions_full.txt
 	$(GO) run ./cmd/experiments -replicate 5 | tee results/replication.txt
+
+# chaos-smoke is a fast end-to-end fault-injection run with the invariant
+# checker armed: crashes, stragglers and a correlated outage process over a
+# small cluster, one run per recovery-capable policy. Any invariant
+# violation or conservation leak fails the target.
+chaos-smoke:
+	@for pol in edf libra librarisk; do \
+		echo "== chaos-smoke $$pol =="; \
+		$(GO) run ./cmd/clustersim -policy $$pol -nodes 16 -jobs 200 \
+			-check-invariants -fault-seed 7 -fault-mtbf 43200 -fault-mttr 3600 \
+			-fault-straggler-mtbf 86400 -fault-correlated-mtbf 172800 \
+			|| exit 1; \
+	done
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -30,6 +30,7 @@ import (
 	"clustersched/internal/cluster"
 	"clustersched/internal/core"
 	"clustersched/internal/experiment"
+	"clustersched/internal/fault"
 	"clustersched/internal/metrics"
 	"clustersched/internal/predict"
 	"clustersched/internal/sched"
@@ -126,6 +127,57 @@ type Options struct {
 	DeadlineRatio       float64 // deadline high:low ratio
 	// InaccuracyPct: 0 = accurate estimates, 100 = trace estimates.
 	InaccuracyPct float64
+
+	// Fault injection (internal/fault): deterministic seeded failure
+	// processes. FaultMTBF > 0 enables per-node crash/recovery cycles
+	// (exponential MTBF/MTTR); FaultStragglerMTBF > 0 enables transient
+	// slowdown episodes; FaultCorrelatedMTBF > 0 enables correlated
+	// multi-node outages. Only the edf, libra and librarisk policies have
+	// failure-recovery semantics. All durations are seconds of simulated
+	// time; zero values disable each process and, when all are disabled,
+	// the run is bit-identical to one without the fault layer.
+	FaultSeed              uint64
+	FaultMTBF              float64
+	FaultMTTR              float64
+	FaultStragglerMTBF     float64
+	FaultStragglerDuration float64
+	FaultStragglerFactor   float64
+	FaultCorrelatedMTBF    float64
+	FaultCorrelatedSize    int
+	FaultCorrelatedMTTR    float64
+	// FaultHorizon bounds fault activity; 0 defaults to the last job
+	// arrival of the (scaled) workload.
+	FaultHorizon float64
+
+	// CheckInvariants re-validates model invariants (clock monotonicity,
+	// job conservation, cluster structural state) after every simulation
+	// event and fails the run on the first violation. Costs roughly one
+	// cluster scan per event; meant for tests and debugging.
+	CheckInvariants bool
+	// MaxEvents overrides the engine's runaway-loop event budget
+	// (default 50M).
+	MaxEvents uint64
+}
+
+// faultConfig assembles the internal fault configuration, defaulting the
+// horizon to the given last-arrival time.
+func (o Options) faultConfig(defaultHorizon float64) fault.Config {
+	cfg := fault.Config{
+		Seed:              o.FaultSeed,
+		MTBF:              o.FaultMTBF,
+		MTTR:              o.FaultMTTR,
+		StragglerMTBF:     o.FaultStragglerMTBF,
+		StragglerDuration: o.FaultStragglerDuration,
+		StragglerFactor:   o.FaultStragglerFactor,
+		CorrelatedMTBF:    o.FaultCorrelatedMTBF,
+		CorrelatedSize:    o.FaultCorrelatedSize,
+		CorrelatedMTTR:    o.FaultCorrelatedMTTR,
+		Horizon:           o.FaultHorizon,
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = defaultHorizon
+	}
+	return cfg
 }
 
 // DefaultOptions returns the paper's experimental defaults with the
@@ -191,6 +243,10 @@ type Summary struct {
 	Unfinished     int
 	MetHighUrgency int
 	MetLowUrgency  int
+	// Killed counts node-crash teardowns of running jobs (fault injection
+	// only); killed jobs are resubmitted, so this is not part of the
+	// Submitted decomposition.
+	Killed         int
 	PctFulfilled   float64
 	AvgSlowdownMet float64
 	AcceptanceRate float64
@@ -207,6 +263,9 @@ type MonitorSample struct {
 	MeanMu        float64
 	DelayedJobs   int
 	ZeroRiskNodes int
+	// DownNodes counts crashed nodes at the sample instant (fault
+	// injection only); down nodes are excluded from the other aggregates.
+	DownNodes int
 }
 
 // Result is a completed simulation.
@@ -269,6 +328,19 @@ func (o Options) Validate() error {
 	case "", SelectBestFit, SelectFirstFit, SelectWorstFit:
 	default:
 		return fmt.Errorf("clustersched: unknown node selection %q", o.NodeSelection)
+	}
+	if o.faultConfig(1).Enabled() {
+		switch o.Policy {
+		case PolicyEDF, PolicyLibra, PolicyLibraRisk:
+		default:
+			return fmt.Errorf("clustersched: policy %q has no failure-recovery semantics; faults require edf, libra or librarisk", o.Policy)
+		}
+		// Validate with a placeholder horizon: the real default (last job
+		// arrival) is only known at run time, but every other
+		// consistency error should surface here.
+		if err := o.faultConfig(1).Validate(); err != nil {
+			return fmt.Errorf("clustersched: %w", err)
+		}
 	}
 	switch o.Estimator {
 	case "", "user-estimate", "recent-average", "scaling":
@@ -476,6 +548,7 @@ func simulateInternal(o Options, jobs []workload.Job) (Result, error) {
 				Time: s.Time, Utilization: s.Utilization, RunningJobs: s.RunningJobs,
 				BusyNodes: s.BusyNodes, MeanSigma: s.MeanSigma, MeanMu: s.MeanMu,
 				DelayedJobs: s.DelayedJobs, ZeroRiskNodes: s.ZeroRiskNodes,
+				DownNodes: s.DownNodes,
 			})
 		}
 	}
@@ -496,11 +569,17 @@ func runSimulation(o Options, jobs []workload.Job) (*metrics.Recorder, *core.Mon
 
 	e := sim.NewEngine()
 	rec := metrics.NewRecorder()
+	var ts *cluster.TimeShared
+	var ss *cluster.SpaceShared
 	newTS := func() (*cluster.TimeShared, error) {
-		return cluster.NewTimeSharedHetero(o.ratings(), ccfg)
+		c, err := cluster.NewTimeSharedHetero(o.ratings(), ccfg)
+		ts = c
+		return c, err
 	}
 	newSS := func() (*cluster.SpaceShared, error) {
-		return cluster.NewSpaceSharedHetero(o.ratings(), ccfg)
+		c, err := cluster.NewSpaceSharedHetero(o.ratings(), ccfg)
+		ss = c
+		return c, err
 	}
 	var pol core.Policy
 	var mon *core.Monitor
@@ -578,8 +657,51 @@ func runSimulation(o Options, jobs []workload.Job) (*metrics.Recorder, *core.Mon
 		}
 		pol = predict.Wrap(pol, rec, pred)
 	}
+	var chk *sim.InvariantChecker
+	if o.CheckInvariants {
+		chk = core.InstallInvariantChecker(e, rec, ts, ss)
+	}
+	var lastArrival float64
+	for _, j := range jobs {
+		if j.Submit > lastArrival {
+			lastArrival = j.Submit
+		}
+	}
+	if fc := o.faultConfig(lastArrival); fc.Enabled() {
+		var surface fault.Cluster
+		if ts != nil {
+			tc := ts
+			surface = fault.Cluster{
+				Nodes: tc.Len(),
+				Down:  func(e *sim.Engine, id int, down bool) { tc.SetNodeDown(e, id, down) },
+				Speed: tc.SetNodeSpeed,
+			}
+		} else {
+			sc := ss
+			surface = fault.Cluster{
+				Nodes: sc.Len(),
+				Down:  func(e *sim.Engine, id int, down bool) { sc.SetNodeDown(e, id, down) },
+				Speed: sc.SetNodeSpeed,
+			}
+		}
+		inj, err := fault.New(fc, surface)
+		if err != nil {
+			return nil, nil, err
+		}
+		if inj != nil {
+			inj.Install(e)
+		}
+	}
+	if o.MaxEvents > 0 {
+		e.MaxEvents = o.MaxEvents
+	}
 	if err := core.RunSimulation(e, pol, rec, jobs, o.InaccuracyPct); err != nil {
-		return nil, nil, err
+		return nil, mon, err
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return nil, mon, err
+		}
 	}
 	return rec, mon, nil
 }
@@ -601,7 +723,7 @@ func toSummary(s metrics.Summary) Summary {
 	return Summary{
 		Submitted: s.Submitted, Rejected: s.Rejected, Completed: s.Completed,
 		Met: s.Met, Missed: s.Missed, Unfinished: s.Unfinished,
-		MetHighUrgency: s.MetHigh, MetLowUrgency: s.MetLow,
+		MetHighUrgency: s.MetHigh, MetLowUrgency: s.MetLow, Killed: s.Killed,
 		PctFulfilled: s.PctFulfilled, AvgSlowdownMet: s.AvgSlowdownMet,
 		AcceptanceRate: s.AcceptanceRate,
 	}
@@ -751,8 +873,10 @@ func BuildFigure(id string, o Options) (Figure, error) {
 		f, err = experiment.FigureAllPolicies(base)
 	case "hetero":
 		f, err = experiment.FigureHetero(base)
+	case "chaos":
+		f, err = experiment.FigureChaos(base)
 	default:
-		return Figure{}, fmt.Errorf("clustersched: unknown figure %q (want figure1..figure4, prediction, allpolicies, or hetero)", id)
+		return Figure{}, fmt.Errorf("clustersched: unknown figure %q (want figure1..figure4, prediction, allpolicies, hetero, or chaos)", id)
 	}
 	if err != nil {
 		return Figure{}, err
@@ -804,6 +928,8 @@ func (b *FigureBuilder) Build(id string) (Figure, error) {
 		from = experiment.Figure3From
 	case "figure4":
 		from = experiment.Figure4From
+	case "chaos":
+		from = experiment.FigureChaosFrom
 	default:
 		return BuildFigure(id, b.o)
 	}
@@ -838,8 +964,9 @@ func (b *FigureBuilder) WriteWorkloadTable(w io.Writer) error {
 // of the paper set.
 func FigureIDs() []string { return []string{"figure1", "figure2", "figure3", "figure4"} }
 
-// ExtensionFigureIDs lists the extension experiments beyond the paper.
-func ExtensionFigureIDs() []string { return []string{"allpolicies", "hetero", "prediction"} }
+// ExtensionFigureIDs lists the extension experiments beyond the paper,
+// including the fault-injection chaos experiment.
+func ExtensionFigureIDs() []string { return []string{"allpolicies", "hetero", "prediction", "chaos"} }
 
 // Replication is a multi-seed measurement: mean, sample standard
 // deviation, and 95 % confidence half-width for the two evaluation

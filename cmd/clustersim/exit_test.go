@@ -1,0 +1,58 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+// TestRunSurfacesEventBudgetError pins the error contract every cmd
+// binary relies on: an engine failure (here an exhausted event budget)
+// propagates out of run() as a single identifiable error instead of being
+// swallowed or panicking.
+func TestRunSurfacesEventBudgetError(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-nodes", "8", "-jobs", "60", "-max-events", "10"}, &sb)
+	if err == nil {
+		t.Fatal("10-event budget over a 60-job run did not error")
+	}
+	if !errors.Is(err, sim.ErrEventBudget) {
+		t.Fatalf("err = %v, want errors.Is(_, sim.ErrEventBudget)", err)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("error not one line: %q", err)
+	}
+}
+
+// TestBinaryExitsNonZeroOnEngineError builds the real binary and checks
+// the full contract end to end: exit status 1 and exactly one stderr line
+// with the command prefix.
+func TestBinaryExitsNonZeroOnEngineError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "clustersim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-nodes", "8", "-jobs", "60", "-max-events", "10")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() == 0 {
+		t.Fatalf("err = %v, want non-zero exit", err)
+	}
+	msg := strings.TrimRight(stderr.String(), "\n")
+	if !strings.HasPrefix(msg, "clustersim: ") || strings.Contains(msg, "\n") {
+		t.Fatalf("stderr = %q, want one line with the command prefix", stderr.String())
+	}
+	if !strings.Contains(msg, "event budget") {
+		t.Fatalf("stderr = %q, want the engine error surfaced", msg)
+	}
+}

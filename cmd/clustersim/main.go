@@ -6,6 +6,7 @@
 //
 //	clustersim -policy librarisk -inaccuracy 100
 //	clustersim -policy edf -adf 0.3 -urgency 0.8 -jobs-csv out.csv
+//	clustersim -policy librarisk -fault-mtbf 86400 -fault-mttr 3600 -check-invariants
 //	clustersim -policy libra -trace SDSC-SP2-1998-4.2-cln.swf -last 3000
 //	clustersim -report -users
 package main
@@ -51,6 +52,17 @@ func run(args []string, stdout io.Writer) error {
 	monitor := fs.Float64("monitor", 0, "sample cluster state every N simulated seconds (time-shared policies)")
 	monitorCSV := fs.String("monitor-csv", "", "write monitor samples to this CSV file")
 	report := fs.Bool("report", false, "print a detailed analysis report (distributions, class breakdown, rejection reasons)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for the fault-injection RNG streams")
+	faultMTBF := fs.Float64("fault-mtbf", 0, "mean time between per-node failures in simulated seconds (0 = no crashes)")
+	faultMTTR := fs.Float64("fault-mttr", 3600, "mean per-node repair time in simulated seconds")
+	faultStragglerMTBF := fs.Float64("fault-straggler-mtbf", 0, "mean time between per-node slowdown episodes (0 = none)")
+	faultStragglerDur := fs.Float64("fault-straggler-duration", 600, "mean slowdown episode length in simulated seconds")
+	faultStragglerFactor := fs.Float64("fault-straggler-factor", 0.5, "node speed multiplier during a slowdown episode, in (0,1]")
+	faultCorrMTBF := fs.Float64("fault-correlated-mtbf", 0, "mean time between correlated multi-node outages (0 = none)")
+	faultCorrSize := fs.Int("fault-correlated-size", 2, "nodes taken down per correlated outage")
+	faultHorizon := fs.Float64("fault-horizon", 0, "stop injecting faults after this simulated time (0 = last job arrival)")
+	checkInv := fs.Bool("check-invariants", false, "re-validate model invariants after every event (slower; fails on first violation)")
+	maxEvents := fs.Uint64("max-events", 0, "override the engine's runaway-loop event budget (0 = default 50M)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +83,23 @@ func run(args []string, stdout io.Writer) error {
 	o.QoPSSlackFactor = *qopsSlack
 	o.WorkConserving = !*strict
 	o.MonitorInterval = *monitor
+	o.FaultSeed = *faultSeed
+	o.FaultMTBF = *faultMTBF
+	o.FaultStragglerMTBF = *faultStragglerMTBF
+	o.FaultCorrelatedMTBF = *faultCorrMTBF
+	if o.FaultMTBF > 0 || o.FaultCorrelatedMTBF > 0 {
+		o.FaultMTTR = *faultMTTR
+	}
+	if o.FaultStragglerMTBF > 0 {
+		o.FaultStragglerDuration = *faultStragglerDur
+		o.FaultStragglerFactor = *faultStragglerFactor
+	}
+	if o.FaultCorrelatedMTBF > 0 {
+		o.FaultCorrelatedSize = *faultCorrSize
+	}
+	o.FaultHorizon = *faultHorizon
+	o.CheckInvariants = *checkInv
+	o.MaxEvents = *maxEvents
 
 	if *report && *trace == "" {
 		out, err := clustersched.Report(o)
@@ -111,6 +140,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "deadlines fulfilled    %.2f %%\n", s.PctFulfilled)
 	fmt.Fprintf(stdout, "avg slowdown (met)     %.2f\n", s.AvgSlowdownMet)
 	fmt.Fprintf(stdout, "acceptance rate        %.2f\n", s.AcceptanceRate)
+	if s.Killed > 0 {
+		fmt.Fprintf(stdout, "killed by node crashes %d (resubmitted)\n", s.Killed)
+	}
 
 	if *monitorCSV != "" && len(res.Monitor) > 0 {
 		if err := writeMonitorCSV(*monitorCSV, res.Monitor); err != nil {
@@ -131,10 +163,10 @@ func writeMonitorCSV(path string, samples []clustersched.MonitorSample) error {
 		return err
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes")
+	fmt.Fprintln(f, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes,down_nodes")
 	for _, s := range samples {
-		fmt.Fprintf(f, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d\n",
-			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes)
+		fmt.Fprintf(f, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d,%d\n",
+			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes, s.DownNodes)
 	}
 	return nil
 }

@@ -7,7 +7,8 @@
 //
 //	experiments                       # everything at paper scale
 //	experiments -exp fig4             # one figure
-//	experiments -exp extensions       # allpolicies + hetero + prediction
+//	experiments -exp extensions       # allpolicies + hetero + prediction + chaos
+//	experiments -exp chaos            # node-failure sweep (fault injection)
 //	experiments -jobs 500 -nodes 32   # quick scaled-down pass
 //	experiments -csv out/ -svg out/   # also write data files and charts
 //	experiments -replicate 5          # headline numbers with 95% CIs
@@ -34,7 +35,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	o := clustersched.DefaultOptions()
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "which experiment: all | table | fig1 | fig2 | fig3 | fig4 | predict | allpolicies | hetero | economics | extensions")
+	exp := fs.String("exp", "all", "which experiment: all | table | fig1 | fig2 | fig3 | fig4 | predict | allpolicies | hetero | chaos | economics | extensions")
 	jobs := fs.Int("jobs", o.Jobs, "workload size")
 	nodes := fs.Int("nodes", o.Nodes, "cluster size")
 	seed := fs.Uint64("seed", o.Seed, "workload seed")
@@ -74,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		wantFigs = []string{"figure" + (*exp)[3:]}
 	case "predict":
 		wantFigs = []string{"prediction"}
-	case "allpolicies", "hetero":
+	case "allpolicies", "hetero", "chaos":
 		wantFigs = []string{*exp}
 	case "extensions":
 		wantFigs = clustersched.ExtensionFigureIDs()

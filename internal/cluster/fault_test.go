@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+// --- time-shared failure semantics ---
+
+func TestTimeSharedCrashKillsGangAndReportsRemaining(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 2)
+	var killed []KilledJob
+	c.OnJobKilled = func(_ *sim.Engine, kj KilledJob) { killed = append(killed, kj) }
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	// A 2-proc job alone on the cluster: each slice runs at full speed.
+	if _, err := c.Submit(e, job(1, 0, 100, 400, 2), 100, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeDown(e, 0, true)
+	})
+	runAll(t, e)
+	if done != nil {
+		t.Fatalf("gang member completed after its sibling's node crashed: %+v", done)
+	}
+	if len(killed) != 1 {
+		t.Fatalf("killed = %d jobs, want 1 (gang kill is one job)", len(killed))
+	}
+	kj := killed[0]
+	if kj.Job.Job.ID != 1 {
+		t.Fatalf("killed job ID = %d", kj.Job.Job.ID)
+	}
+	// The gang advanced 40s at full speed: 60s of work remains.
+	if math.Abs(kj.RemainingRuntime-60) > 1e-6 {
+		t.Fatalf("RemainingRuntime = %v, want 60", kj.RemainingRuntime)
+	}
+	if math.Abs(kj.RemainingEstimate-60) > 1e-6 {
+		t.Fatalf("RemainingEstimate = %v, want 60", kj.RemainingEstimate)
+	}
+	if c.Killed() != 1 || c.Running() != 0 {
+		t.Fatalf("Killed = %d Running = %d", c.Killed(), c.Running())
+	}
+	// The surviving node must hold no trace of the gang.
+	if c.Node(1).NumSlices() != 0 {
+		t.Fatalf("survivor still holds %d slices", c.Node(1).NumSlices())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSharedDownNodeRejectsSubmit(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 2)
+	c.SetNodeDown(e, 0, true)
+	if _, err := c.Submit(e, job(1, 0, 10, 100, 1), 10, []int{0}); err == nil {
+		t.Fatal("submit to a down node succeeded")
+	}
+	if got := c.UpNodes(); got != 1 {
+		t.Fatalf("UpNodes = %d, want 1", got)
+	}
+	c.SetNodeDown(e, 0, false)
+	if _, err := c.Submit(e, job(1, 0, 10, 100, 1), 10, []int{0}); err != nil {
+		t.Fatalf("submit after repair failed: %v", err)
+	}
+	runAll(t, e)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSharedCrashIsIdempotent(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 1)
+	kills := 0
+	c.OnJobKilled = func(*sim.Engine, KilledJob) { kills++ }
+	if _, err := c.Submit(e, job(1, 0, 100, 400, 1), 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetNodeDown(e, 0, true)
+	c.SetNodeDown(e, 0, true) // second down: no-op
+	c.SetNodeDown(e, 0, false)
+	c.SetNodeDown(e, 0, false) // second up: no-op
+	if kills != 1 {
+		t.Fatalf("kills = %d, want 1", kills)
+	}
+	runAll(t, e)
+}
+
+func TestTimeSharedStragglerStretchesRuntime(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 1)
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	if _, err := c.Submit(e, job(1, 0, 100, 1000, 1), 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Half speed from t=40 to t=80, full speed after: 40 + 20 done during
+	// the episode, 40 left at t=80 → finish at 120.
+	e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeSpeed(e, 0, 0.5)
+	})
+	e.At(80, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeSpeed(e, 0, 1)
+	})
+	runAll(t, e)
+	if done == nil || math.Abs(done.Finish-120) > 1e-6 {
+		t.Fatalf("finish = %+v, want 120", done)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- space-shared failure semantics ---
+
+func TestSpaceSharedCrashFreesSurvivorsAndReportsRemaining(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 4)
+	var killed []KilledJob
+	c.OnJobKilled = func(_ *sim.Engine, kj KilledJob) { killed = append(killed, kj) }
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	rj, err := c.Start(e, job(1, 0, 100, 500, 2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := rj.NodeIDs[0]
+	e.At(30, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeDown(e, victim, true)
+	})
+	runAll(t, e)
+	if done != nil {
+		t.Fatal("gang completed despite losing a node")
+	}
+	if len(killed) != 1 {
+		t.Fatalf("killed = %d, want 1", len(killed))
+	}
+	if math.Abs(killed[0].RemainingRuntime-70) > 1e-6 {
+		t.Fatalf("RemainingRuntime = %v, want 70", killed[0].RemainingRuntime)
+	}
+	// Survivor freed, crashed node not: 4 nodes - 1 down = 3 free.
+	if c.FreeCount() != 3 {
+		t.Fatalf("FreeCount = %d, want 3 (survivor freed, victim down)", c.FreeCount())
+	}
+	if !c.NodeDown(victim) {
+		t.Fatal("victim not marked down")
+	}
+	if c.Running() != 0 || c.Killed() != 1 {
+		t.Fatalf("Running = %d Killed = %d", c.Running(), c.Killed())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSharedIdleCrashShrinksAndRepairRestores(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 3)
+	c.SetNodeDown(e, 1, true)
+	if c.FreeCount() != 2 || c.UpNodes() != 2 {
+		t.Fatalf("FreeCount = %d UpNodes = %d after idle crash", c.FreeCount(), c.UpNodes())
+	}
+	// Down node must never be picked.
+	rj, err := c.Start(e, job(1, 0, 10, 100, 2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range rj.NodeIDs {
+		if id == 1 {
+			t.Fatal("gang placed on a down node")
+		}
+	}
+	c.SetNodeDown(e, 1, false)
+	runAll(t, e)
+	if c.FreeCount() != 3 {
+		t.Fatalf("FreeCount = %d after repair and drain, want 3", c.FreeCount())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSharedSpeedChangeRetimesGang(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 2)
+	var done *RunningJob
+	c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) { done = rj }
+	if _, err := c.Start(e, job(1, 0, 100, 1000, 2), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Slowing one gang member to half speed paces the whole gang: same
+	// 40..80 half-speed window as the TS test → finish at 120.
+	e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeSpeed(e, 0, 0.5)
+	})
+	e.At(80, sim.PriorityFault, func(e *sim.Engine) {
+		c.SetNodeSpeed(e, 0, 1)
+	})
+	runAll(t, e)
+	if done == nil || math.Abs(done.Finish-120) > 1e-6 {
+		t.Fatalf("finish = %+v, want 120", done)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSharedCheckInvariantsCatchesCorruption(t *testing.T) {
+	e := sim.NewEngine()
+	c := newSS(t, 2)
+	if _, err := c.Start(e, job(1, 0, 100, 500, 1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("healthy cluster flagged: %v", err)
+	}
+	// Deliberately corrupt the occupancy accounting.
+	c.free++
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("free-count corruption not detected")
+	}
+	c.free--
+	runAll(t, e)
+}
+
+func TestTimeSharedCheckInvariantsCatchesDownAllocation(t *testing.T) {
+	e := sim.NewEngine()
+	c := newTS(t, 1)
+	if _, err := c.Submit(e, job(1, 0, 100, 400, 1), 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the illegal state directly: mark the node down without the
+	// kill path that normally clears its slices.
+	c.nodes[0].down = true
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("allocation on a down node not detected")
+	}
+	c.nodes[0].down = false
+	runAll(t, e)
+}

@@ -113,7 +113,7 @@ func (n *PSNode) PredictDelaysScratch(now float64, cand *Candidate) []PredictedD
 		// Find the earliest completion at these rates.
 		minDT := math.Inf(1)
 		for i, it := range items {
-			rate := fluidRate(weights[i], total, n.cfg)
+			rate := fluidRate(weights[i], total, n.speed, n.cfg)
 			if rate <= 0 {
 				continue
 			}
@@ -145,7 +145,7 @@ func (n *PSNode) PredictDelaysScratch(now float64, cand *Candidate) []PredictedD
 		}
 		t += minDT
 		for i := range items {
-			rate := fluidRate(weights[i], total, n.cfg)
+			rate := fluidRate(weights[i], total, n.speed, n.cfg)
 			items[i].believed -= rate * minDT
 		}
 	}
@@ -216,7 +216,7 @@ func (n *PSNode) predictDelaysNaive(now float64, cand *Candidate) []PredictedDel
 		// Find the earliest completion at these rates.
 		minDT := math.Inf(1)
 		for i, it := range items {
-			rate := fluidRate(weights[i], total, n.cfg)
+			rate := fluidRate(weights[i], total, n.speed, n.cfg)
 			if rate <= 0 {
 				continue
 			}
@@ -245,7 +245,7 @@ func (n *PSNode) predictDelaysNaive(now float64, cand *Candidate) []PredictedDel
 		}
 		t += minDT
 		for i := range items {
-			rate := fluidRate(weights[i], total, n.cfg)
+			rate := fluidRate(weights[i], total, n.speed, n.cfg)
 			items[i].believed -= rate * minDT
 		}
 	}
@@ -253,15 +253,22 @@ func (n *PSNode) predictDelaysNaive(now float64, cand *Candidate) []PredictedDel
 	return out
 }
 
-func fluidRate(w, total float64, cfg Config) float64 {
+func fluidRate(w, total, speed float64, cfg Config) float64 {
+	var r float64
 	switch {
 	case total <= 0:
 		return 0
 	case cfg.WorkConserving || total > 1:
-		return w / total
+		r = w / total
 	default:
-		return w
+		r = w
 	}
+	if speed != 1 {
+		// Mirror the live engine's straggler scaling (see
+		// PSNode.recompute); the guard keeps the nominal path exact.
+		r *= speed
+	}
+	return r
 }
 
 func verdict(it fluidItem, t float64) PredictedDelay {

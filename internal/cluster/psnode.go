@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 
 	"clustersched/internal/sim"
@@ -70,6 +71,15 @@ type PSNode struct {
 	lastT  float64
 	update *sim.Event
 
+	// down marks a crashed node: it holds no slices and refuses new ones
+	// until it recovers (see TimeShared.SetNodeDown).
+	down bool
+	// speed is the node's current effective-rate multiplier: 1 nominal,
+	// in (0,1) while a transient straggler condition degrades it. Rates
+	// derived by recompute are scaled by it, so a speed change is a
+	// work-conserving re-timing of every in-flight slice.
+	speed float64
+
 	// version counts state mutations: it is bumped whenever advance
 	// accrues progress, a slice is added, or a completed slice is retired.
 	// Consumers key caches of derived quantities (fluid predictions, risk
@@ -102,6 +112,30 @@ func (n *PSNode) Rating() float64 { return n.rating }
 
 // NumSlices returns the number of active slices.
 func (n *PSNode) NumSlices() int { return len(n.slices) }
+
+// Down reports whether the node is currently crashed.
+func (n *PSNode) Down() bool { return n.down }
+
+// Speed returns the node's current effective-rate multiplier (1 nominal).
+func (n *PSNode) Speed() float64 { return n.speed }
+
+// SetSpeed re-times the node at a new effective-rate multiplier: progress
+// up to now is accrued at the old rates, then rates are re-derived scaled
+// by factor and the next change event is rescheduled. factor must be
+// positive; 1 restores nominal speed.
+func (n *PSNode) SetSpeed(e *sim.Engine, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: node %d speed factor %g, want > 0", n.id, factor))
+	}
+	if factor == n.speed {
+		return
+	}
+	n.advance(e.Now())
+	n.speed = factor
+	n.version++
+	n.recompute(e.Now())
+	n.reschedule(e)
+}
 
 // Version returns the node's state-mutation counter. Two reads returning
 // the same value bracket a window in which no slice arrived, completed,
@@ -176,6 +210,14 @@ func (n *PSNode) recompute(now float64) {
 		default:
 			// Strict shares; the node idles with the rest.
 			sl.rate = weights[i]
+		}
+	}
+	if n.speed != 1 {
+		// Degraded node: every slice advances at the straggler-scaled
+		// rate. Guarded so the nominal path multiplies by nothing and
+		// stays bit-identical to the pre-fault model.
+		for _, sl := range n.slices {
+			sl.rate *= n.speed
 		}
 	}
 }
@@ -340,6 +382,71 @@ func libraShare(believed, remDeadline float64) float64 {
 // dedicated seconds via the machine-independent MI length.
 func (n *PSNode) WorkToNodeSeconds(refSeconds float64) float64 {
 	return refSeconds * n.cfg.RefRating / n.rating
+}
+
+// NodeSecondsToWork is the inverse conversion: this node's dedicated
+// seconds back to reference seconds, used when a killed job's remaining
+// work must be re-expressed for resubmission.
+func (n *PSNode) NodeSecondsToWork(nodeSeconds float64) float64 {
+	return nodeSeconds * n.rating / n.cfg.RefRating
+}
+
+// markDown crashes the node: progress is accrued up to now, every slice is
+// dropped (the cluster has already claimed them for job-level kill
+// bookkeeping), the pending update event is cancelled, and the node
+// refuses work until markUp. Returns the slices that were in flight.
+func (n *PSNode) markDown(e *sim.Engine) []*slice {
+	n.advance(e.Now())
+	victims := append([]*slice(nil), n.slices...)
+	n.slices = n.slices[:0]
+	n.down = true
+	n.version++
+	if n.update != nil {
+		n.update.Cancel()
+		n.update = nil
+	}
+	return victims
+}
+
+// markUp recovers a crashed node; it comes back empty at its current
+// speed factor.
+func (n *PSNode) markUp() {
+	n.down = false
+	n.version++
+}
+
+// removeJobSlices drops every slice belonging to rj (a job killed
+// elsewhere in its gang) and returns the remaining real and believed work
+// of the dropped slices in reference seconds. Rates are re-derived for the
+// survivors.
+func (n *PSNode) removeJobSlices(e *sim.Engine, rj *RunningJob) (remReal, remBelieved float64, found bool) {
+	n.advance(e.Now())
+	kept := n.slices[:0]
+	for _, sl := range n.slices {
+		if sl.job != rj {
+			kept = append(kept, sl)
+			continue
+		}
+		found = true
+		if w := n.NodeSecondsToWork(math.Max(0, sl.realWork)); w > remReal {
+			remReal = w
+		}
+		if w := n.NodeSecondsToWork(math.Max(0, sl.believedWork)); w > remBelieved {
+			remBelieved = w
+		}
+	}
+	// Zero the tail so dropped slices do not leak through the backing
+	// array.
+	for i := len(kept); i < len(n.slices); i++ {
+		n.slices[i] = nil
+	}
+	n.slices = kept
+	if found {
+		n.version++
+		n.recompute(e.Now())
+		n.reschedule(e)
+	}
+	return remReal, remBelieved, found
 }
 
 // Utilization returns the fraction of capacity currently allocated

@@ -2,28 +2,57 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
 
+// ssRunning tracks one executing gang on a space-shared cluster: the
+// pending completion event plus enough remaining-work state to re-time the
+// job when a fault changes its gang's effective pace. Work amounts are in
+// reference seconds, accrued up to lastT.
+type ssRunning struct {
+	rj           *RunningJob
+	ev           *sim.Event
+	remaining    float64 // real work left at lastT
+	estRemaining float64 // believed work left at lastT (for resubmission)
+	lastT        float64
+}
+
 // SpaceShared is a cluster of dedicated nodes: each node runs at most one
 // job slice at a time (the EDF execution substrate). A parallel job holds
 // numproc whole nodes for its full runtime; with heterogeneous ratings the
-// gang runs at the pace of its slowest node.
+// gang runs at the pace of its slowest node — at its slowest member's
+// effective (speed-scaled) rating once faults degrade nodes.
 type SpaceShared struct {
 	cfg     Config
 	ratings []float64
 	busy    []bool
 	free    int
 
+	// down marks crashed nodes: excluded from free capacity until
+	// recovery. speed is each node's effective-rate multiplier (1
+	// nominal); see SetNodeSpeed.
+	down  []bool
+	speed []float64
+
 	// OnJobDone fires when a job completes and its nodes are already
 	// released, so the handler observes the post-completion free count.
 	OnJobDone func(e *sim.Engine, rj *RunningJob)
 
+	// OnJobKilled fires for each job torn down by SetNodeDown, after the
+	// gang's surviving nodes are released and the crashed node is marked
+	// down.
+	OnJobKilled func(e *sim.Engine, kj KilledJob)
+
+	// OnNodeUp fires when a crashed node recovers.
+	OnNodeUp func(e *sim.Engine, id int)
+
 	running int
-	active  []*RunningJob
+	killed  int
+	runs    []*ssRunning
 }
 
 // NewSpaceShared builds a homogeneous dedicated cluster.
@@ -48,10 +77,16 @@ func NewSpaceSharedHetero(ratings []float64, cfg Config) (*SpaceShared, error) {
 			return nil, fmt.Errorf("cluster: node %d rating %g, want > 0", i, r)
 		}
 	}
+	speed := make([]float64, len(ratings))
+	for i := range speed {
+		speed[i] = 1
+	}
 	return &SpaceShared{
 		cfg:     cfg,
 		ratings: append([]float64(nil), ratings...),
 		busy:    make([]bool, len(ratings)),
+		down:    make([]bool, len(ratings)),
+		speed:   speed,
 		free:    len(ratings),
 	}, nil
 }
@@ -59,11 +94,35 @@ func NewSpaceSharedHetero(ratings []float64, cfg Config) (*SpaceShared, error) {
 // Len returns the number of nodes.
 func (c *SpaceShared) Len() int { return len(c.ratings) }
 
-// FreeCount returns the number of idle nodes.
+// FreeCount returns the number of idle, up nodes.
 func (c *SpaceShared) FreeCount() int { return c.free }
 
 // Running returns the number of executing jobs.
 func (c *SpaceShared) Running() int { return c.running }
+
+// Killed returns the number of jobs torn down by node crashes so far.
+func (c *SpaceShared) Killed() int { return c.killed }
+
+// UpNodes returns the number of nodes currently up.
+func (c *SpaceShared) UpNodes() int {
+	up := 0
+	for _, d := range c.down {
+		if !d {
+			up++
+		}
+	}
+	return up
+}
+
+// NodeDown reports whether node id is currently crashed.
+func (c *SpaceShared) NodeDown(id int) bool { return c.down[id] }
+
+// effRating returns node id's effective rating: its SPEC rating scaled by
+// the current speed factor. With speed 1 the multiplication is exact, so
+// the no-fault model is bit-identical to the pre-fault one.
+func (c *SpaceShared) effRating(id int) float64 {
+	return c.ratings[id] * c.speed[id]
+}
 
 // RuntimeOn returns the dedicated runtime of refSeconds of work on the
 // fastest numproc idle nodes, without starting anything — what an EDF
@@ -78,13 +137,18 @@ func (c *SpaceShared) RuntimeOn(refSeconds float64, numproc int) (float64, bool)
 }
 
 // BestPossibleRuntime returns the dedicated runtime on the fastest numproc
-// nodes regardless of their current occupancy — the most optimistic finish
-// a queued job could hope for.
+// up nodes regardless of their current occupancy — the most optimistic
+// finish a queued job could hope for.
 func (c *SpaceShared) BestPossibleRuntime(refSeconds float64, numproc int) (float64, bool) {
-	if numproc > len(c.ratings) {
+	sorted := make([]float64, 0, len(c.ratings))
+	for i := range c.ratings {
+		if !c.down[i] {
+			sorted = append(sorted, c.effRating(i))
+		}
+	}
+	if numproc > len(sorted) {
 		return 0, false
 	}
-	sorted := append([]float64(nil), c.ratings...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
 	slowest := sorted[numproc-1]
 	return refSeconds * c.cfg.RefRating / slowest, true
@@ -112,43 +176,214 @@ func (c *SpaceShared) Start(e *sim.Engine, job workload.Job, estimate float64) (
 		Start:    e.Now(),
 		NodeIDs:  ids,
 	}
-	c.active = append(c.active, rj)
+	r := &ssRunning{rj: rj, remaining: job.Runtime, estRemaining: estimate, lastT: e.Now()}
+	c.runs = append(c.runs, r)
 	duration := c.gangRuntime(job.Runtime, ids)
-	e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
-		for _, id := range ids {
-			c.busy[id] = false
-		}
-		c.free += len(ids)
-		c.running--
-		for i, a := range c.active {
-			if a == rj {
-				c.active = append(c.active[:i], c.active[i+1:]...)
-				break
-			}
-		}
-		rj.done = true
-		rj.Finish = e.Now()
-		if c.OnJobDone != nil {
-			c.OnJobDone(e, rj)
-		}
+	r.ev = e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
+		c.finish(e, r)
 	})
 	return rj, nil
 }
 
-// pickFree returns the ids of the fastest numproc idle nodes, or nil.
+// finish completes a run: release its nodes, retire the tracking entry and
+// fire OnJobDone.
+func (c *SpaceShared) finish(e *sim.Engine, r *ssRunning) {
+	rj := r.rj
+	for _, id := range rj.NodeIDs {
+		c.busy[id] = false
+	}
+	c.free += len(rj.NodeIDs)
+	c.running--
+	c.dropRun(r)
+	rj.done = true
+	rj.Finish = e.Now()
+	if c.OnJobDone != nil {
+		c.OnJobDone(e, rj)
+	}
+}
+
+func (c *SpaceShared) dropRun(r *ssRunning) {
+	for i, a := range c.runs {
+		if a == r {
+			copy(c.runs[i:], c.runs[i+1:])
+			c.runs[len(c.runs)-1] = nil
+			c.runs = c.runs[:len(c.runs)-1]
+			return
+		}
+	}
+}
+
+// advanceRun accrues a run's progress up to now at its gang's current
+// effective pace. Must be called before any speed change that affects the
+// gang.
+func (c *SpaceShared) advanceRun(r *ssRunning, now float64) {
+	dt := now - r.lastT
+	if dt > 0 {
+		pace := c.gangPace(r.rj.NodeIDs)
+		r.remaining -= dt * pace
+		r.estRemaining -= dt * pace
+	}
+	r.lastT = now
+}
+
+// gangPace returns reference seconds of work served per wall second on the
+// given gang: effective slowest rating over the reference rating.
+func (c *SpaceShared) gangPace(ids []int) float64 {
+	slowest := c.effRating(ids[0])
+	for _, id := range ids[1:] {
+		if r := c.effRating(id); r < slowest {
+			slowest = r
+		}
+	}
+	return slowest / c.cfg.RefRating
+}
+
+// SetNodeSpeed re-times node id at a new effective-rate multiplier: any
+// gang spanning the node accrues progress at the old pace, then its
+// completion event is rescheduled at the new one. factor must be positive;
+// 1 restores nominal speed.
+func (c *SpaceShared) SetNodeSpeed(e *sim.Engine, id int, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: node %d speed factor %g, want > 0", id, factor))
+	}
+	if factor == c.speed[id] {
+		return
+	}
+	now := e.Now()
+	affected := make([]*ssRunning, 0, 1)
+	for _, r := range c.runs {
+		if gangContains(r.rj.NodeIDs, id) {
+			c.advanceRun(r, now)
+			affected = append(affected, r)
+		}
+	}
+	c.speed[id] = factor
+	for _, r := range affected {
+		r.ev.Cancel()
+		duration := c.gangRuntime(math.Max(0, r.remaining), r.rj.NodeIDs)
+		rr := r
+		r.ev = e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
+			c.finish(e, rr)
+		})
+	}
+}
+
+// SetNodeDown crashes (down=true) or recovers (down=false) node id. A
+// crash kills the job occupying the node, if any: its completion event is
+// cancelled, its surviving nodes are released, and OnJobKilled fires with
+// the remaining real/believed work in reference seconds. Recovery returns
+// the node to the free pool and fires OnNodeUp. Both directions are
+// idempotent.
+func (c *SpaceShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob {
+	if down == c.down[id] {
+		return nil
+	}
+	if !down {
+		c.down[id] = false
+		c.free++
+		if c.OnNodeUp != nil {
+			c.OnNodeUp(e, id)
+		}
+		return nil
+	}
+	c.down[id] = true
+	if !c.busy[id] {
+		c.free--
+		return nil
+	}
+	// Find the gang occupying the node and tear it down.
+	var victim *ssRunning
+	for _, r := range c.runs {
+		if gangContains(r.rj.NodeIDs, id) {
+			victim = r
+			break
+		}
+	}
+	if victim == nil {
+		panic(fmt.Sprintf("cluster: node %d busy with no running job", id))
+	}
+	c.advanceRun(victim, e.Now())
+	victim.ev.Cancel()
+	rj := victim.rj
+	for _, nid := range rj.NodeIDs {
+		c.busy[nid] = false
+		if nid != id {
+			c.free++ // the crashed node itself stays unavailable
+		}
+	}
+	c.running--
+	c.killed++
+	c.dropRun(victim)
+	kj := KilledJob{
+		Job:               rj,
+		RemainingRuntime:  math.Max(0, victim.remaining),
+		RemainingEstimate: math.Max(1e-6, victim.estRemaining),
+	}
+	if c.OnJobKilled != nil {
+		c.OnJobKilled(e, kj)
+	}
+	return []KilledJob{kj}
+}
+
+// CheckInvariants validates the cluster's structural invariants: the free
+// count matches the idle-up node census, running matches the tracked run
+// set, no gang spans a down node, every gang node is marked busy, speeds
+// are positive, and remaining work is non-negative (modulo float noise).
+func (c *SpaceShared) CheckInvariants() error {
+	idle := 0
+	for i := range c.ratings {
+		if !c.busy[i] && !c.down[i] {
+			idle++
+		}
+		if c.speed[i] <= 0 {
+			return fmt.Errorf("cluster: node %d speed %g, want > 0", i, c.speed[i])
+		}
+	}
+	if idle != c.free {
+		return fmt.Errorf("cluster: free count %d, census says %d", c.free, idle)
+	}
+	if c.running != len(c.runs) {
+		return fmt.Errorf("cluster: running count %d, tracked runs %d", c.running, len(c.runs))
+	}
+	for _, r := range c.runs {
+		if r.remaining < -1e-6 {
+			return fmt.Errorf("cluster: job %d remaining work %g < 0", r.rj.Job.ID, r.remaining)
+		}
+		for _, id := range r.rj.NodeIDs {
+			if c.down[id] {
+				return fmt.Errorf("cluster: job %d allocated on down node %d", r.rj.Job.ID, id)
+			}
+			if !c.busy[id] {
+				return fmt.Errorf("cluster: job %d on node %d not marked busy", r.rj.Job.ID, id)
+			}
+		}
+	}
+	return nil
+}
+
+func gangContains(ids []int, id int) bool {
+	for _, n := range ids {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// pickFree returns the ids of the fastest numproc idle up nodes, or nil.
 func (c *SpaceShared) pickFree(numproc int) []int {
 	if numproc <= 0 || numproc > c.free {
 		return nil
 	}
 	ids := make([]int, 0, c.free)
 	for i, b := range c.busy {
-		if !b {
+		if !b && !c.down[i] {
 			ids = append(ids, i)
 		}
 	}
 	sort.Slice(ids, func(a, b int) bool {
-		if c.ratings[ids[a]] != c.ratings[ids[b]] {
-			return c.ratings[ids[a]] > c.ratings[ids[b]]
+		if c.effRating(ids[a]) != c.effRating(ids[b]) {
+			return c.effRating(ids[a]) > c.effRating(ids[b])
 		}
 		return ids[a] < ids[b]
 	})
@@ -156,21 +391,28 @@ func (c *SpaceShared) pickFree(numproc int) []int {
 }
 
 // gangRuntime is the dedicated runtime of refSeconds of reference work on
-// the given nodes: the gang advances at its slowest member's pace.
+// the given nodes: the gang advances at its slowest member's effective
+// pace.
 func (c *SpaceShared) gangRuntime(refSeconds float64, ids []int) float64 {
-	slowest := c.ratings[ids[0]]
+	slowest := c.effRating(ids[0])
 	for _, id := range ids[1:] {
-		if c.ratings[id] < slowest {
-			slowest = c.ratings[id]
+		if r := c.effRating(id); r < slowest {
+			slowest = r
 		}
 	}
 	return refSeconds * c.cfg.RefRating / slowest
 }
 
-// MinRuntime returns the job's dedicated runtime on its allocated gang,
-// the denominator of the slowdown metric.
+// MinRuntime returns the job's dedicated runtime on its allocated gang at
+// nominal speed, the denominator of the slowdown metric.
 func (c *SpaceShared) MinRuntime(rj *RunningJob) float64 {
-	return c.gangRuntime(rj.Job.Runtime, rj.NodeIDs)
+	slowest := c.ratings[rj.NodeIDs[0]]
+	for _, id := range rj.NodeIDs[1:] {
+		if c.ratings[id] < slowest {
+			slowest = c.ratings[id]
+		}
+	}
+	return rj.Job.Runtime * c.cfg.RefRating / slowest
 }
 
 // EstimatedFinish returns when the scheduler believes the job will
@@ -184,6 +426,9 @@ func (c *SpaceShared) EstimatedFinish(rj *RunningJob) float64 {
 // RunningJobs returns the currently executing jobs in start order; the
 // slice is freshly allocated.
 func (c *SpaceShared) RunningJobs() []*RunningJob {
-	out := append([]*RunningJob(nil), c.active...)
+	out := make([]*RunningJob, 0, len(c.runs))
+	for _, r := range c.runs {
+		out = append(out, r.rj)
+	}
 	return out
 }

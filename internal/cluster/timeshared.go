@@ -2,10 +2,26 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
+
+// KilledJob describes a job torn down by a node crash: the running
+// instance plus its remaining work re-expressed in reference seconds so an
+// admission policy can resubmit it with the original deadline.
+type KilledJob struct {
+	Job *RunningJob
+	// RemainingRuntime is the real work left, in reference seconds (the
+	// maximum across the gang's slices — the job needs that much more
+	// service on an equivalent allocation).
+	RemainingRuntime float64
+	// RemainingEstimate is the believed work left under the admitted
+	// estimate, floored at a microsecond so resubmission always carries a
+	// positive estimate.
+	RemainingEstimate float64
+}
 
 // TimeShared is a cluster of proportional-share nodes (the Libra and
 // LibraRisk execution substrate).
@@ -17,7 +33,17 @@ type TimeShared struct {
 	// completes.
 	OnJobDone func(e *sim.Engine, rj *RunningJob)
 
+	// OnJobKilled, if set, is invoked for each job torn down by
+	// SetNodeDown, after all node state has been cleaned up (so a handler
+	// that resubmits immediately sees the crashed node as down and its
+	// survivors re-timed).
+	OnJobKilled func(e *sim.Engine, kj KilledJob)
+
+	// OnNodeUp, if set, is invoked when a crashed node recovers.
+	OnNodeUp func(e *sim.Engine, id int)
+
 	running int
+	killed  int
 }
 
 // NewTimeShared builds a homogeneous cluster of n nodes with the given
@@ -43,7 +69,7 @@ func NewTimeSharedHetero(ratings []float64, cfg Config) (*TimeShared, error) {
 		if r <= 0 {
 			return nil, fmt.Errorf("cluster: node %d rating %g, want > 0", i, r)
 		}
-		node := &PSNode{id: i, rating: r, cfg: cfg}
+		node := &PSNode{id: i, rating: r, cfg: cfg, speed: 1}
 		node.onSliceDone = c.sliceDone
 		c.nodes = append(c.nodes, node)
 	}
@@ -62,6 +88,109 @@ func (c *TimeShared) Config() Config { return c.cfg }
 // Running returns the number of jobs currently executing.
 func (c *TimeShared) Running() int { return c.running }
 
+// Killed returns the number of jobs torn down by node crashes so far.
+func (c *TimeShared) Killed() int { return c.killed }
+
+// UpNodes returns the number of nodes currently up.
+func (c *TimeShared) UpNodes() int {
+	up := 0
+	for _, n := range c.nodes {
+		if !n.down {
+			up++
+		}
+	}
+	return up
+}
+
+// SetNodeSpeed re-times node id at a new effective-rate multiplier (1 is
+// nominal, values in (0,1) model a transient straggler).
+func (c *TimeShared) SetNodeSpeed(e *sim.Engine, id int, factor float64) {
+	c.nodes[id].SetSpeed(e, factor)
+}
+
+// SetNodeDown crashes (down=true) or recovers (down=false) node id.
+//
+// A crash tears down every job with a slice on the node: the gang's other
+// slices are removed from their nodes (survivors there are re-timed), the
+// job's remaining real/believed work is captured in reference seconds, and
+// OnJobKilled fires once per job after all cluster state is consistent —
+// so a handler that resubmits immediately cannot land on the dead node.
+// Recovery brings the node back empty and fires OnNodeUp. Both directions
+// are idempotent.
+func (c *TimeShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob {
+	node := c.nodes[id]
+	if down == node.down {
+		return nil
+	}
+	if !down {
+		node.markUp()
+		if c.OnNodeUp != nil {
+			c.OnNodeUp(e, id)
+		}
+		return nil
+	}
+	victims := node.markDown(e)
+	killed := make([]KilledJob, 0, len(victims))
+	for _, sl := range victims {
+		rj := sl.job
+		kj := KilledJob{
+			Job:              rj,
+			RemainingRuntime: node.NodeSecondsToWork(math.Max(0, sl.realWork)),
+			RemainingEstimate: node.NodeSecondsToWork(math.Max(0, sl.believedWork)),
+		}
+		// Tear down the rest of the gang; each sibling node reports the
+		// remaining work of the slice it dropped and the gang-wide
+		// remainder is the maximum (the job must redo its longest slice).
+		for _, nid := range rj.NodeIDs {
+			if nid == id {
+				continue
+			}
+			remReal, remBelieved, found := c.nodes[nid].removeJobSlices(e, rj)
+			if !found {
+				continue
+			}
+			kj.RemainingRuntime = math.Max(kj.RemainingRuntime, remReal)
+			kj.RemainingEstimate = math.Max(kj.RemainingEstimate, remBelieved)
+		}
+		if kj.RemainingEstimate < 1e-6 {
+			kj.RemainingEstimate = 1e-6
+		}
+		c.running--
+		c.killed++
+		killed = append(killed, kj)
+	}
+	for _, kj := range killed {
+		if c.OnJobKilled != nil {
+			c.OnJobKilled(e, kj)
+		}
+	}
+	return killed
+}
+
+// CheckInvariants validates the cluster's structural invariants: a down
+// node holds no slices, every slice's remaining real work is non-negative
+// (modulo float noise), speeds are positive, and the running count is
+// non-negative. Returns nil when all hold.
+func (c *TimeShared) CheckInvariants() error {
+	if c.running < 0 {
+		return fmt.Errorf("cluster: running count %d < 0", c.running)
+	}
+	for _, n := range c.nodes {
+		if n.down && len(n.slices) > 0 {
+			return fmt.Errorf("cluster: down node %d holds %d slice(s)", n.id, len(n.slices))
+		}
+		if n.speed <= 0 {
+			return fmt.Errorf("cluster: node %d speed %g, want > 0", n.id, n.speed)
+		}
+		for _, sl := range n.slices {
+			if sl.realWork < -1e-6 {
+				return fmt.Errorf("cluster: node %d job %d remaining work %g < 0", n.id, sl.job.Job.ID, sl.realWork)
+			}
+		}
+	}
+	return nil
+}
+
 // Submit places a job on the given nodes (one slice each) with the given
 // runtime estimate in reference seconds. The nodes must be distinct and
 // exactly NumProc many; admission policy is the caller's responsibility.
@@ -79,6 +208,9 @@ func (c *TimeShared) Submit(e *sim.Engine, job workload.Job, estimate float64, n
 		}
 		if seen[id] {
 			return nil, fmt.Errorf("cluster: duplicate node id %d", id)
+		}
+		if c.nodes[id].down {
+			return nil, fmt.Errorf("cluster: node %d is down", id)
 		}
 		seen[id] = true
 	}

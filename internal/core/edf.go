@@ -52,11 +52,26 @@ func (q *edfQueue) Pop() any {
 	return it
 }
 
-// NewEDF wires an EDF policy to a space-shared cluster.
+// NewEDF wires an EDF policy to a space-shared cluster, including its
+// failure-recovery hooks: a job killed by a node crash re-enters the queue
+// with its remaining runtime and estimate but its original deadline, and a
+// recovering node triggers a dispatch pass since capacity just returned.
 func NewEDF(c *cluster.SpaceShared, rec *metrics.Recorder) *EDF {
 	p := &EDF{Cluster: c, Recorder: rec}
 	c.OnJobDone = func(e *sim.Engine, rj *cluster.RunningJob) {
 		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+		p.dispatch(e)
+	}
+	c.OnJobKilled = func(e *sim.Engine, kj cluster.KilledJob) {
+		rec.Killed(kj.Job.Job)
+		job := kj.Job.Job
+		job.Runtime = kj.RemainingRuntime
+		heap.Push(&p.queue, edfItem{job: job, estimate: kj.RemainingEstimate, seq: job.ID})
+		// The gang's surviving nodes were just released; someone queued
+		// (possibly the victim itself) may be able to start.
+		p.dispatch(e)
+	}
+	c.OnNodeUp = func(e *sim.Engine, id int) {
 		p.dispatch(e)
 	}
 	return p

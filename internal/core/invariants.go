@@ -1,0 +1,35 @@
+package core
+
+import (
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+)
+
+// RegisterInvariants arms a checker with the model-level invariants shared
+// by every policy run: job conservation in the recorder and the cluster's
+// structural invariants (no allocation on a down node, non-negative
+// remaining work, consistent occupancy accounting). Exactly one of ts/ss
+// may be nil. The checker's kernel clock-monotonicity invariant is always
+// active; this adds the model layer on top.
+func RegisterInvariants(c *sim.InvariantChecker, rec *metrics.Recorder, ts *cluster.TimeShared, ss *cluster.SpaceShared) {
+	if rec != nil {
+		c.Register("job-conservation", rec.ConservationError)
+	}
+	switch {
+	case ts != nil:
+		c.Register("cluster-state", ts.CheckInvariants)
+	case ss != nil:
+		c.Register("cluster-state", ss.CheckInvariants)
+	}
+}
+
+// InstallInvariantChecker builds a checker, registers the standard model
+// invariants, and installs it on the engine, returning it so the caller
+// can collect Err() after the run.
+func InstallInvariantChecker(e *sim.Engine, rec *metrics.Recorder, ts *cluster.TimeShared, ss *cluster.SpaceShared) *sim.InvariantChecker {
+	c := sim.NewInvariantChecker()
+	RegisterInvariants(c, rec, ts, ss)
+	e.SetInvariantChecker(c)
+	return c
+}

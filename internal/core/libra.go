@@ -32,11 +32,22 @@ type Libra struct {
 }
 
 // NewLibra wires a Libra policy to a time-shared cluster and installs its
-// completion hook.
+// completion and failure-recovery hooks: a job killed by a node crash is
+// immediately resubmitted through the admission test with its remaining
+// runtime and estimate but its original deadline — the crashed node is
+// already down, so the share test prices the lost capacity.
 func NewLibra(c *cluster.TimeShared, rec *metrics.Recorder) *Libra {
 	p := &Libra{Cluster: c, Recorder: rec, Selection: BestFit}
 	c.OnJobDone = func(_ *sim.Engine, rj *cluster.RunningJob) {
 		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+	}
+	c.OnJobKilled = func(e *sim.Engine, kj cluster.KilledJob) {
+		rec.Killed(kj.Job.Job)
+		job := kj.Job.Job
+		job.Runtime = kj.RemainingRuntime
+		// Resubmission, not a new submission: the job is still pending in
+		// the recorder and must end with exactly one final outcome.
+		p.admit(e, job, kj.RemainingEstimate)
 	}
 	return p
 }
@@ -54,6 +65,12 @@ func (p *Libra) Name() string { return "Libra" }
 // selection the node walk stops once NumProc suitable nodes are found.
 func (p *Libra) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
+	p.admit(e, job, estimate)
+}
+
+// admit runs the admission test and placement without registering a new
+// submission — shared by Submit and the crash-resubmission hook.
+func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64) {
 	if job.NumProc > p.Cluster.Len() {
 		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
@@ -64,6 +81,9 @@ func (p *Libra) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	firstFit := p.Selection == FirstFit && !p.DisableFastPath
 	suitable := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
+		if p.Cluster.Node(i).Down() {
+			continue
+		}
 		var s float64
 		var ok bool
 		if p.DisableFastPath {

@@ -42,11 +42,22 @@ type LibraRisk struct {
 	ids  []int
 }
 
-// NewLibraRisk wires a LibraRisk policy to a time-shared cluster.
+// NewLibraRisk wires a LibraRisk policy to a time-shared cluster,
+// including its failure-recovery hook: a job killed by a node crash is
+// immediately resubmitted through Algorithm 1 with its remaining runtime
+// and estimate but its original deadline, so the risk metric σ now prices
+// node unavailability — the survivors absorbed the dead node's load and
+// their predicted delays rise accordingly.
 func NewLibraRisk(c *cluster.TimeShared, rec *metrics.Recorder) *LibraRisk {
 	p := &LibraRisk{Cluster: c, Recorder: rec, Selection: FirstFit}
 	c.OnJobDone = func(_ *sim.Engine, rj *cluster.RunningJob) {
 		rec.Complete(rj.Job, rj.Finish, c.MinRuntime(rj))
+	}
+	c.OnJobKilled = func(e *sim.Engine, kj cluster.KilledJob) {
+		rec.Killed(kj.Job.Job)
+		job := kj.Job.Job
+		job.Runtime = kj.RemainingRuntime
+		p.admit(e, job, kj.RemainingEstimate)
 	}
 	return p
 }
@@ -102,6 +113,12 @@ func (p *LibraRisk) nodeSuitable(now float64, n *cluster.PSNode, cand *cluster.C
 //     (BestFit/WorstFit) actually orders by them.
 func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
+	p.admit(e, job, estimate)
+}
+
+// admit runs Algorithm 1 without registering a new submission — shared by
+// Submit and the crash-resubmission hook.
+func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64) {
 	if job.NumProc > p.Cluster.Len() {
 		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
@@ -112,6 +129,9 @@ func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	zeroRisk := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
 		n := p.Cluster.Node(i)
+		if n.Down() {
+			continue
+		}
 		if !p.nodeSuitable(now, n, cand) {
 			continue
 		}

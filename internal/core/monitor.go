@@ -30,6 +30,11 @@ type MonitorSample struct {
 	DelayedJobs int
 	// ZeroRiskNodes counts nodes whose σ is currently zero.
 	ZeroRiskNodes int
+	// DownNodes counts crashed nodes. Down nodes are excluded from every
+	// other aggregate in the sample — a dead node contributes no
+	// utilization, no predictions, and no risk, instead of poisoning the
+	// baselines with stale or vacuous values.
+	DownNodes int
 }
 
 // Monitor samples a time-shared cluster at a fixed interval for the
@@ -125,8 +130,14 @@ func (m *Monitor) sample(now float64) MonitorSample {
 	n := m.Cluster.Len()
 	var utilSum, sigmaSum, muSum float64
 	muNodes := 0
+	upNodes := 0
 	for i := 0; i < n; i++ {
 		node := m.Cluster.Node(i)
+		if node.Down() {
+			s.DownNodes++
+			continue
+		}
+		upNodes++
 		utilSum += node.Utilization()
 		if node.NumSlices() > 0 {
 			s.BusyNodes++
@@ -156,9 +167,9 @@ func (m *Monitor) sample(now float64) MonitorSample {
 			s.ZeroRiskNodes++
 		}
 	}
-	if n > 0 {
-		s.Utilization = utilSum / float64(n)
-		s.MeanSigma = sigmaSum / float64(n)
+	if upNodes > 0 {
+		s.Utilization = utilSum / float64(upNodes)
+		s.MeanSigma = sigmaSum / float64(upNodes)
 	}
 	if muNodes > 0 {
 		s.MeanMu = muSum / float64(muNodes)
@@ -171,12 +182,12 @@ func (m *Monitor) Samples() []MonitorSample { return m.samples }
 
 // WriteCSV emits the time series as CSV.
 func (m *Monitor) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes"); err != nil {
+	if _, err := fmt.Fprintln(w, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes,down_nodes"); err != nil {
 		return err
 	}
 	for _, s := range m.samples {
-		if _, err := fmt.Fprintf(w, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d\n",
-			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes); err != nil {
+		if _, err := fmt.Fprintf(w, "%g,%.4f,%d,%d,%.4f,%.4f,%d,%d,%d\n",
+			s.Time, s.Utilization, s.RunningJobs, s.BusyNodes, s.MeanSigma, s.MeanMu, s.DelayedJobs, s.ZeroRiskNodes, s.DownNodes); err != nil {
 			return err
 		}
 	}

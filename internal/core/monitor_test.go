@@ -97,7 +97,7 @@ func TestMonitorCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.HasPrefix(out, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes\n") {
+	if !strings.HasPrefix(out, "time,utilization,running,busy_nodes,mean_sigma,mean_mu,delayed_jobs,zero_risk_nodes,down_nodes\n") {
 		t.Fatalf("CSV header wrong:\n%s", out)
 	}
 	if strings.Count(out, "\n") != 2 {

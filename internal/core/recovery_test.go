@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/metrics"
+	"clustersched/internal/sim"
+)
+
+// TestEDFRequeuesKilledJob crashes the only node mid-run: EDF must requeue
+// the job with its remaining runtime and finish it after the repair, and
+// the recorder's conservation law must hold throughout.
+func TestEDFRequeuesKilledJob(t *testing.T) {
+	e, p, rec := newEDFHarness(t, 1)
+	p.Submit(e, tsJob(1, 0, 100, 10_000, 1), 100)
+	e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+		p.Cluster.SetNodeDown(e, 0, true)
+	})
+	e.At(200, sim.PriorityFault, func(e *sim.Engine) {
+		p.Cluster.SetNodeDown(e, 0, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if err := rec.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	if s.Met != 1 || s.Killed != 1 {
+		t.Fatalf("summary = %+v, want 1 met, 1 killed", s)
+	}
+	if rec.Kills() != 1 {
+		t.Fatalf("Kills = %d", rec.Kills())
+	}
+	// 40s done before the crash, 60s remain, restarted at the repair:
+	// finish = 200 + 60 = 260.
+	res := rec.Results()
+	if len(res) != 1 || res[0].Finish != 260 {
+		t.Fatalf("results = %+v, want finish 260", res)
+	}
+}
+
+// TestEDFKilledJobWaitsForRepair covers the OnNodeUp hook: with no other
+// completion event to re-trigger dispatch, only the repair can restart the
+// requeued job.
+func TestEDFKilledJobWaitsForRepair(t *testing.T) {
+	e, p, rec := newEDFHarness(t, 2)
+	p.Submit(e, tsJob(1, 0, 100, 10_000, 2), 100)
+	e.At(10, sim.PriorityFault, func(e *sim.Engine) {
+		p.Cluster.SetNodeDown(e, 0, true)
+	})
+	e.At(500, sim.PriorityFault, func(e *sim.Engine) {
+		p.Cluster.SetNodeDown(e, 0, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if err := rec.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+	res := rec.Results()
+	// The 2-proc job cannot run on the surviving single node; it restarts
+	// at the repair with 90s left.
+	if len(res) != 1 || res[0].Finish != 590 {
+		t.Fatalf("results = %+v, want finish 590", res)
+	}
+}
+
+func libraCrashHarness(t *testing.T, policy func(*cluster.TimeShared, *metrics.Recorder) Policy) (*sim.Engine, *cluster.TimeShared, *metrics.Recorder, Policy) {
+	t.Helper()
+	c, err := cluster.NewTimeShared(4, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	return sim.NewEngine(), c, rec, policy(c, rec)
+}
+
+// TestLibraResubmitsKilledJob crashes a node under Libra: the killed job
+// must re-run admission with its remaining runtime and original deadline,
+// land on a surviving node, and complete.
+func TestLibraResubmitsKilledJob(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func(c *cluster.TimeShared, rec *metrics.Recorder) Policy
+	}{
+		{"Libra", func(c *cluster.TimeShared, rec *metrics.Recorder) Policy { return NewLibra(c, rec) }},
+		{"LibraRisk", func(c *cluster.TimeShared, rec *metrics.Recorder) Policy { return NewLibraRisk(c, rec) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			e, c, rec, p := libraCrashHarness(t, mk.new)
+			p.Submit(e, tsJob(1, 0, 100, 1000, 1), 100)
+			e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+				c.SetNodeDown(e, 0, true)
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			rec.Flush()
+			if err := rec.ConservationError(); err != nil {
+				t.Fatal(err)
+			}
+			s := rec.Summarize()
+			if s.Met != 1 || s.Killed != 1 || s.Rejected != 0 {
+				t.Fatalf("summary = %+v, want the killed job re-admitted and met", s)
+			}
+			// Node 0 is down at resubmission time, so admission must have
+			// picked a survivor; finish = 40 + 60 remaining = 100 (alone on
+			// the new node, work-conserving full speed).
+			res := rec.Results()
+			if len(res) != 1 || res[0].Finish != 100 {
+				t.Fatalf("results = %+v, want finish 100", res)
+			}
+		})
+	}
+}
+
+// TestLibraRejectsResubmissionWhenClusterDown kills every node: the
+// resubmitted job has nowhere to go and must be recorded as rejected —
+// conservation still balances (submitted = rejected).
+func TestLibraRejectsResubmissionWhenClusterDown(t *testing.T) {
+	e, c, rec, p := libraCrashHarness(t, func(c *cluster.TimeShared, rec *metrics.Recorder) Policy {
+		return NewLibra(c, rec)
+	})
+	p.Submit(e, tsJob(1, 0, 100, 1000, 1), 100)
+	e.At(40, sim.PriorityFault, func(e *sim.Engine) {
+		for i := 0; i < c.Len(); i++ {
+			c.SetNodeDown(e, i, true)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Flush()
+	if err := rec.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	// The loop takes nodes down one at a time, so the resubmitted job
+	// chases the shrinking cluster: killed once per node, then — with no
+	// up node left — rejected.
+	if s.Rejected != 1 || s.Killed != 4 {
+		t.Fatalf("summary = %+v, want 4 kills then 1 rejection", s)
+	}
+}
+
+// TestInvariantCheckerCatchesInjectedViolation is the negative test for
+// the checker: deliberately breaking job conservation (a completion for a
+// job that was never submitted) must surface as a checker error on the
+// next processed event.
+func TestInvariantCheckerCatchesInjectedViolation(t *testing.T) {
+	c, err := cluster.NewTimeShared(2, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	p := NewLibra(c, rec)
+	e := sim.NewEngine()
+	chk := InstallInvariantChecker(e, rec, c, nil)
+	p.Submit(e, tsJob(1, 0, 100, 1000, 1), 100)
+	e.At(10, sim.PriorityDefault, func(e *sim.Engine) {
+		// Phantom completion: job 99 never went through Submit.
+		rec.Complete(tsJob(99, 0, 1, 10, 1), 10, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if chk.Err() == nil {
+		t.Fatal("checker missed the injected conservation violation")
+	}
+	vs := chk.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violations recorded")
+	}
+}
+
+// TestInvariantCheckerCleanOnHealthyRun is the positive control: the same
+// checker over an honest multi-job run reports nothing.
+func TestInvariantCheckerCleanOnHealthyRun(t *testing.T) {
+	c, err := cluster.NewTimeShared(2, 168, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	p := NewLibraRisk(c, rec)
+	e := sim.NewEngine()
+	chk := InstallInvariantChecker(e, rec, c, nil)
+	for i := 1; i <= 5; i++ {
+		p.Submit(e, tsJob(i, float64(i), 50, 2000, 1), 50)
+	}
+	e.At(100, sim.PriorityFault, func(e *sim.Engine) { c.SetNodeDown(e, 0, true) })
+	e.At(200, sim.PriorityFault, func(e *sim.Engine) { c.SetNodeDown(e, 0, false) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("healthy run flagged: %v", err)
+	}
+	rec.Flush()
+	if err := rec.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+}

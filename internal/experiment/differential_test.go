@@ -17,6 +17,12 @@ func TestFastPathsMatchReferenceAtPaperScale(t *testing.T) {
 		t.Skip("paper-scale differential sims in -short mode")
 	}
 	base := DefaultBase()
+	// Ride the invariant checker along: every paper-scale run below
+	// re-validates job conservation and cluster structure after each
+	// event, and any violation fails the run.
+	// (TestZeroFaultRateIsExactlyNoFault separately proves the checker
+	// changes no result.)
+	base.CheckInvariants = true
 	jobs, err := GenerateBase(base)
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 
 	"clustersched/internal/cluster"
 	"clustersched/internal/core"
+	"clustersched/internal/fault"
 	"clustersched/internal/metrics"
 	"clustersched/internal/sched"
 	"clustersched/internal/sim"
@@ -77,6 +78,10 @@ type BaseConfig struct {
 	// the reference fluid predictor). The differential tests run both
 	// configurations at paper scale and assert identical summaries.
 	DisableFastPaths bool
+	// CheckInvariants installs a sim.InvariantChecker on every run: clock
+	// monotonicity, job conservation, and cluster structural invariants
+	// are re-validated after each event, and any violation fails the run.
+	CheckInvariants bool
 }
 
 // nodeRatings returns the effective per-node ratings.
@@ -110,69 +115,152 @@ type RunSpec struct {
 	ArrivalDelayFactor float64
 	InaccuracyPct      float64
 	Deadline           workload.DeadlineConfig
+	// Faults configures the deterministic failure processes injected into
+	// the run; the zero value injects nothing and provably changes
+	// nothing. Only the EDF, Libra and LibraRisk policies have recovery
+	// semantics; enabling faults with any other policy is an error.
+	Faults fault.Config
 }
 
 // Run executes one simulation from pre-generated base jobs (before
 // deadline assignment and arrival scaling) and returns its summary.
 func Run(base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summary, error) {
+	s, _, err := RunInstrumented(base, baseJobs, spec, 0)
+	return s, err
+}
+
+// RunInstrumented is Run with optional cluster monitoring: when
+// monitorInterval > 0 and the policy runs on a time-shared cluster, a
+// core.Monitor samples it and is returned alongside the summary (nil
+// otherwise). It also applies BaseConfig.CheckInvariants and RunSpec.Faults.
+func RunInstrumented(base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64) (metrics.Summary, *core.Monitor, error) {
 	jobs, err := workload.AssignDeadlines(baseJobs, spec.Deadline)
 	if err != nil {
-		return metrics.Summary{}, err
+		return metrics.Summary{}, nil, err
 	}
 	jobs = workload.ScaleArrivals(jobs, spec.ArrivalDelayFactor)
 
 	e := sim.NewEngine()
 	rec := metrics.NewRecorder()
-	pol, err := buildPolicy(base, spec.Policy, rec)
+	pol, ts, ss, err := buildPolicyClusters(base, spec.Policy, rec)
 	if err != nil {
-		return metrics.Summary{}, err
+		return metrics.Summary{}, nil, err
+	}
+	var chk *sim.InvariantChecker
+	if base.CheckInvariants {
+		chk = core.InstallInvariantChecker(e, rec, ts, ss)
+	}
+	if spec.Faults.Enabled() {
+		if err := installFaults(e, spec.Faults, spec.Policy, ts, ss, jobs); err != nil {
+			return metrics.Summary{}, nil, err
+		}
+	}
+	var mon *core.Monitor
+	if monitorInterval > 0 && ts != nil {
+		mon, err = core.NewMonitor(ts, monitorInterval)
+		if err != nil {
+			return metrics.Summary{}, nil, err
+		}
+		mon.Start(e)
 	}
 	if err := core.RunSimulation(e, pol, rec, jobs, spec.InaccuracyPct); err != nil {
-		return metrics.Summary{}, err
+		return metrics.Summary{}, mon, err
 	}
-	return rec.Summarize(), nil
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return metrics.Summary{}, mon, err
+		}
+	}
+	return rec.Summarize(), mon, nil
+}
+
+// installFaults validates fault support for the policy, defaults the
+// horizon to the last (scaled) job arrival, and arms the injector.
+func installFaults(e *sim.Engine, cfg fault.Config, kind PolicyKind, ts *cluster.TimeShared, ss *cluster.SpaceShared, jobs []workload.Job) error {
+	switch kind {
+	case EDF, Libra, LibraRisk:
+	default:
+		return fmt.Errorf("experiment: policy %v has no failure-recovery semantics; faults require EDF, Libra or LibraRisk", kind)
+	}
+	if cfg.Horizon == 0 {
+		for _, j := range jobs {
+			if j.Submit > cfg.Horizon {
+				cfg.Horizon = j.Submit
+			}
+		}
+	}
+	var surface fault.Cluster
+	if ts != nil {
+		surface = fault.Cluster{
+			Nodes: ts.Len(),
+			Down:  func(e *sim.Engine, id int, down bool) { ts.SetNodeDown(e, id, down) },
+			Speed: ts.SetNodeSpeed,
+		}
+	} else {
+		surface = fault.Cluster{
+			Nodes: ss.Len(),
+			Down:  func(e *sim.Engine, id int, down bool) { ss.SetNodeDown(e, id, down) },
+			Speed: ss.SetNodeSpeed,
+		}
+	}
+	inj, err := fault.New(cfg, surface)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		inj.Install(e)
+	}
+	return nil
 }
 
 // buildPolicy constructs the policy and its execution substrate.
 func buildPolicy(base BaseConfig, kind PolicyKind, rec *metrics.Recorder) (core.Policy, error) {
+	p, _, _, err := buildPolicyClusters(base, kind, rec)
+	return p, err
+}
+
+// buildPolicyClusters is buildPolicy exposing the concrete cluster handle
+// (exactly one of the returned clusters is non-nil on success) so callers
+// can wire monitors, fault injectors and invariant checkers.
+func buildPolicyClusters(base BaseConfig, kind PolicyKind, rec *metrics.Recorder) (core.Policy, *cluster.TimeShared, *cluster.SpaceShared, error) {
 	ratings := base.nodeRatings()
 	switch kind {
 	case EDF, FCFS, BackfillEASY, BackfillCons, QoPS:
 		c, err := cluster.NewSpaceSharedHetero(ratings, base.Cluster)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		switch kind {
 		case EDF:
-			return core.NewEDF(c, rec), nil
+			return core.NewEDF(c, rec), nil, c, nil
 		case FCFS:
-			return sched.NewFCFS(c, rec), nil
+			return sched.NewFCFS(c, rec), nil, c, nil
 		case BackfillEASY:
-			return sched.NewBackfill(c, rec, sched.EASYBackfill), nil
+			return sched.NewBackfill(c, rec, sched.EASYBackfill), nil, c, nil
 		case BackfillCons:
-			return sched.NewBackfill(c, rec, sched.ConservativeBackfill), nil
+			return sched.NewBackfill(c, rec, sched.ConservativeBackfill), nil, c, nil
 		default:
 			slack := base.QoPSSlack
 			if slack == 0 {
 				slack = 2
 			}
-			return sched.NewQoPS(c, rec, slack), nil
+			return sched.NewQoPS(c, rec, slack), nil, c, nil
 		}
 	case Libra, LibraRisk:
 		c, err := cluster.NewTimeSharedHetero(ratings, base.Cluster)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if kind == Libra {
 			p := core.NewLibra(c, rec)
 			p.DisableFastPath = base.DisableFastPaths
-			return p, nil
+			return p, c, nil, nil
 		}
 		p := core.NewLibraRisk(c, rec)
 		p.DisableFastPath = base.DisableFastPaths
-		return p, nil
+		return p, c, nil, nil
 	default:
-		return nil, fmt.Errorf("experiment: unknown policy %v", kind)
+		return nil, nil, nil, fmt.Errorf("experiment: unknown policy %v", kind)
 	}
 }
 

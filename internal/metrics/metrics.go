@@ -61,6 +61,13 @@ type Recorder struct {
 	results  []JobResult
 	pending  map[int]workload.Job
 	rejected int
+	// submitted counts Submitted calls independently of the result list,
+	// so the conservation invariant (submitted = finalized + pending) can
+	// detect double-finalization or lost jobs.
+	submitted int
+	// kills counts node-crash job kills. A killed job stays pending — the
+	// policy resubmits it and it still ends as exactly one final result.
+	kills int
 	// Observer, if set, is invoked with every finalized result (rejection
 	// or completion) as it is recorded. Online runtime predictors hook it
 	// to learn from completions.
@@ -76,7 +83,29 @@ func NewRecorder() *Recorder {
 // decision). Every submitted job must later be rejected, completed, or
 // flushed as unfinished.
 func (r *Recorder) Submitted(j workload.Job) {
+	r.submitted++
 	r.pending[j.ID] = j
+}
+
+// Killed records that a running job was torn down by a node crash. The job
+// remains pending: the owning policy resubmits it, and its eventual
+// rejection, completion, or flush is its single final outcome.
+func (r *Recorder) Killed(j workload.Job) {
+	r.kills++
+}
+
+// Kills returns the number of node-crash job kills recorded.
+func (r *Recorder) Kills() int { return r.kills }
+
+// ConservationError checks the job-conservation invariant: every Submitted
+// job is either finalized (one result) or still pending — no job lost, none
+// finalized twice. Returns nil while the books balance.
+func (r *Recorder) ConservationError() error {
+	if got := len(r.results) + len(r.pending); got != r.submitted {
+		return fmt.Errorf("metrics: %d submitted, but %d finalized + %d pending = %d",
+			r.submitted, len(r.results), len(r.pending), got)
+	}
+	return nil
 }
 
 // Reject records an admission-control rejection.
@@ -143,6 +172,11 @@ type Summary struct {
 	Met        int
 	Missed     int
 	Unfinished int
+	// Killed counts node-crash teardowns of running jobs. Kills are events,
+	// not final outcomes — a killed job is resubmitted and still finishes
+	// as exactly one of the outcomes above — so Killed is not part of the
+	// Submitted decomposition.
+	Killed int
 
 	// PctFulfilled is the paper's primary metric: jobs completed within
 	// deadline as a percentage of all submitted jobs.
@@ -166,6 +200,7 @@ type Summary struct {
 // submitted but not fulfilled, mirroring the paper's metric definition.
 func (r *Recorder) Summarize() Summary {
 	var s Summary
+	s.Killed = r.kills
 	var sdMet, sdAll, delay sim.Welford
 	for _, res := range r.results {
 		s.Submitted++

@@ -28,6 +28,9 @@ type Engine struct {
 	// MaxEvents, if non-zero, makes Run return ErrEventBudget once that
 	// many events have been processed.
 	MaxEvents uint64
+	// checker, when installed, re-validates model invariants after every
+	// handler; see SetInvariantChecker.
+	checker *InvariantChecker
 }
 
 // ErrEventBudget is returned by Run when MaxEvents is exhausted, which in a
@@ -85,6 +88,14 @@ func (e *Engine) After(d float64, p Priority, fn Handler) *Event {
 // Stop makes Run return after the current handler completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetInvariantChecker installs (or, with nil, removes) an invariant
+// checker that runs after every processed event. A nil checker costs one
+// pointer comparison per event, so production runs pay nothing.
+func (e *Engine) SetInvariantChecker(c *InvariantChecker) { e.checker = c }
+
+// InvariantChecker returns the installed checker, if any.
+func (e *Engine) InvariantChecker() *InvariantChecker { return e.checker }
+
 // Run processes events in order until the calendar empties, Stop is called,
 // the horizon is reached, or the event budget is exhausted.
 func (e *Engine) Run() error {
@@ -112,6 +123,9 @@ func (e *Engine) Run() error {
 			return ErrEventBudget
 		}
 		ev.fn(e)
+		if e.checker != nil {
+			e.checker.observe(e)
+		}
 	}
 }
 
@@ -129,6 +143,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.Time
 		e.processed++
 		ev.fn(e)
+		if e.checker != nil {
+			e.checker.observe(e)
+		}
 		return true
 	}
 }

@@ -12,6 +12,11 @@ type Priority int
 // arrivals are admitted, mirroring the behaviour of real resource managers
 // that process finished jobs before considering new submissions.
 const (
+	// PriorityFault runs before completions: a node that dies at the same
+	// instant a slice would finish kills that slice — the conservative
+	// (and deterministic) reading of a tie that has probability zero under
+	// continuous failure distributions.
+	PriorityFault      Priority = -20
 	PriorityCompletion Priority = -10
 	PriorityDefault    Priority = 0
 	PriorityArrival    Priority = 10

@@ -19,6 +19,14 @@ func FuzzParse(f *testing.F) {
 	f.Add("-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1")
 	f.Add("1e9 0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n; trailing\n")
 	f.Add(strings.Repeat("9 ", 17) + "9\n")
+	f.Add("1 0 5 NaN 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 +Inf 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 1e300 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 -100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 0 5 100 -4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n")
+	f.Add("1 10 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n1 5 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
+	f.Add("1 9223372036854775807 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
+	f.Add("1 0.5 0 1.99 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Parse(strings.NewReader(input))
 		if err != nil {

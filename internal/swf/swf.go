@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -143,6 +144,15 @@ func Parse(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
 		}
+		// The SWF specification orders job lines by submission time; a
+		// regression there silently corrupts interarrival statistics and
+		// any windowing, so it is a parse error, not a quiet re-sort.
+		if len(tr.Records) > 0 {
+			if prev := tr.Records[len(tr.Records)-1].Submit; rec.Submit < prev {
+				return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf(
+					"submit time %d before previous record's %d: trace not in submission order", rec.Submit, prev)}
+			}
+		}
 		tr.Records = append(tr.Records, rec)
 	}
 	if err := sc.Err(); err != nil {
@@ -179,9 +189,17 @@ func parseRecord(line string) (Record, error) {
 		if err != nil {
 			return Record{}, fmt.Errorf("field %d %q: not numeric", i+1, f)
 		}
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return Record{}, fmt.Errorf("field %d %q: not finite", i+1, f)
+		}
+		// float64(1<<63) is exact, so these bounds are the precise set of
+		// values whose int64 conversion is defined.
+		if n < math.MinInt64 || n >= math.MaxInt64 {
+			return Record{}, fmt.Errorf("field %d %q: out of range", i+1, f)
+		}
 		v[i] = int64(n)
 	}
-	return Record{
+	rec := Record{
 		JobNumber:      int(v[0]),
 		Submit:         v[1],
 		Wait:           v[2],
@@ -200,7 +218,24 @@ func parseRecord(line string) (Record, error) {
 		PartitionNum:   int(v[15]),
 		PrecedingJob:   int(v[16]),
 		ThinkTimeAfter: v[17],
-	}, nil
+	}
+	// -1 is the spec's missing-value sentinel; anything below it in the
+	// fields the simulator consumes is garbage, not data.
+	switch {
+	case rec.Submit < Missing:
+		return Record{}, fmt.Errorf("negative submit time %d", rec.Submit)
+	case rec.Wait < Missing:
+		return Record{}, fmt.Errorf("negative wait time %d", rec.Wait)
+	case rec.RunTime < Missing:
+		return Record{}, fmt.Errorf("negative runtime %d", rec.RunTime)
+	case rec.AllocProcs < Missing:
+		return Record{}, fmt.Errorf("negative allocated processor count %d", rec.AllocProcs)
+	case rec.ReqProcs < Missing:
+		return Record{}, fmt.Errorf("negative requested processor count %d", rec.ReqProcs)
+	case rec.ReqTime < Missing:
+		return Record{}, fmt.Errorf("negative runtime estimate %d", rec.ReqTime)
+	}
+	return rec, nil
 }
 
 // Write emits the trace in SWF format: header directives, free comments,

@@ -78,6 +78,68 @@ func TestParseNonNumericField(t *testing.T) {
 	}
 }
 
+func TestParseRejectsGarbageValues(t *testing.T) {
+	const good = "1 0 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n"
+	cases := []struct {
+		name string
+		line string
+		want string // substring of the error message
+	}{
+		{"NaN runtime", "1 0 5 NaN 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "not finite"},
+		{"infinite submit", "1 Inf 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "not finite"},
+		{"negative infinity", "1 0 5 -Inf 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "not finite"},
+		{"int64 overflow", "1 0 5 1e300 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "out of range"},
+		{"negative runtime", "1 0 5 -100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "negative runtime"},
+		{"negative submit", "1 -7 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "negative submit"},
+		{"negative alloc procs", "1 0 5 100 -4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "negative allocated processor"},
+		{"negative req procs", "1 0 5 100 4 -1 -1 -4 200 -1 1 3 1 -1 1 -1 -1 -1\n", "negative requested processor"},
+		{"negative estimate", "1 0 5 100 4 -1 -1 4 -200 -1 1 3 1 -1 1 -1 -1 -1\n", "negative runtime estimate"},
+		{"non-monotonic submit", good + "2 30 0 50 8 -1 -1 8 40 -1 1 4 1 -1 1 -1 -1 -1\n" +
+			"3 20 0 50 8 -1 -1 8 40 -1 1 4 1 -1 1 -1 -1 -1\n", "not in submission order"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.line))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: err = %v, want *ParseError", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseNonMonotonicReportsLine(t *testing.T) {
+	in := "; head: 1\n" +
+		"1 10 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n" +
+		"2 5 0 50 8 -1 -1 8 40 -1 1 4 1 -1 1 -1 -1 -1\n"
+	_, err := Parse(strings.NewReader(in))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("Line = %d, want 3 (the offending record)", pe.Line)
+	}
+}
+
+func TestParseMissingSentinelsStillAccepted(t *testing.T) {
+	// All-missing record: every -1 is the spec sentinel, not garbage.
+	in := "-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].RunTime != Missing {
+		t.Fatalf("records = %+v", tr.Records)
+	}
+}
+
 func TestParseSkipsBlankAndLateComments(t *testing.T) {
 	in := "\n; head: 1\n1 0 5 100 4 -1 -1 4 200 -1 1 3 1 -1 1 -1 -1 -1\n; trailing comment\n\n2 10 0 50 8 -1 -1 8 40 -1 1 4 1 -1 1 -1 -1 -1\n"
 	tr, err := Parse(strings.NewReader(in))
