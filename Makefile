@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples chaos-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples chaos-smoke resume-smoke clean
 
 all: build vet test
 
@@ -62,6 +62,32 @@ chaos-smoke:
 			-fault-straggler-mtbf 86400 -fault-correlated-mtbf 172800 \
 			|| exit 1; \
 	done
+
+# resume-smoke proves interrupt-then-resume end to end on the real
+# binary: a journaled figure regeneration is SIGINT'd once the first
+# sweep cells are checkpointed, must exit 130, and the resumed run must
+# print byte-identical output to an uninterrupted reference run (only
+# the wall-clock "[... regenerated in ...]" lines are filtered).
+resume-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments; \
+	args="-exp fig1 -jobs 2000 -nodes 32"; \
+	$$tmp/experiments $$args | grep -v ' regenerated in ' > $$tmp/reference.txt; \
+	$$tmp/experiments $$args -resume $$tmp/run.jsonl \
+		> $$tmp/interrupted.txt 2> $$tmp/interrupted.err & pid=$$!; \
+	while [ ! -s $$tmp/run.jsonl ]; do \
+		kill -0 $$pid 2>/dev/null || { echo "resume-smoke: run finished before it could be interrupted; raise -jobs"; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	kill -INT $$pid; \
+	code=0; wait $$pid || code=$$?; \
+	[ $$code -eq 130 ] || { echo "resume-smoke: interrupted exit code $$code, want 130"; exit 1; }; \
+	[ -s $$tmp/run.jsonl ] || { echo "resume-smoke: no journal after interrupt"; exit 1; }; \
+	before=$$(wc -l < $$tmp/run.jsonl); \
+	$$tmp/experiments $$args -resume $$tmp/run.jsonl | grep -v ' regenerated in ' > $$tmp/resumed.txt; \
+	diff -u $$tmp/reference.txt $$tmp/resumed.txt || { echo "resume-smoke: resumed output differs from uninterrupted run"; exit 1; }; \
+	echo "resume-smoke: ok ($$before cells journaled before interrupt, $$(wc -l < $$tmp/run.jsonl) total)"
 
 examples:
 	$(GO) run ./examples/quickstart

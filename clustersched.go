@@ -19,14 +19,17 @@
 package clustersched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"clustersched/internal/analysis"
+	"clustersched/internal/checkpoint"
 	"clustersched/internal/cluster"
 	"clustersched/internal/core"
 	"clustersched/internal/experiment"
@@ -385,6 +388,13 @@ func internalWorkload(o Options) ([]workload.Job, error) {
 // worker per CPU) and returns their results in input order. Each Options
 // value is validated; the first failure aborts the batch.
 func SimulateMany(opts []Options) ([]Result, error) {
+	return SimulateManyContext(context.Background(), opts)
+}
+
+// SimulateManyContext is SimulateMany under a cancellable context:
+// cancellation stops admitting new simulations, aborts the in-flight ones
+// at event-loop granularity, and returns the cancellation cause.
+func SimulateManyContext(ctx context.Context, opts []Options) ([]Result, error) {
 	for i := range opts {
 		if err := opts[i].Validate(); err != nil {
 			return nil, fmt.Errorf("options[%d]: %w", i, err)
@@ -392,6 +402,7 @@ func SimulateMany(opts []Options) ([]Result, error) {
 	}
 	results := make([]Result, len(opts))
 	errs := make([]error, len(opts))
+	started := make([]bool, len(opts))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(opts) {
 		workers = len(opts)
@@ -406,12 +417,18 @@ func SimulateMany(opts []Options) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i], errs[i] = Simulate(opts[i])
+				started[i] = true
+				results[i], errs[i] = SimulateContext(ctx, opts[i])
 			}
 		}()
 	}
+admit:
 	for i := range opts {
-		work <- i
+		select {
+		case <-ctx.Done():
+			break admit
+		case work <- i:
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -420,11 +437,26 @@ func SimulateMany(opts []Options) ([]Result, error) {
 			return nil, fmt.Errorf("options[%d]: %w", i, err)
 		}
 	}
+	// Simulations never admitted (cancellation stopped the pool) must not
+	// pass as successful zero-value results.
+	if err := ctx.Err(); err != nil {
+		for i := range started {
+			if !started[i] {
+				return nil, fmt.Errorf("options[%d]: %w", i, err)
+			}
+		}
+	}
 	return results, nil
 }
 
 // Simulate generates the workload and runs the selected policy over it.
 func Simulate(o Options) (Result, error) {
+	return SimulateContext(context.Background(), o)
+}
+
+// SimulateContext is Simulate under a cancellable context: the event loop
+// polls ctx and aborts the run with the cancellation cause.
+func SimulateContext(ctx context.Context, o Options) (Result, error) {
 	if err := o.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -432,17 +464,22 @@ func Simulate(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return simulateInternal(o, jobs)
+	return simulateInternal(ctx, o, jobs)
 }
 
 // SimulateJobs runs the selected policy over a caller-provided workload
 // (for example one loaded from an SWF trace via LoadSWF). Jobs must be in
 // nondecreasing submit order.
 func SimulateJobs(o Options, jobs []Job) (Result, error) {
+	return SimulateJobsContext(context.Background(), o, jobs)
+}
+
+// SimulateJobsContext is SimulateJobs under a cancellable context.
+func SimulateJobsContext(ctx context.Context, o Options, jobs []Job) (Result, error) {
 	if err := o.Validate(); err != nil {
 		return Result{}, err
 	}
-	return simulateInternal(o, toInternalJobs(jobs))
+	return simulateInternal(ctx, o, toInternalJobs(jobs))
 }
 
 // ratings returns the per-node rating list the options describe.
@@ -535,9 +572,9 @@ func Report(o Options) (string, error) {
 	return sb.String(), nil
 }
 
-func simulateInternal(o Options, jobs []workload.Job) (Result, error) {
+func simulateInternal(ctx context.Context, o Options, jobs []workload.Job) (Result, error) {
 	jobs = workload.ScaleArrivals(jobs, o.ArrivalDelayFactor)
-	rec, mon, err := runSimulation(o, jobs)
+	rec, mon, err := runSimulation(ctx, o, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -558,11 +595,11 @@ func simulateInternal(o Options, jobs []workload.Job) (Result, error) {
 // runForRecorder executes the simulation and hands back the raw recorder
 // for post-processing (the jobs must already be arrival-scaled).
 func runForRecorder(o Options, jobs []workload.Job) (*metrics.Recorder, error) {
-	rec, _, err := runSimulation(o, jobs)
+	rec, _, err := runSimulation(context.Background(), o, jobs)
 	return rec, err
 }
 
-func runSimulation(o Options, jobs []workload.Job) (*metrics.Recorder, *core.Monitor, error) {
+func runSimulation(ctx context.Context, o Options, jobs []workload.Job) (*metrics.Recorder, *core.Monitor, error) {
 	ccfg := cluster.DefaultConfig()
 	ccfg.RefRating = o.Rating
 	ccfg.WorkConserving = o.WorkConserving
@@ -695,7 +732,7 @@ func runSimulation(o Options, jobs []workload.Job) (*metrics.Recorder, *core.Mon
 	if o.MaxEvents > 0 {
 		e.MaxEvents = o.MaxEvents
 	}
-	if err := core.RunSimulation(e, pol, rec, jobs, o.InaccuracyPct); err != nil {
+	if err := core.RunSimulationContext(ctx, e, pol, rec, jobs, o.InaccuracyPct); err != nil {
 		return nil, mon, err
 	}
 	if chk != nil {
@@ -914,30 +951,98 @@ func (b *FigureBuilder) baseJobs() ([]workload.Job, error) {
 	return b.jobs, nil
 }
 
+// BuildProgress is one sweep-progress notification (see SetProgress):
+// Done of Total cells have finished; Cell identifies the one that just
+// did. FromJournal marks a cell satisfied from the checkpoint journal
+// instead of being run; Err is non-nil when the cell failed.
+type BuildProgress struct {
+	Done        int
+	Total       int
+	Cell        string
+	FromJournal bool
+	Err         error
+}
+
+// SetRunTimeout arms a per-simulation wall-clock watchdog for the
+// builder's sweeps: any single run exceeding d is aborted (and retried
+// once, since a timeout may be transient machine weather). Zero disables
+// the watchdog.
+func (b *FigureBuilder) SetRunTimeout(d time.Duration) { b.base.RunTimeout = d }
+
+// SetWorkers caps the builder's sweep parallelism; n <= 0 restores the
+// default (one worker per CPU).
+func (b *FigureBuilder) SetWorkers(n int) { b.base.Workers = n }
+
+// SetProgress installs a callback invoked after every finished sweep
+// cell. Calls are serialized; fn must not block for long. Pass nil to
+// remove it.
+func (b *FigureBuilder) SetProgress(fn func(BuildProgress)) {
+	if fn == nil {
+		b.base.Progress = nil
+		return
+	}
+	b.base.Progress = func(ev experiment.ProgressEvent) {
+		fn(BuildProgress{
+			Done: ev.Done, Total: ev.Total, Cell: ev.Spec.Ident(),
+			FromJournal: ev.FromJournal, Err: ev.Err,
+		})
+	}
+}
+
+// OpenJournal attaches a checkpoint journal at path to the builder:
+// every completed sweep cell of the paper figures (and the chaos
+// experiment) is recorded there as it finishes, and cells already present
+// — keyed by a content hash of the configuration, cell parameters and
+// workload — are reused instead of re-run. The file is created if
+// missing and is valid JSONL after every append, so an interrupted
+// regeneration resumes from it losslessly. Returns the number of cells
+// loaded from an existing journal.
+func (b *FigureBuilder) OpenJournal(path string) (int, error) {
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	b.base.Journal = j
+	return j.Len(), nil
+}
+
 // Build regenerates one figure. The paper figures ("figure1" through
 // "figure4") share the builder's single base workload; results are
 // identical to BuildFigure, which regenerates it per call.
 func (b *FigureBuilder) Build(id string) (Figure, error) {
-	var from func(experiment.BaseConfig, []workload.Job) (experiment.Figure, error)
+	return b.BuildContext(context.Background(), id)
+}
+
+// BuildContext is Build under a cancellable context: cancellation stops
+// admitting sweep cells, aborts in-flight simulations at event-loop
+// granularity, and returns an error wrapping the cancellation cause.
+// Cells checkpointed before the cancellation stay in the journal (see
+// OpenJournal). Extension figures other than "chaos" manage their own
+// workload variations and only honor cancellation between runs.
+func (b *FigureBuilder) BuildContext(ctx context.Context, id string) (Figure, error) {
+	var from func(context.Context, experiment.BaseConfig, []workload.Job) (experiment.Figure, error)
 	switch id {
 	case "figure1":
-		from = experiment.Figure1From
+		from = experiment.Figure1FromContext
 	case "figure2":
-		from = experiment.Figure2From
+		from = experiment.Figure2FromContext
 	case "figure3":
-		from = experiment.Figure3From
+		from = experiment.Figure3FromContext
 	case "figure4":
-		from = experiment.Figure4From
+		from = experiment.Figure4FromContext
 	case "chaos":
-		from = experiment.FigureChaosFrom
+		from = experiment.FigureChaosFromContext
 	default:
+		if err := ctx.Err(); err != nil {
+			return Figure{}, err
+		}
 		return BuildFigure(id, b.o)
 	}
 	jobs, err := b.baseJobs()
 	if err != nil {
 		return Figure{}, err
 	}
-	f, err := from(b.base, jobs)
+	f, err := from(ctx, b.base, jobs)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"os/exec"
 	"path/filepath"
@@ -16,7 +17,7 @@ import (
 // swallowed or panicking.
 func TestRunSurfacesEventBudgetError(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-nodes", "8", "-jobs", "60", "-max-events", "10"}, &sb)
+	err := run(context.Background(), []string{"-nodes", "8", "-jobs", "60", "-max-events", "10"}, &sb)
 	if err == nil {
 		t.Fatal("10-event budget over a 60-job run did not error")
 	}

@@ -12,23 +12,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"clustersched"
+	"clustersched/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "clustersim:", err)
-		os.Exit(1)
-	}
+	cli.Main("clustersim", run)
 }
 
 // run parses args and executes one simulation, writing results to stdout.
-func run(args []string, stdout io.Writer) error {
+// Canceling ctx (SIGINT/SIGTERM via cli.Main) aborts the simulation at
+// event-loop granularity.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	o := clustersched.DefaultOptions()
 	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
 	policy := fs.String("policy", string(o.Policy), "admission control: edf | libra | librarisk | fcfs | backfill-easy | backfill-conservative | qops")
@@ -123,9 +124,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err = clustersched.SimulateJobs(o, loaded)
+		res, err = clustersched.SimulateJobsContext(ctx, o, loaded)
 	} else {
-		res, err = clustersched.Simulate(o)
+		res, err = clustersched.SimulateContext(ctx, o)
 	}
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunDefaultScaledDown(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-nodes", "16", "-jobs", "150"}, &sb)
+	err := run(context.Background(), []string{"-nodes", "16", "-jobs", "150"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestRunDefaultScaledDown(t *testing.T) {
 func TestRunEveryPolicyFlag(t *testing.T) {
 	for _, pol := range []string{"edf", "libra", "librarisk", "fcfs", "backfill-easy", "backfill-conservative", "qops"} {
 		var sb strings.Builder
-		if err := run([]string{"-policy", pol, "-nodes", "8", "-jobs", "60"}, &sb); err != nil {
+		if err := run(context.Background(), []string{"-policy", pol, "-nodes", "8", "-jobs", "60"}, &sb); err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}
 	}
@@ -32,21 +33,21 @@ func TestRunEveryPolicyFlag(t *testing.T) {
 
 func TestRunRejectsBadPolicy(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-policy", "lottery"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-policy", "lottery"}, &sb); err == nil {
 		t.Fatal("bad policy accepted")
 	}
 }
 
 func TestRunRejectsBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-no-such-flag"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &sb); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunReport(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-report", "-nodes", "8", "-jobs", "80"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-report", "-nodes", "8", "-jobs", "80"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "slowdown") || !strings.Contains(sb.String(), "class") {
@@ -59,7 +60,7 @@ func TestRunJobsCSVAndMonitorCSV(t *testing.T) {
 	jobsCSV := filepath.Join(dir, "jobs.csv")
 	monCSV := filepath.Join(dir, "mon.csv")
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "8", "-jobs", "60",
 		"-jobs-csv", jobsCSV,
 		"-monitor", "3600", "-monitor-csv", monCSV,
@@ -88,7 +89,7 @@ func TestRunTraceReplay(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "t.swf")
 	var gen strings.Builder
-	if err := run([]string{"-nodes", "8", "-jobs", "50"}, &gen); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "8", "-jobs", "50"}, &gen); err != nil {
 		t.Fatal(err)
 	}
 	// Use the public API via the facade through a fresh trace file: easiest
@@ -104,7 +105,7 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-nodes", "8", "-trace", tracePath, "-last", "10"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "8", "-trace", tracePath, "-last", "10"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "submitted              10") {
@@ -126,7 +127,7 @@ func itoa(n int) string {
 
 func TestRunMissingTraceFile(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-trace", "/nonexistent/file.swf"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/nonexistent/file.swf"}, &sb); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }

@@ -3,6 +3,12 @@
 // experiments, each as aligned tables with ASCII plots and optional CSV
 // and SVG output, or a multi-seed replication of the headline comparison.
 //
+// A long regeneration is supervised: SIGINT (or SIGTERM) stops admitting
+// sweep cells, drains the in-flight simulations, and exits 130; -resume
+// checkpoints every completed cell to a journal file so the next
+// invocation with the same journal picks up where the interrupted one
+// stopped, with byte-identical output.
+//
 // Examples:
 //
 //	experiments                       # everything at paper scale
@@ -12,9 +18,12 @@
 //	experiments -jobs 500 -nodes 32   # quick scaled-down pass
 //	experiments -csv out/ -svg out/   # also write data files and charts
 //	experiments -replicate 5          # headline numbers with 95% CIs
+//	experiments -resume run.jsonl     # checkpoint cells; resume after ^C
+//	experiments -timeout 5m -progress # per-run watchdog, live cell count
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,16 +32,14 @@ import (
 	"time"
 
 	"clustersched"
+	"clustersched/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	cli.Main("experiments", run)
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	o := clustersched.DefaultOptions()
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "which experiment: all | table | fig1 | fig2 | fig3 | fig4 | predict | allpolicies | hetero | chaos | economics | extensions")
@@ -42,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to also write per-figure CSV files into")
 	svgDir := fs.String("svg", "", "directory to also write per-figure SVG charts into")
 	replicate := fs.Int("replicate", 0, "instead of figures, print the headline comparison across N workload seeds with 95% confidence intervals")
+	timeout := fs.Duration("timeout", 0, "per-simulation watchdog: abort any single run exceeding this wall-clock time (0 = off)")
+	resume := fs.String("resume", "", "checkpoint journal file: record completed sweep cells and reuse the ones already there")
+	progress := fs.Bool("progress", false, "report sweep progress per completed cell on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,10 +61,10 @@ func run(args []string, stdout io.Writer) error {
 	o.Seed = *seed
 
 	if *replicate > 0 {
-		return runReplication(stdout, o, *replicate)
+		return runReplication(ctx, stdout, o, *replicate)
 	}
 	if *exp == "economics" {
-		return runEconomics(stdout, o)
+		return runEconomics(ctx, stdout, o)
 	}
 
 	for _, dir := range []string{*csvDir, *svgDir} {
@@ -89,6 +99,28 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	builder.SetRunTimeout(*timeout)
+	if *resume != "" {
+		loaded, err := builder.OpenJournal(*resume)
+		if err != nil {
+			return err
+		}
+		// Resume chatter goes to stderr: stdout stays figure-only so an
+		// interrupted-then-resumed run matches an uninterrupted one.
+		fmt.Fprintf(os.Stderr, "experiments: journal %s: %d cells on file\n", *resume, loaded)
+	}
+	if *progress {
+		builder.SetProgress(func(p clustersched.BuildProgress) {
+			state := "ran"
+			switch {
+			case p.Err != nil:
+				state = "failed"
+			case p.FromJournal:
+				state = "journal"
+			}
+			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)\n", p.Done, p.Total, p.Cell, state)
+		})
+	}
 	if wantTable {
 		if err := builder.WriteWorkloadTable(stdout); err != nil {
 			return err
@@ -96,7 +128,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for _, id := range wantFigs {
 		start := time.Now()
-		fig, err := builder.Build(id)
+		fig, err := builder.BuildContext(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -136,8 +168,9 @@ func writeFile(path string, fig clustersched.Figure, render func(io.Writer, clus
 }
 
 // runEconomics prices every policy's outcomes under the default SLA
-// economy, for both estimate regimes.
-func runEconomics(stdout io.Writer, o clustersched.Options) error {
+// economy, for both estimate regimes. Cancellation is honored between
+// runs (each one is seconds at most).
+func runEconomics(ctx context.Context, stdout io.Writer, o clustersched.Options) error {
 	fmt.Fprintln(stdout, "provider economics per policy (default SLA pricing):")
 	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "%-22s %-9s %12s %12s %12s %14s\n",
@@ -147,6 +180,9 @@ func runEconomics(stdout io.Writer, o clustersched.Options) error {
 			label string
 			pct   float64
 		}{{"accurate", 0}, {"trace", 100}} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			eo := o
 			eo.Policy = pol
 			eo.InaccuracyPct = mode.pct
@@ -164,7 +200,8 @@ func runEconomics(stdout io.Writer, o clustersched.Options) error {
 
 // runReplication prints the paper's headline comparison (all three
 // policies, accurate vs trace estimates) as mean ± 95 % CI over n seeds.
-func runReplication(stdout io.Writer, o clustersched.Options, n int) error {
+// Cancellation is honored between replication batches.
+func runReplication(ctx context.Context, stdout io.Writer, o clustersched.Options, n int) error {
 	fmt.Fprintf(stdout, "headline comparison across %d workload seeds (mean ± 95%% CI):\n\n", n)
 	fmt.Fprintln(stdout, "policy      estimates  deadlines fulfilled      avg slowdown")
 	for _, pol := range []clustersched.Policy{
@@ -174,6 +211,9 @@ func runReplication(stdout io.Writer, o clustersched.Options, n int) error {
 			label string
 			pct   float64
 		}{{"accurate", 0}, {"trace", 100}} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			ro := o
 			ro.Policy = pol
 			ro.InaccuracyPct = mode.pct

@@ -1,15 +1,73 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"clustersched/internal/cli"
 )
+
+// stripTiming drops the "[figureN regenerated in ...]" wall-clock lines,
+// the only nondeterministic part of the output.
+func stripTiming(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[") && strings.Contains(line, " regenerated in ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestRunCanceledContext pins the interrupt contract: a canceled context
+// surfaces as a context.Canceled chain, which cli maps to exit code 130.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-exp", "fig1", "-jobs", "80", "-nodes", "8"}, &sb)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled chain", err)
+	}
+	if code := cli.ExitCode(err); code != 130 {
+		t.Fatalf("exit code = %d, want 130", code)
+	}
+}
+
+// TestRunResumeJournalByteIdentical wires the -resume flag end to end: a
+// journaled figure run, then a second run resuming from the journal,
+// must print the same bytes (timing lines aside) as a plain run.
+func TestRunResumeJournalByteIdentical(t *testing.T) {
+	args := []string{"-exp", "fig1", "-jobs", "100", "-nodes", "8"}
+	var plain strings.Builder
+	if err := run(context.Background(), args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	var first strings.Builder
+	if err := run(context.Background(), append(args, "-resume", journal), &first); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(context.Background(), append(args, "-resume", journal), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if stripTiming(first.String()) != stripTiming(plain.String()) {
+		t.Fatal("journaled run output differs from plain run")
+	}
+	if stripTiming(resumed.String()) != stripTiming(plain.String()) {
+		t.Fatal("resumed run output differs from plain run")
+	}
+}
 
 func TestRunTableOnly(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "table", "-jobs", "300", "-nodes", "16"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table", "-jobs", "300", "-nodes", "16"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "workload characteristics") {
@@ -20,7 +78,7 @@ func TestRunTableOnly(t *testing.T) {
 func TestRunSingleFigureWithOutputs(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-exp", "fig2", "-jobs", "120", "-nodes", "16",
 		"-csv", dir, "-svg", dir,
 	}, &sb)
@@ -49,14 +107,14 @@ func TestRunSingleFigureWithOutputs(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "fig9"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig9"}, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunReplicateMode(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-replicate", "2", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-replicate", "2", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -67,7 +125,7 @@ func TestRunReplicateMode(t *testing.T) {
 
 func TestRunEconomicsMode(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "economics", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "economics", "-jobs", "100", "-nodes", "16"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -80,7 +138,7 @@ func TestRunEconomicsMode(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-zap"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-zap"}, &sb); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }

@@ -11,21 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
 	"clustersched"
+	"clustersched/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
+	cli.Main("sweep", run)
 }
 
 // sweepParams maps -param names to Options mutators.
@@ -74,7 +72,34 @@ func paramNames() []string {
 	return []string{"adf", "urgency", "ratio", "inaccuracy", "sigma", "qops-slack", "nodes", "jobs"}
 }
 
-func run(args []string, stdout io.Writer) error {
+// parseValues parses the comma-separated -values list, reporting the
+// 1-based position of the first unparseable or duplicate entry (a
+// duplicate would silently re-run the same grid cell).
+func parseValues(values string) ([]float64, error) {
+	var xs []float64
+	first := make(map[float64]int)
+	for i, tok := range strings.Split(values, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-values entry %d: bad value %q: %v", i+1, tok, err)
+		}
+		if at, dup := first[v]; dup {
+			return nil, fmt.Errorf("-values entry %d: %g duplicates entry %d", i+1, v, at)
+		}
+		first[v] = i + 1
+		xs = append(xs, v)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("no sweep values")
+	}
+	return xs, nil
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	base := clustersched.DefaultOptions()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "adf", "parameter to sweep: "+strings.Join(paramNames(), " | "))
@@ -94,20 +119,9 @@ func run(args []string, stdout io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown -param %q (want %s)", *param, strings.Join(paramNames(), " | "))
 	}
-	var xs []float64
-	for _, tok := range strings.Split(*values, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(tok, 64)
-		if err != nil {
-			return fmt.Errorf("bad value %q: %v", tok, err)
-		}
-		xs = append(xs, v)
-	}
-	if len(xs) == 0 {
-		return fmt.Errorf("no sweep values")
+	xs, err := parseValues(*values)
+	if err != nil {
+		return err
 	}
 	var pols []clustersched.Policy
 	for _, tok := range strings.Split(*policies, ",") {
@@ -139,7 +153,7 @@ func run(args []string, stdout io.Writer) error {
 			batch = append(batch, o)
 		}
 	}
-	results, err := clustersched.SimulateMany(batch)
+	results, err := clustersched.SimulateManyContext(ctx, batch)
 	if err != nil {
 		return err
 	}

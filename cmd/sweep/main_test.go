@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunTableOutput(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-param", "adf", "-values", "0.5,1.0",
 		"-policies", "libra,librarisk",
 		"-nodes", "16", "-jobs", "120",
@@ -25,7 +26,7 @@ func TestRunTableOutput(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-param", "urgency", "-values", "0.2,0.8",
 		"-policies", "librarisk",
 		"-nodes", "16", "-jobs", "100", "-csv",
@@ -57,13 +58,63 @@ func TestRunEveryParam(t *testing.T) {
 			values = "2,4"
 		}
 		var sb strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-param", param, "-values", values,
 			"-policies", "librarisk", "-nodes", "8", "-jobs", "60",
 		}, &sb)
 		if err != nil {
 			t.Fatalf("%s: %v", param, err)
 		}
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  string
+		want    []float64
+		wantErr string // substring of the error, "" = success
+	}{
+		{"plain list", "0.1,0.3,0.5", []float64{0.1, 0.3, 0.5}, ""},
+		{"whitespace and empty entries", " 1 ,, 2 ", []float64{1, 2}, ""},
+		{"unparseable reports 1-based position", "0.1,abc,0.5", nil, `entry 2: bad value "abc"`},
+		{"position counts empty entries", ",,abc", nil, `entry 3: bad value "abc"`},
+		{"duplicate reports both positions", "0.1,0.3,0.1", nil, "entry 3: 0.1 duplicates entry 1"},
+		{"duplicate after different spellings", "1,1.0", nil, "entry 2: 1 duplicates entry 1"},
+		{"empty list", " , ,", nil, "no sweep values"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseValues(tc.values)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseValues(%q) err = %v, want containing %q", tc.values, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseValues(%q): %v", tc.values, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parseValues(%q) = %v, want %v", tc.values, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("parseValues(%q) = %v, want %v", tc.values, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsDuplicateValues(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-param", "adf", "-values", "0.5,1.0,0.5",
+		"-policies", "librarisk", "-nodes", "8", "-jobs", "50",
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Fatalf("duplicate -values err = %v, want a duplicate report", err)
 	}
 }
 
@@ -79,7 +130,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var sb strings.Builder
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -1,0 +1,176 @@
+// Package checkpoint persists completed sweep cells as a JSONL journal so
+// an interrupted parameter study resumes instead of restarting.
+//
+// Each record carries an opaque content-hash key computed by the caller
+// from everything that determines the cell's result (base configuration,
+// run spec, workload digest). A journal therefore survives config edits
+// safely: a changed configuration changes every key, and stale records
+// are simply never matched rather than silently reused.
+//
+// Durability model: the journal is rewritten atomically on every append
+// via a temp file in the same directory followed by rename, so the file
+// on disk is always a complete, parseable JSONL document — a process
+// killed mid-append leaves either the previous journal or the new one,
+// never a torn line. Sweeps checkpoint tens to a few thousand cells, each
+// worth seconds to minutes of simulation, so the O(n) rewrite per append
+// is noise against the work it protects.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"clustersched/internal/metrics"
+)
+
+// Record is one completed sweep cell.
+type Record struct {
+	// Key is the caller-computed content hash identifying the cell.
+	Key string `json:"key"`
+	// Label names the enclosing study (e.g. "figure1") for humans
+	// reading the journal; it is not part of the identity.
+	Label string `json:"label,omitempty"`
+	// Summary is the cell's full result.
+	Summary metrics.Summary `json:"summary"`
+	// MeanSigma carries the chaos sweep's monitor aggregate; 0 for
+	// sweeps without one.
+	MeanSigma float64 `json:"mean_sigma,omitempty"`
+}
+
+// Journal is an append-only set of completed cells backed by a JSONL
+// file. It is safe for concurrent use by the sweep worker pool.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	byKey   map[string]Record
+	ordered []Record
+}
+
+// Open loads the journal at path, creating an empty one (without touching
+// the filesystem yet) if the file does not exist. Duplicate keys keep the
+// last record, matching append order.
+func Open(path string) (*Journal, error) {
+	j := &Journal{path: path, byKey: make(map[string]Record)}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := j.load(f); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return j, nil
+}
+
+func (j *Journal) load(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if rec.Key == "" {
+			return fmt.Errorf("line %d: record without key", line)
+		}
+		j.insert(rec)
+	}
+	return sc.Err()
+}
+
+// insert records rec under its key; callers hold j.mu (or have exclusive
+// access during load).
+func (j *Journal) insert(rec Record) {
+	if _, seen := j.byKey[rec.Key]; !seen {
+		j.ordered = append(j.ordered, rec)
+	} else {
+		for i := range j.ordered {
+			if j.ordered[i].Key == rec.Key {
+				j.ordered[i] = rec
+				break
+			}
+		}
+	}
+	j.byKey[rec.Key] = rec
+}
+
+// Path returns the backing file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of distinct completed cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.byKey)
+}
+
+// Lookup returns the record for key, if one was journaled.
+func (j *Journal) Lookup(key string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.byKey[key]
+	return rec, ok
+}
+
+// Append journals one completed cell and atomically rewrites the backing
+// file (temp file + rename) so the on-disk journal is valid at every
+// instant. Appending a key that is already present overwrites its record.
+func (j *Journal) Append(rec Record) error {
+	if rec.Key == "" {
+		return errors.New("checkpoint: record without key")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.insert(rec)
+	return j.flushLocked()
+}
+
+// flushLocked writes all records to a sibling temp file and renames it
+// over the journal path. Callers hold j.mu.
+func (j *Journal) flushLocked() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, rec := range j.ordered {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustersched/internal/metrics"
+)
+
+func TestOpenMissingFileIsEmpty(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", j.Len())
+	}
+	if _, err := os.Stat(j.Path()); err == nil {
+		t.Fatal("Open created a file without any Append")
+	}
+}
+
+func TestAppendLookupRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{
+		Key:       "abc123",
+		Label:     "figure1",
+		Summary:   metrics.Summary{Submitted: 10, Met: 7, PctFulfilled: 70, AvgSlowdownMet: 1.25},
+		MeanSigma: 0.5,
+	}
+	if err := j.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "def456", Summary: metrics.Summary{Submitted: 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-memory view sees both.
+	got, ok := j.Lookup("abc123")
+	if !ok || got != want {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+
+	// A fresh Open of the file sees the same records in order.
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", j2.Len())
+	}
+	got, ok = j2.Lookup("abc123")
+	if !ok || got != want {
+		t.Fatalf("reloaded Lookup = %+v, %v", got, ok)
+	}
+}
+
+func TestAppendOverwritesDuplicateKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := Open(path)
+	if err := j.Append(Record{Key: "k", Summary: metrics.Summary{Met: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "k", Summary: metrics.Summary{Met: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j.Len())
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := j2.Lookup("k"); rec.Summary.Met != 2 {
+		t.Fatalf("reloaded record = %+v, want the overwrite", rec)
+	}
+}
+
+func TestAppendRejectsEmptyKey(t *testing.T) {
+	j, _ := Open(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err := j.Append(Record{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestOpenRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"key\":\"a\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+func TestOpenRejectsKeylessRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"label\":\"x\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("keyless record accepted")
+	}
+}
+
+// TestFileAlwaysValidJSONL hammers the journal from concurrent writers
+// and checks the backing file parses completely after every state —
+// the atomic temp+rename contract.
+func TestFileAlwaysValidJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Open(path)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := strings.Repeat("k", w+1) + string(rune('a'+i))
+				if err := j.Append(Record{Key: key, Summary: metrics.Summary{Submitted: i}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		lines++
+	}
+	if lines != 160 {
+		t.Fatalf("journal has %d records, want 160", lines)
+	}
+	if j.Len() != 160 {
+		t.Fatalf("Len = %d, want 160", j.Len())
+	}
+}
+
+// TestSummaryJSONRoundTripExact pins the property resume determinism
+// rests on: a Summary survives the JSON journal byte-exactly, floats
+// included.
+func TestSummaryJSONRoundTripExact(t *testing.T) {
+	in := metrics.Summary{
+		Submitted: 3000, Rejected: 123, Completed: 2877, Met: 2500,
+		Missed: 377, PctFulfilled: 100 * 2500.0 / 3000.0,
+		AvgSlowdownMet: 1.0000000000000002, AcceptanceRate: 0.959,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out metrics.Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatalf("round trip drifted:\n in  %+v\n out %+v", in, out)
+	}
+}

@@ -1,0 +1,50 @@
+// Package cli is the shared supervised entry point of the command-line
+// tools: a run function executed under a context that SIGINT or SIGTERM
+// cancels, with the error mapped onto a conventional exit code.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// RunFunc is a command body: parse args, do the work, write to stdout.
+type RunFunc func(ctx context.Context, args []string, stdout io.Writer) error
+
+// Main executes run under a context canceled by the first SIGINT or
+// SIGTERM — the command is expected to stop admitting new work, drain
+// what is in flight, and return the cancellation error. Once the context
+// is canceled the default signal disposition is restored, so a second
+// signal force-kills a stuck drain. A non-nil error is printed to stderr
+// as one "name: error" line and mapped to an exit code via ExitCode.
+func Main(name string, run RunFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(ExitCode(err))
+	}
+}
+
+// ExitCode maps a run error onto the process exit code: 130 (the
+// shell's 128+SIGINT convention) when the error chain reports an
+// interrupted run, 1 for every other failure, 0 for nil.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		return 130
+	default:
+		return 1
+	}
+}

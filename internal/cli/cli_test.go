@@ -1,0 +1,31 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"plain failure", errors.New("boom"), 1},
+		{"canceled", context.Canceled, 130},
+		{"wrapped canceled", fmt.Errorf("experiment: %w",
+			fmt.Errorf("sweep interrupted: %w", context.Canceled)), 130},
+		{"deadline exceeded is a failure, not an interrupt",
+			context.DeadlineExceeded, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ExitCode(tc.err); got != tc.want {
+				t.Fatalf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}

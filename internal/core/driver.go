@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"clustersched/internal/metrics"
@@ -18,6 +19,14 @@ const defaultEventBudget = 50_000_000
 // 100 = the trace's actual estimates), runs the simulation to completion,
 // and flushes the recorder so unfinished jobs are accounted for.
 func RunSimulation(e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []workload.Job, inaccuracyPct float64) error {
+	return RunSimulationContext(context.Background(), e, p, rec, jobs, inaccuracyPct)
+}
+
+// RunSimulationContext is RunSimulation with cooperative cancellation: the
+// engine polls the context between events, so a canceled or expired
+// context aborts the run at event-loop granularity with a wrapped context
+// error. The recorder is only flushed on a completed run.
+func RunSimulationContext(ctx context.Context, e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []workload.Job, inaccuracyPct float64) error {
 	if err := workload.ValidateAll(jobs); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -30,7 +39,7 @@ func RunSimulation(e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []worklo
 	if e.MaxEvents == 0 {
 		e.MaxEvents = defaultEventBudget
 	}
-	if err := e.Run(); err != nil {
+	if err := e.RunContext(ctx); err != nil {
 		return fmt.Errorf("core: simulation aborted: %w", err)
 	}
 	rec.Flush()

@@ -1,10 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"clustersched/internal/checkpoint"
 	"clustersched/internal/fault"
 	"clustersched/internal/metrics"
 	"clustersched/internal/workload"
@@ -60,58 +60,99 @@ func ChaosFaultConfig(failuresPerDay float64, seed uint64) fault.Config {
 // workload, in parallel, and returns the points in grid order (policy
 // major, rate minor).
 func ChaosSweep(base BaseConfig, baseJobs []workload.Job) []ChaosPoint {
+	return ChaosSweepContext(context.Background(), base, baseJobs)
+}
+
+// ChaosSweepContext is ChaosSweep under the same supervision contract as
+// SweepContext: panic containment, the per-run watchdog, same-seed retry
+// for transient failures, progress reporting, checkpoint/resume through
+// BaseConfig.Journal (the mean σ aggregate rides the journal record), and
+// cancellation that stops admission and aborts in-flight runs.
+func ChaosSweepContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) []ChaosPoint {
 	points := make([]ChaosPoint, 0, len(AllPolicies)*len(ChaosFailuresPerDay))
+	specs := make([]RunSpec, 0, cap(points))
 	for _, pol := range AllPolicies {
 		for _, rate := range ChaosFailuresPerDay {
+			i := len(points)
 			points = append(points, ChaosPoint{Policy: pol, FailuresPerDay: rate})
+			seed := ChaosSeed ^ (uint64(pol+1) << 40) ^ uint64(i)
+			specs = append(specs, RunSpec{
+				Policy:             pol,
+				ArrivalDelayFactor: workload.DefaultArrivalDelayFactor,
+				InaccuracyPct:      100,
+				Deadline:           base.Deadline,
+				Faults:             ChaosFaultConfig(rate, seed),
+				Label:              "chaos",
+				Seed:               base.Generator.Seed,
+			})
 		}
 	}
-	workers := base.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	var digest string
+	if base.Journal != nil {
+		digest = WorkloadDigest(baseJobs)
 	}
-	if workers > len(points) {
-		workers = len(points)
+	finished := make([]bool, len(points))
+	var progress func(i int, fromJournal bool)
+	if base.Progress != nil {
+		prog := newProgressCounter(base.Progress, len(points))
+		progress = func(i int, fromJournal bool) {
+			prog(ProgressEvent{Spec: specs[i], FromJournal: fromJournal, Err: points[i].Err})
+		}
+	} else {
+		progress = func(int, bool) {}
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				pt := &points[i]
-				seed := ChaosSeed ^ (uint64(pt.Policy+1) << 40) ^ uint64(i)
-				spec := RunSpec{
-					Policy:             pt.Policy,
-					ArrivalDelayFactor: workload.DefaultArrivalDelayFactor,
-					InaccuracyPct:      100,
-					Deadline:           base.Deadline,
-					Faults:             ChaosFaultConfig(pt.FailuresPerDay, seed),
+	runPool(ctx, len(points), base.workerCount(len(points)), func(i int) {
+		pt, spec := &points[i], specs[i]
+		var key string
+		if base.Journal != nil {
+			k, err := CellKey(base, spec, digest)
+			if err != nil {
+				pt.Err = &RunError{Spec: spec, Stage: "journal", Kind: FailEngine, Cause: err}
+				finished[i] = true
+				progress(i, false)
+				return
+			}
+			key = k
+			if rec, ok := base.Journal.Lookup(key); ok {
+				pt.Summary, pt.MeanSigma = rec.Summary, rec.MeanSigma
+				finished[i] = true
+				progress(i, true)
+				return
+			}
+		}
+		sum, sigma, err := superviseCell(ctx, base, spec, func(runCtx context.Context) (metrics.Summary, float64, error) {
+			s, mon, err := RunInstrumentedContext(runCtx, base, baseJobs, spec, ChaosMonitorInterval)
+			var meanSigma float64
+			if mon != nil {
+				var sigmaSum float64
+				samples := mon.Samples()
+				for _, smp := range samples {
+					sigmaSum += smp.MeanSigma
 				}
-				sum, mon, err := RunInstrumented(base, baseJobs, spec, ChaosMonitorInterval)
-				pt.Summary, pt.Err = sum, err
-				if mon != nil {
-					var sigmaSum float64
-					samples := mon.Samples()
-					for _, s := range samples {
-						sigmaSum += s.MeanSigma
-					}
-					if len(samples) > 0 {
-						pt.MeanSigma = sigmaSum / float64(len(samples))
-					}
+				if len(samples) > 0 {
+					meanSigma = sigmaSum / float64(len(samples))
 				}
 			}
-		}()
+			return s, meanSigma, err
+		})
+		pt.Summary, pt.MeanSigma, pt.Err = sum, sigma, err
+		if err == nil && base.Journal != nil {
+			if jerr := base.Journal.Append(checkpoint.Record{Key: key, Label: spec.Label, Summary: sum, MeanSigma: sigma}); jerr != nil {
+				pt.Err = &RunError{Spec: spec, Stage: "journal", Kind: FailEngine, Attempts: 1, Cause: jerr}
+			}
+		}
+		finished[i] = true
+		progress(i, false)
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range points {
+			if !finished[i] {
+				points[i].Err = &RunError{
+					Spec: specs[i], Stage: "admission", Kind: FailCanceled, Cause: err,
+				}
+			}
+		}
 	}
-	for i := range points {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 	return points
 }
 
@@ -128,7 +169,12 @@ func FigureChaos(base BaseConfig) (Figure, error) {
 
 // FigureChaosFrom is FigureChaos over a pre-generated base workload.
 func FigureChaosFrom(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
-	points := ChaosSweep(base, baseJobs)
+	return FigureChaosFromContext(context.Background(), base, baseJobs)
+}
+
+// FigureChaosFromContext is FigureChaosFrom under a cancellable context.
+func FigureChaosFromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) (Figure, error) {
+	points := ChaosSweepContext(ctx, base, baseJobs)
 	lookup := make(map[PolicyKind]map[float64]*ChaosPoint, len(AllPolicies))
 	for i := range points {
 		pt := &points[i]

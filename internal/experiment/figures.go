@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"clustersched/internal/metrics"
@@ -94,7 +95,9 @@ func twoMetricPanels(xLabel string, xs []float64, get func(modePct float64, pol 
 }
 
 // sweepGrid runs policy × estimate-mode × x-value and returns a lookup.
-func sweepGrid(base BaseConfig, baseJobs []workload.Job, xs []float64, modePcts []float64, mkSpec func(modePct, x float64, pol PolicyKind) RunSpec) (func(modePct float64, pol PolicyKind, xi int) metrics.Summary, error) {
+// Every spec is stamped with the figure label and the base workload seed
+// so a failing cell identifies itself in one line.
+func sweepGrid(ctx context.Context, label string, base BaseConfig, baseJobs []workload.Job, xs []float64, modePcts []float64, mkSpec func(modePct, x float64, pol PolicyKind) RunSpec) (func(modePct float64, pol PolicyKind, xi int) metrics.Summary, error) {
 	var specs []RunSpec
 	type key struct {
 		mode float64
@@ -106,11 +109,14 @@ func sweepGrid(base BaseConfig, baseJobs []workload.Job, xs []float64, modePcts 
 		for _, pol := range AllPolicies {
 			for xi, x := range xs {
 				index[key{mode, pol, xi}] = len(specs)
-				specs = append(specs, mkSpec(mode, x, pol))
+				s := mkSpec(mode, x, pol)
+				s.Label = label
+				s.Seed = base.Generator.Seed
+				specs = append(specs, s)
 			}
 		}
 	}
-	results := Sweep(base, baseJobs, specs)
+	results := SweepContext(ctx, base, baseJobs, specs)
 	if err := FirstError(results); err != nil {
 		return nil, err
 	}
@@ -132,7 +138,12 @@ func Figure1(base BaseConfig) (Figure, error) {
 // Figure1From is Figure1 over a pre-generated base workload, letting
 // callers that build several figures share one generation pass.
 func Figure1From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
-	get, err := sweepGrid(base, baseJobs, Fig1Factors, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
+	return Figure1FromContext(context.Background(), base, baseJobs)
+}
+
+// Figure1FromContext is Figure1From under a cancellable context.
+func Figure1FromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) (Figure, error) {
+	get, err := sweepGrid(ctx, "figure1", base, baseJobs, Fig1Factors, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		return RunSpec{Policy: pol, ArrivalDelayFactor: x, InaccuracyPct: mode, Deadline: base.Deadline}
 	})
 	if err != nil {
@@ -157,7 +168,12 @@ func Figure2(base BaseConfig) (Figure, error) {
 // Figure2From is Figure2 over a pre-generated base workload, letting
 // callers that build several figures share one generation pass.
 func Figure2From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
-	get, err := sweepGrid(base, baseJobs, Fig2Ratios, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
+	return Figure2FromContext(context.Background(), base, baseJobs)
+}
+
+// Figure2FromContext is Figure2From under a cancellable context.
+func Figure2FromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) (Figure, error) {
+	get, err := sweepGrid(ctx, "figure2", base, baseJobs, Fig2Ratios, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.Ratio = x
 		return RunSpec{Policy: pol, ArrivalDelayFactor: workload.DefaultArrivalDelayFactor, InaccuracyPct: mode, Deadline: d}
@@ -184,7 +200,12 @@ func Figure3(base BaseConfig) (Figure, error) {
 // Figure3From is Figure3 over a pre-generated base workload, letting
 // callers that build several figures share one generation pass.
 func Figure3From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
-	get, err := sweepGrid(base, baseJobs, Fig3HighUrgencyPct, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
+	return Figure3FromContext(context.Background(), base, baseJobs)
+}
+
+// Figure3FromContext is Figure3From under a cancellable context.
+func Figure3FromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) (Figure, error) {
+	get, err := sweepGrid(ctx, "figure3", base, baseJobs, Fig3HighUrgencyPct, modePcts(), func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.HighUrgencyFraction = x / 100
 		return RunSpec{Policy: pol, ArrivalDelayFactor: workload.DefaultArrivalDelayFactor, InaccuracyPct: mode, Deadline: d}
@@ -212,7 +233,12 @@ func Figure4(base BaseConfig) (Figure, error) {
 // Figure4From is Figure4 over a pre-generated base workload, letting
 // callers that build several figures share one generation pass.
 func Figure4From(base BaseConfig, baseJobs []workload.Job) (Figure, error) {
-	get, err := sweepGrid(base, baseJobs, Fig4InaccuracyPct, Fig4UrgencyLevels, func(mode, x float64, pol PolicyKind) RunSpec {
+	return Figure4FromContext(context.Background(), base, baseJobs)
+}
+
+// Figure4FromContext is Figure4From under a cancellable context.
+func Figure4FromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) (Figure, error) {
+	get, err := sweepGrid(ctx, "figure4", base, baseJobs, Fig4InaccuracyPct, Fig4UrgencyLevels, func(mode, x float64, pol PolicyKind) RunSpec {
 		d := base.Deadline
 		d.HighUrgencyFraction = mode / 100
 		return RunSpec{Policy: pol, ArrivalDelayFactor: workload.DefaultArrivalDelayFactor, InaccuracyPct: x, Deadline: d}
@@ -276,12 +302,17 @@ func AllFigures(base BaseConfig) ([]Figure, error) {
 
 // AllFiguresFrom is AllFigures over a pre-generated base workload.
 func AllFiguresFrom(base BaseConfig, baseJobs []workload.Job) ([]Figure, error) {
-	builders := []func(BaseConfig, []workload.Job) (Figure, error){
-		Figure1From, Figure2From, Figure3From, Figure4From,
+	return AllFiguresFromContext(context.Background(), base, baseJobs)
+}
+
+// AllFiguresFromContext is AllFiguresFrom under a cancellable context.
+func AllFiguresFromContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job) ([]Figure, error) {
+	builders := []func(context.Context, BaseConfig, []workload.Job) (Figure, error){
+		Figure1FromContext, Figure2FromContext, Figure3FromContext, Figure4FromContext,
 	}
 	figs := make([]Figure, 0, len(builders))
 	for _, b := range builders {
-		f, err := b(base, baseJobs)
+		f, err := b(ctx, base, baseJobs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/workload"
+)
+
+// WorkloadDigest hashes the base workload a sweep runs over: every field
+// of every job, in order. Two sweeps share cell results only if they
+// share this digest, so a regenerated or edited workload invalidates a
+// checkpoint journal instead of poisoning it.
+func WorkloadDigest(jobs []workload.Job) string {
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wi(len(jobs))
+	for _, j := range jobs {
+		wi(j.ID)
+		wf(j.Submit)
+		wf(j.Runtime)
+		wf(j.TraceEstimate)
+		wi(j.NumProc)
+		wf(j.Deadline)
+		wi(int(j.Class))
+		wi(j.UserID)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// baseKeyView enumerates exactly the BaseConfig fields that determine a
+// cell's result. Supervision knobs (Workers, RunTimeout, Progress,
+// Journal) are deliberately absent: re-running a sweep with a different
+// worker count or watchdog must still match its journal.
+type baseKeyView struct {
+	Nodes            int
+	Rating           float64
+	Ratings          []float64
+	Cluster          cluster.Config
+	Generator        workload.GeneratorConfig
+	QoPSSlack        float64
+	DisableFastPaths bool
+	CheckInvariants  bool
+}
+
+// CellKey is the content hash identifying one sweep cell for the
+// checkpoint journal: everything result-determining from the base config,
+// the full run spec (including its fault processes and deadline model),
+// and the digest of the workload the sweep runs over. Any change to any
+// of these yields a different key, so resuming against a stale journal
+// re-runs rather than reuses.
+func CellKey(base BaseConfig, spec RunSpec, workloadDigest string) (string, error) {
+	view := struct {
+		Base   baseKeyView
+		Spec   RunSpec
+		Digest string
+	}{
+		Base: baseKeyView{
+			Nodes:            base.Nodes,
+			Rating:           base.Rating,
+			Ratings:          base.Ratings,
+			Cluster:          base.Cluster,
+			Generator:        base.Generator,
+			QoPSSlack:        base.QoPSSlack,
+			DisableFastPaths: base.DisableFastPaths,
+			CheckInvariants:  base.CheckInvariants,
+		},
+		Spec:   spec,
+		Digest: workloadDigest,
+	}
+	b, err := json.Marshal(view)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}

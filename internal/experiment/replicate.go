@@ -59,6 +59,7 @@ func RunReplicated(base BaseConfig, spec RunSpec, seeds []uint64) (Replicated, e
 		bases[i] = jobs
 		s := spec
 		s.Deadline.Seed = seed + 1000003 // decouple deadline stream per seed
+		s.Seed = seed                    // stamp the cell identity for error messages
 		specs[i] = s
 	}
 	// Replications are independent simulations; run them through the same
@@ -67,7 +68,7 @@ func RunReplicated(base BaseConfig, spec RunSpec, seeds []uint64) (Replicated, e
 	for i := range seeds {
 		s, err := Run(base, bases[i], specs[i])
 		if err != nil {
-			return Replicated{}, err
+			return Replicated{}, fmt.Errorf("experiment: %s: %w", specs[i].Ident(), err)
 		}
 		results[i] = s
 	}

@@ -5,8 +5,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"clustersched/internal/checkpoint"
 	"clustersched/internal/cluster"
 	"clustersched/internal/core"
 	"clustersched/internal/fault"
@@ -82,6 +85,36 @@ type BaseConfig struct {
 	// monotonicity, job conservation, and cluster structural invariants
 	// are re-validated after each event, and any violation fails the run.
 	CheckInvariants bool
+
+	// Supervision knobs. None of these affect simulation results — they
+	// are excluded from checkpoint cell keys — only how a sweep reacts to
+	// slow, failing or interrupted cells.
+
+	// RunTimeout, when positive, is the per-cell wall-clock watchdog: a
+	// run exceeding it is aborted at event-loop granularity and surfaces
+	// as a RunError with FailTimeout (retried once, like a panic).
+	RunTimeout time.Duration
+	// Progress, when set, is called after every finished cell (run,
+	// journal hit, or failure) with the sweep-level completion count.
+	// Calls are serialized; the callback must not block for long, as it
+	// is on the worker pool's completion path.
+	Progress func(ProgressEvent)
+	// Journal, when set, checkpoints every successfully completed cell
+	// and satisfies cells whose content key is already journaled without
+	// re-running them — the resume path after an interrupted sweep.
+	Journal *checkpoint.Journal
+}
+
+// ProgressEvent reports one finished sweep cell to BaseConfig.Progress.
+type ProgressEvent struct {
+	Done  int // finished cells so far, including this one
+	Total int // cells in the sweep
+	Spec  RunSpec
+	// FromJournal marks a cell satisfied from the checkpoint journal
+	// instead of being run.
+	FromJournal bool
+	// Err is the cell's failure, if any (typically a *RunError).
+	Err error
 }
 
 // nodeRatings returns the effective per-node ratings.
@@ -120,12 +153,41 @@ type RunSpec struct {
 	// nothing. Only the EDF, Libra and LibraRisk policies have recovery
 	// semantics; enabling faults with any other policy is an error.
 	Faults fault.Config
+	// Label names the study the spec belongs to (e.g. "figure3") so a
+	// failed cell is identifiable from a one-line error; informational.
+	Label string
+	// Seed is the workload seed the cell runs under, recorded so a
+	// failure in a multi-seed sweep names its seed; informational (the
+	// jobs passed to Run/Sweep already embody it).
+	Seed uint64
+}
+
+// Ident renders the spec's one-line identity for error and progress
+// messages: label, policy, swept parameters, and seed when known.
+func (s RunSpec) Ident() string {
+	id := fmt.Sprintf("%s adf=%g inacc=%g urg=%g ratio=%g",
+		s.Policy, s.ArrivalDelayFactor, s.InaccuracyPct,
+		s.Deadline.HighUrgencyFraction, s.Deadline.Ratio)
+	if s.Label != "" {
+		id = s.Label + " " + id
+	}
+	if s.Seed != 0 {
+		id += fmt.Sprintf(" seed=%d", s.Seed)
+	}
+	return id
 }
 
 // Run executes one simulation from pre-generated base jobs (before
 // deadline assignment and arrival scaling) and returns its summary.
 func Run(base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summary, error) {
-	s, _, err := RunInstrumented(base, baseJobs, spec, 0)
+	return RunContext(context.Background(), base, baseJobs, spec)
+}
+
+// RunContext is Run under a context: the simulation engine polls ctx
+// between events, so cancellation aborts the run at event-loop
+// granularity with a wrapped context error.
+func RunContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summary, error) {
+	s, _, err := RunInstrumentedContext(ctx, base, baseJobs, spec, 0)
 	return s, err
 }
 
@@ -134,6 +196,11 @@ func Run(base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summar
 // core.Monitor samples it and is returned alongside the summary (nil
 // otherwise). It also applies BaseConfig.CheckInvariants and RunSpec.Faults.
 func RunInstrumented(base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64) (metrics.Summary, *core.Monitor, error) {
+	return RunInstrumentedContext(context.Background(), base, baseJobs, spec, monitorInterval)
+}
+
+// RunInstrumentedContext is RunInstrumented under a context.
+func RunInstrumentedContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64) (metrics.Summary, *core.Monitor, error) {
 	jobs, err := workload.AssignDeadlines(baseJobs, spec.Deadline)
 	if err != nil {
 		return metrics.Summary{}, nil, err
@@ -163,7 +230,7 @@ func RunInstrumented(base BaseConfig, baseJobs []workload.Job, spec RunSpec, mon
 		}
 		mon.Start(e)
 	}
-	if err := core.RunSimulation(e, pol, rec, jobs, spec.InaccuracyPct); err != nil {
+	if err := core.RunSimulationContext(ctx, e, pol, rec, jobs, spec.InaccuracyPct); err != nil {
 		return metrics.Summary{}, mon, err
 	}
 	if chk != nil {

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// selfScheduling arms an event chain that re-schedules itself forever, so
+// only cancellation (or the event budget) can end the run.
+func selfScheduling(e *Engine) {
+	var tick Handler
+	tick = func(e *Engine) { e.After(1, PriorityArrival, tick) }
+	e.After(1, PriorityArrival, tick)
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	mk := func() *Engine {
+		e := NewEngine()
+		n := 0
+		for i := 0; i < 500; i++ {
+			e.At(float64(i), PriorityArrival, func(e *Engine) { n++ })
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Processed() != b.Processed() || a.Now() != b.Now() {
+		t.Fatalf("Run/RunContext diverge: %d@%g vs %d@%g",
+			a.Processed(), a.Now(), b.Processed(), b.Now())
+	}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	e := NewEngine()
+	selfScheduling(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("processed %d events despite pre-canceled context", e.Processed())
+	}
+}
+
+func TestRunContextCancelsMidRun(t *testing.T) {
+	e := NewEngine()
+	selfScheduling(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := uint64(1000)
+	e.At(0.5, PriorityArrival, func(e *Engine) {}) // ensure chain starts
+	var fired uint64
+	var tick Handler
+	tick = func(e *Engine) {
+		fired++
+		if fired == stopAt {
+			cancel()
+		}
+		e.After(1, PriorityArrival, tick)
+	}
+	e.After(1, PriorityArrival, tick)
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation lands within one poll interval of the cancel point.
+	if e.Processed() > 2*stopAt+ctxCheckMask+8 {
+		t.Fatalf("ran %d events after cancel at ~%d", e.Processed(), stopAt)
+	}
+	// The calendar is intact: a fresh context resumes the run.
+	e.MaxEvents = e.Processed() + 100
+	if err := e.RunContext(context.Background()); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("resume err = %v, want event budget (chain should continue)", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	e := NewEngine()
+	selfScheduling(e)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
