@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare cover fuzz experiments examples chaos-smoke resume-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke clean
+
+# bench-gate regression thresholds, overridable per invocation:
+# allocs/op is nearly deterministic so the gate is tight; ns/op varies
+# with the machine (CI runners differ from the baseline host), so its
+# default only catches order-of-magnitude blowups. Tighten locally with
+# e.g. `make bench-gate BENCH_MAX_NS_RATIO=1.3`.
+BENCH_MAX_NS_RATIO ?= 3.0
+BENCH_MAX_ALLOC_RATIO ?= 1.15
 
 all: build vet test
 
@@ -29,6 +37,17 @@ bench-json:
 	$(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt \
 		> BENCH_admission.json
 	@echo wrote BENCH_admission.json
+
+# bench-gate reruns the benchmark group behind BENCH_admission.json and
+# fails if any shared benchmark regressed beyond the thresholds above
+# relative to the committed baseline's "new" side. CI runs this as the
+# bench smoke, so an accidental allocation regression on the admission
+# hot path fails the build instead of landing silently.
+bench-gate:
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale' \
+		-benchmem -count 2 . | tee results/bench_gate.txt
+	$(GO) run ./cmd/benchjson -gate BENCH_admission.json -new results/bench_gate.txt \
+		-max-ns-ratio $(BENCH_MAX_NS_RATIO) -max-alloc-ratio $(BENCH_MAX_ALLOC_RATIO)
 
 # bench-compare renders the same old/new pair with benchstat when it is
 # installed (no network installs here; `go install

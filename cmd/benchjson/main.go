@@ -4,10 +4,17 @@
 // numbers can be committed as a machine-readable artifact
 // (BENCH_admission.json) without requiring benchstat in the toolchain.
 //
+// With -gate it instead acts as a regression gate: a fresh bench run is
+// compared against the committed JSON baseline and the command exits
+// non-zero if any shared benchmark's ns/op or allocs/op exceeds the
+// baseline by more than the configured ratios (`make bench-gate`).
+//
 // Examples:
 //
 //	go test -bench Admission -benchmem . | benchjson
 //	benchjson -old results/bench_seed.txt -new results/bench_new.txt
+//	benchjson -gate BENCH_admission.json -new results/bench_gate.txt \
+//	    -max-ns-ratio 3 -max-alloc-ratio 1.15
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"clustersched/internal/cli"
 )
 
 func main() {
@@ -52,13 +61,28 @@ type Comparison struct {
 	AllocRatio *float64 `json:"alloc_ratio,omitempty"`
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	oldPath := fs.String("old", "", "baseline `go test -bench` output file to compare against")
 	newPath := fs.String("new", "", "new `go test -bench` output file (default: stdin)")
+	gatePath := fs.String("gate", "", "committed benchmark JSON baseline `file`: gate the new run against it instead of printing JSON")
+	maxNsRatio := fs.Float64("max-ns-ratio", 0, "with -gate: fail when ns/op exceeds the baseline by more than this ratio (0 disables the time gate)")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 0, "with -gate: fail when allocs/op exceeds the baseline by more than this ratio (0 disables the alloc gate)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to `file` on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var newBenches []Benchmark
 	if *newPath != "" {
@@ -71,6 +95,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if newBenches, err = Parse(stdin); err != nil {
 			return err
 		}
+	}
+
+	if *gatePath != "" {
+		return gate(stdout, *gatePath, newBenches, *maxNsRatio, *maxAllocRatio)
 	}
 
 	enc := json.NewEncoder(stdout)
@@ -186,6 +214,103 @@ func trimProcSuffix(name string) string {
 		}
 	}
 	return name
+}
+
+// loadBaseline reads a committed benchmark JSON artifact. It accepts both
+// shapes benchjson emits: a plain []Benchmark, or a []Comparison — in
+// which case each entry's "new" side (the performance the artifact
+// certifies) is the baseline, falling back to "old" for benchmarks that
+// only exist on that side.
+func loadBaseline(path string) (map[string]*Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Benchmark{}
+	var comps []Comparison
+	if err := json.Unmarshal(data, &comps); err == nil {
+		any := false
+		for i := range comps {
+			c := &comps[i]
+			switch {
+			case c.New != nil:
+				out[c.Name] = c.New
+				any = true
+			case c.Old != nil:
+				out[c.Name] = c.Old
+				any = true
+			}
+		}
+		if any {
+			return out, nil
+		}
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: neither a comparison nor a benchmark list: %w", path, err)
+	}
+	for i := range benches {
+		out[benches[i].Name] = &benches[i]
+	}
+	return out, nil
+}
+
+// gate compares a fresh run against the committed baseline and fails on
+// any regression beyond the configured ratios. Benchmarks present on only
+// one side are reported but never fail the gate, so adding or retiring a
+// benchmark does not require touching the baseline in the same change.
+func gate(stdout io.Writer, baselinePath string, fresh []Benchmark, maxNsRatio, maxAllocRatio float64) error {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	if maxNsRatio == 0 && maxAllocRatio == 0 {
+		return fmt.Errorf("gate: both thresholds disabled; set -max-ns-ratio and/or -max-alloc-ratio")
+	}
+	var failures []string
+	compared := 0
+	for i := range fresh {
+		nb := &fresh[i]
+		ob := baseline[nb.Name]
+		if ob == nil {
+			fmt.Fprintf(stdout, "gate: %-45s not in baseline, skipped\n", nb.Name)
+			continue
+		}
+		compared++
+		status := "ok"
+		if maxNsRatio > 0 && ob.NsPerOp > 0 {
+			if r := nb.NsPerOp / ob.NsPerOp; r > maxNsRatio {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%.2fx > %.2fx)",
+					nb.Name, nb.NsPerOp, ob.NsPerOp, r, maxNsRatio))
+			}
+		}
+		if maxAllocRatio > 0 && ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *ob.AllocsPerOp > 0 {
+			if r := *nb.AllocsPerOp / *ob.AllocsPerOp; r > maxAllocRatio {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (%.2fx > %.2fx)",
+					nb.Name, *nb.AllocsPerOp, *ob.AllocsPerOp, r, maxAllocRatio))
+			}
+		}
+		nsRatio := 0.0
+		if ob.NsPerOp > 0 {
+			nsRatio = nb.NsPerOp / ob.NsPerOp
+		}
+		allocNote := ""
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *ob.AllocsPerOp > 0 {
+			allocNote = fmt.Sprintf("  allocs %.2fx", *nb.AllocsPerOp / *ob.AllocsPerOp)
+		}
+		fmt.Fprintf(stdout, "gate: %-45s ns %.2fx%s  %s\n", nb.Name, nsRatio, allocNote, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("gate: no benchmark shared between the run and %s", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "gate: %d benchmark(s) within thresholds (ns %.2fx, allocs %.2fx)\n",
+		compared, maxNsRatio, maxAllocRatio)
+	return nil
 }
 
 // Compare pairs benchmarks by name. Benchmarks present on only one side

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
@@ -70,6 +73,67 @@ func TestCompareRatios(t *testing.T) {
 	}
 	if cmp[2].Name != "BenchmarkGone" || cmp[2].New != nil {
 		t.Fatalf("old-only entry = %+v", cmp[2])
+	}
+}
+
+func TestGateAgainstComparisonBaseline(t *testing.T) {
+	// Baseline in the committed BENCH_admission.json shape: a comparison
+	// whose "new" side certifies the current performance.
+	dir := t.TempDir()
+	baseline := dir + "/baseline.json"
+	baselineRun, err := Parse(strings.NewReader(
+		"BenchmarkX-8 10 1000 ns/op 100 B/op 50 allocs/op\n" +
+			"BenchmarkY-8 10 400 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeJSON := func(path string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(baseline, Compare(nil, baselineRun))
+
+	gateRun := func(bench string, nsRatio, allocRatio float64) error {
+		freshPath := dir + "/fresh.txt"
+		if err := os.WriteFile(freshPath, []byte(bench), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		return run([]string{
+			"-gate", baseline, "-new", freshPath,
+			"-max-ns-ratio", fmt.Sprint(nsRatio), "-max-alloc-ratio", fmt.Sprint(allocRatio),
+		}, nil, &sb)
+	}
+
+	// Within thresholds: same numbers plus a benchmark unknown to the
+	// baseline, which must be skipped rather than failed.
+	ok := "BenchmarkX-8 10 1100 ns/op 100 B/op 50 allocs/op\nBenchmarkBrandNew-8 10 7 ns/op\n"
+	if err := gateRun(ok, 1.5, 1.1); err != nil {
+		t.Fatalf("gate failed within thresholds: %v", err)
+	}
+	// Time regression beyond the ratio.
+	if err := gateRun("BenchmarkX-8 10 2000 ns/op 100 B/op 50 allocs/op\n", 1.5, 1.1); err == nil {
+		t.Fatal("gate passed a 2x time regression with -max-ns-ratio 1.5")
+	}
+	// Alloc regression with the time gate disabled.
+	if err := gateRun("BenchmarkX-8 10 2000 ns/op 100 B/op 80 allocs/op\n", 0, 1.1); err == nil {
+		t.Fatal("gate passed a 1.6x alloc regression with -max-alloc-ratio 1.1")
+	}
+	// Both thresholds disabled is a configuration error, not a pass.
+	if err := gateRun(ok, 0, 0); err == nil {
+		t.Fatal("gate accepted both thresholds disabled")
+	}
+
+	// Plain []Benchmark baselines (benchjson output without -old) gate
+	// identically.
+	writeJSON(baseline, baselineRun)
+	if err := gateRun(ok, 1.5, 1.1); err != nil {
+		t.Fatalf("gate failed against a plain benchmark-list baseline: %v", err)
 	}
 }
 

@@ -20,6 +20,7 @@
 //	experiments -replicate 5          # headline numbers with 95% CIs
 //	experiments -resume run.jsonl     # checkpoint cells; resume after ^C
 //	experiments -timeout 5m -progress # per-run watchdog, live cell count
+//	experiments -exp fig1 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -39,7 +40,7 @@ func main() {
 	cli.Main("experiments", run)
 }
 
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	o := clustersched.DefaultOptions()
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "which experiment: all | table | fig1 | fig2 | fig3 | fig4 | predict | allpolicies | hetero | chaos | economics | extensions")
@@ -52,9 +53,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-simulation watchdog: abort any single run exceeding this wall-clock time (0 = off)")
 	resume := fs.String("resume", "", "checkpoint journal file: record completed sweep cells and reuse the ones already there")
 	progress := fs.Bool("progress", false, "report sweep progress per completed cell on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the regeneration to `file`")
+	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to `file` on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	o.Jobs = *jobs
 	o.Nodes = *nodes

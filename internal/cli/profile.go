@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms the standard pprof observability pair behind two
+// optional file paths: a CPU profile recording from now until stop is
+// called, and a heap profile snapshotted at stop time (after a GC, so it
+// reflects live steady-state memory rather than collectible garbage).
+// Either path may be empty to skip that profile. The returned stop
+// function is always non-nil and must be called exactly once, typically
+// via defer; it reports the first error encountered while finishing the
+// profiles.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("heap profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

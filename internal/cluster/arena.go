@@ -1,0 +1,81 @@
+package cluster
+
+// arena is a chunked slab allocator for objects that live exactly one
+// simulation run. alloc hands out pointer-stable slots from fixed-size
+// chunks; reset rewinds the cursor so the next run reuses the same chunks
+// without freeing them. There is no per-object free: everything dies
+// wholesale at Reset, which sidesteps use-after-free and ABA hazards that
+// per-object recycling of RunningJob/slice pointers would invite (policies
+// and callbacks retain those pointers until the run ends).
+//
+// alloc returns DIRTY memory after a reset — the previous run's bytes are
+// still in the slot. Every caller must overwrite all fields it reads.
+type arena[T any] struct {
+	chunks [][]T
+	ci, n  int // cursor: the next free slot is chunks[ci][n]
+}
+
+const arenaChunk = 256
+
+func (a *arena[T]) alloc() *T {
+	if a.ci >= len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, arenaChunk))
+	}
+	c := a.chunks[a.ci]
+	p := &c[a.n]
+	a.n++
+	if a.n == len(c) {
+		a.ci++
+		a.n = 0
+	}
+	return p
+}
+
+func (a *arena[T]) reset() { a.ci, a.n = 0, 0 }
+
+// intArena bump-allocates small []int copies (gang node-ID lists) out of
+// large shared chunks, with the same run-wholesale lifetime as arena.
+type intArena struct {
+	chunks [][]int
+	ci     int
+}
+
+const intArenaChunk = 1024
+
+// copyOf returns a copy of src whose backing storage lives in the arena.
+// The returned slice has a clipped capacity, so appends by the caller can
+// never bleed into a neighbouring allocation.
+func (a *intArena) copyOf(src []int) []int {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if n > intArenaChunk {
+		// A gang wider than a whole chunk (larger than any real cluster
+		// here); give it a dedicated allocation rather than a chunk class.
+		out := make([]int, n)
+		copy(out, src)
+		return out
+	}
+	for {
+		if a.ci >= len(a.chunks) {
+			a.chunks = append(a.chunks, make([]int, 0, intArenaChunk))
+		}
+		c := a.chunks[a.ci]
+		if len(c)+n <= cap(c) {
+			start := len(c)
+			c = c[:start+n]
+			copy(c[start:], src)
+			a.chunks[a.ci] = c
+			return c[start : start+n : start+n]
+		}
+		a.ci++
+	}
+}
+
+func (a *intArena) reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.ci = 0
+}

@@ -86,7 +86,14 @@ func TestNoLeakedLiveEventsAfterDrain(t *testing.T) {
 	runAll(t, e)
 	// Any remaining calendar entries must be cancelled husks, not live
 	// node updates that would fire handlers on a drained cluster.
-	for e.Step() {
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
 		t.Fatal("live event fired after the cluster drained")
 	}
 }

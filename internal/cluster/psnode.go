@@ -100,8 +100,17 @@ type PSNode struct {
 	predItems []fluidItem
 	predOut   []PredictedDelay
 
+	// doneScratch is reused by retireCompleted so completion bursts do not
+	// allocate.
+	doneScratch []*slice
+
 	// onSliceDone is installed by the owning TimeShared cluster.
 	onSliceDone func(e *sim.Engine, sl *slice)
+
+	// updateH is the bound-once method value for onUpdate: evaluating
+	// n.onUpdate at each reschedule would allocate a fresh closure per
+	// event on the hot path.
+	updateH sim.Handler
 }
 
 // ID returns the node's index within its cluster.
@@ -259,7 +268,10 @@ func (n *PSNode) reschedule(e *sim.Engine) {
 	if next < 1e-6 {
 		next = 1e-6 // guarantee forward progress despite float noise
 	}
-	n.update = e.After(next, sim.PriorityCompletion, n.onUpdate)
+	if n.updateH == nil {
+		n.updateH = n.onUpdate
+	}
+	n.update = e.After(next, sim.PriorityCompletion, n.updateH)
 }
 
 // onUpdate is the node's event handler: accrue progress, retire completed
@@ -274,7 +286,7 @@ func (n *PSNode) onUpdate(e *sim.Engine) {
 
 func (n *PSNode) retireCompleted(e *sim.Engine) {
 	kept := n.slices[:0]
-	var done []*slice
+	done := n.doneScratch[:0]
 	for _, sl := range n.slices {
 		if sl.realWork <= epsWork {
 			done = append(done, sl)
@@ -283,12 +295,34 @@ func (n *PSNode) retireCompleted(e *sim.Engine) {
 		}
 	}
 	n.slices = kept
+	n.doneScratch = done
 	if len(done) > 0 {
 		n.version++
 	}
 	for _, sl := range done {
 		n.onSliceDone(e, sl)
 	}
+}
+
+// reset returns the node to its freshly constructed state, keeping every
+// scratch buffer. The pending update-event reference is dropped without
+// Cancel: the caller (TimeShared.Reset) guarantees the engine was reset
+// first, which already reclaimed the event.
+func (n *PSNode) reset() {
+	for i := range n.slices {
+		n.slices[i] = nil
+	}
+	n.slices = n.slices[:0]
+	for i := range n.doneScratch {
+		n.doneScratch[i] = nil
+	}
+	n.doneScratch = n.doneScratch[:0]
+	n.lastT = 0
+	n.update = nil
+	n.down = false
+	n.speed = 1
+	n.version = 0
+	n.busyIntegral = 0
 }
 
 // addSlice places a new slice on the node and re-derives rates.

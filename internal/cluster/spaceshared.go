@@ -1,9 +1,10 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
@@ -19,7 +20,16 @@ type ssRunning struct {
 	remaining    float64 // real work left at lastT
 	estRemaining float64 // believed work left at lastT (for resubmission)
 	lastT        float64
+
+	// c and h make the completion handler persistent: h is the method value
+	// r.fire, created once the first time this arena slot is used and kept
+	// across arena resets, so scheduling a completion allocates no closure.
+	c *SpaceShared
+	h sim.Handler
 }
+
+// fire is the completion handler scheduled for the gang.
+func (r *ssRunning) fire(e *sim.Engine) { r.c.finish(e, r) }
 
 // SpaceShared is a cluster of dedicated nodes: each node runs at most one
 // job slice at a time (the EDF execution substrate). A parallel job holds
@@ -53,6 +63,14 @@ type SpaceShared struct {
 	running int
 	killed  int
 	runs    []*ssRunning
+
+	// Per-run arenas and scratch buffers; see arena.go. Reclaimed wholesale
+	// by Reset so steady-state Start/finish traffic never touches the heap.
+	rjArena     arena[RunningJob]
+	runArena    arena[ssRunning]
+	idArena     intArena
+	pickScratch []int
+	bestScratch []float64
 }
 
 // NewSpaceShared builds a homogeneous dedicated cluster.
@@ -89,6 +107,30 @@ func NewSpaceSharedHetero(ratings []float64, cfg Config) (*SpaceShared, error) {
 		speed:   speed,
 		free:    len(ratings),
 	}, nil
+}
+
+// Reset returns the cluster to its freshly constructed state in place:
+// all nodes idle, up and at nominal speed, counters zero, arenas rewound.
+// Callbacks are left installed. Every *RunningJob handed out before the
+// Reset is invalidated — its storage will be reused.
+//
+// Reset must run AFTER the owning engine's Reset (or on an idle engine):
+// pending completion-event references are dropped without cancelling them.
+func (c *SpaceShared) Reset() {
+	for i := range c.busy {
+		c.busy[i] = false
+		c.down[i] = false
+		c.speed[i] = 1
+	}
+	c.free = len(c.ratings)
+	c.running, c.killed = 0, 0
+	for i := range c.runs {
+		c.runs[i] = nil
+	}
+	c.runs = c.runs[:0]
+	c.rjArena.reset()
+	c.runArena.reset()
+	c.idArena.reset()
 }
 
 // Len returns the number of nodes.
@@ -140,16 +182,17 @@ func (c *SpaceShared) RuntimeOn(refSeconds float64, numproc int) (float64, bool)
 // up nodes regardless of their current occupancy — the most optimistic
 // finish a queued job could hope for.
 func (c *SpaceShared) BestPossibleRuntime(refSeconds float64, numproc int) (float64, bool) {
-	sorted := make([]float64, 0, len(c.ratings))
+	sorted := c.bestScratch[:0]
 	for i := range c.ratings {
 		if !c.down[i] {
 			sorted = append(sorted, c.effRating(i))
 		}
 	}
+	c.bestScratch = sorted
 	if numproc > len(sorted) {
 		return 0, false
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slices.SortFunc(sorted, func(a, b float64) int { return cmp.Compare(b, a) })
 	slowest := sorted[numproc-1]
 	return refSeconds * c.cfg.RefRating / slowest, true
 }
@@ -170,18 +213,23 @@ func (c *SpaceShared) Start(e *sim.Engine, job workload.Job, estimate float64) (
 	}
 	c.free -= len(ids)
 	c.running++
-	rj := &RunningJob{
+	rj := c.rjArena.alloc()
+	*rj = RunningJob{
 		Job:      job,
 		Estimate: estimate,
 		Start:    e.Now(),
-		NodeIDs:  ids,
+		NodeIDs:  c.idArena.copyOf(ids),
 	}
-	r := &ssRunning{rj: rj, remaining: job.Runtime, estRemaining: estimate, lastT: e.Now()}
+	r := c.runArena.alloc()
+	h := r.h // survives the arena slot's previous life; nil on first use
+	*r = ssRunning{rj: rj, c: c, remaining: job.Runtime, estRemaining: estimate, lastT: e.Now()}
+	if h == nil {
+		h = r.fire
+	}
+	r.h = h
 	c.runs = append(c.runs, r)
-	duration := c.gangRuntime(job.Runtime, ids)
-	r.ev = e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
-		c.finish(e, r)
-	})
+	duration := c.gangRuntime(job.Runtime, rj.NodeIDs)
+	r.ev = e.After(duration, sim.PriorityCompletion, h)
 	return rj, nil
 }
 
@@ -189,6 +237,7 @@ func (c *SpaceShared) Start(e *sim.Engine, job workload.Job, estimate float64) (
 // fire OnJobDone.
 func (c *SpaceShared) finish(e *sim.Engine, r *ssRunning) {
 	rj := r.rj
+	r.ev = nil // the event has fired; the engine recycles it
 	for _, id := range rj.NodeIDs {
 		c.busy[id] = false
 	}
@@ -261,10 +310,7 @@ func (c *SpaceShared) SetNodeSpeed(e *sim.Engine, id int, factor float64) {
 	for _, r := range affected {
 		r.ev.Cancel()
 		duration := c.gangRuntime(math.Max(0, r.remaining), r.rj.NodeIDs)
-		rr := r
-		r.ev = e.After(duration, sim.PriorityCompletion, func(e *sim.Engine) {
-			c.finish(e, rr)
-		})
+		r.ev = e.After(duration, sim.PriorityCompletion, r.h)
 	}
 }
 
@@ -304,6 +350,7 @@ func (c *SpaceShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob 
 	}
 	c.advanceRun(victim, e.Now())
 	victim.ev.Cancel()
+	victim.ev = nil
 	rj := victim.rj
 	for _, nid := range rj.NodeIDs {
 		c.busy[nid] = false
@@ -371,21 +418,24 @@ func gangContains(ids []int, id int) bool {
 }
 
 // pickFree returns the ids of the fastest numproc idle up nodes, or nil.
+// The returned slice aliases pickScratch and is only valid until the next
+// pickFree call; Start copies it into the id arena before retaining it.
 func (c *SpaceShared) pickFree(numproc int) []int {
 	if numproc <= 0 || numproc > c.free {
 		return nil
 	}
-	ids := make([]int, 0, c.free)
+	ids := c.pickScratch[:0]
 	for i, b := range c.busy {
 		if !b && !c.down[i] {
 			ids = append(ids, i)
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		if c.effRating(ids[a]) != c.effRating(ids[b]) {
-			return c.effRating(ids[a]) > c.effRating(ids[b])
+	c.pickScratch = ids
+	slices.SortFunc(ids, func(a, b int) int {
+		if ra, rb := c.effRating(a), c.effRating(b); ra != rb {
+			return cmp.Compare(rb, ra)
 		}
-		return ids[a] < ids[b]
+		return a - b
 	})
 	return ids[:numproc]
 }

@@ -44,6 +44,14 @@ type TimeShared struct {
 
 	running int
 	killed  int
+
+	// Per-run allocation arenas and scratch. RunningJob, slice and gang
+	// node-ID storage is bump-allocated and reclaimed wholesale by Reset,
+	// so steady-state Submit traffic never touches the heap.
+	rjArena arena[RunningJob]
+	slArena arena[slice]
+	idArena intArena
+	seen    []bool // Submit duplicate-detection scratch, always all-false between calls
 }
 
 // NewTimeShared builds a homogeneous cluster of n nodes with the given
@@ -74,6 +82,25 @@ func NewTimeSharedHetero(ratings []float64, cfg Config) (*TimeShared, error) {
 		c.nodes = append(c.nodes, node)
 	}
 	return c, nil
+}
+
+// Reset returns the cluster to its freshly constructed state in place:
+// every node comes back up, empty and at nominal speed, counters zero, and
+// the per-run arenas rewind so their chunks are reused by the next run.
+// Callbacks (OnJobDone etc.) are left installed. Every *RunningJob handed
+// out before the Reset is invalidated — its storage will be reused.
+//
+// Reset must run AFTER the owning engine's Reset (or on an idle engine):
+// it drops node update-event references without cancelling them, relying on
+// the engine drain having already reclaimed the events.
+func (c *TimeShared) Reset() {
+	for _, n := range c.nodes {
+		n.reset()
+	}
+	c.rjArena.reset()
+	c.slArena.reset()
+	c.idArena.reset()
+	c.running, c.killed = 0, 0
 }
 
 // Len returns the number of nodes.
@@ -201,29 +228,44 @@ func (c *TimeShared) Submit(e *sim.Engine, job workload.Job, estimate float64, n
 	if estimate <= 0 {
 		return nil, fmt.Errorf("cluster: job %d estimate %g, want > 0", job.ID, estimate)
 	}
-	seen := make(map[int]bool, len(nodeIDs))
-	for _, id := range nodeIDs {
-		if id < 0 || id >= len(c.nodes) {
-			return nil, fmt.Errorf("cluster: node id %d out of range", id)
-		}
-		if seen[id] {
-			return nil, fmt.Errorf("cluster: duplicate node id %d", id)
-		}
-		if c.nodes[id].down {
-			return nil, fmt.Errorf("cluster: node %d is down", id)
-		}
-		seen[id] = true
+	if c.seen == nil {
+		c.seen = make([]bool, len(c.nodes))
 	}
-	rj := &RunningJob{
+	var checkErr error
+	marked := 0
+	for _, id := range nodeIDs {
+		switch {
+		case id < 0 || id >= len(c.nodes):
+			checkErr = fmt.Errorf("cluster: node id %d out of range", id)
+		case c.seen[id]:
+			checkErr = fmt.Errorf("cluster: duplicate node id %d", id)
+		case c.nodes[id].down:
+			checkErr = fmt.Errorf("cluster: node %d is down", id)
+		}
+		if checkErr != nil {
+			break
+		}
+		c.seen[id] = true
+		marked++
+	}
+	for _, id := range nodeIDs[:marked] {
+		c.seen[id] = false
+	}
+	if checkErr != nil {
+		return nil, checkErr
+	}
+	rj := c.rjArena.alloc()
+	*rj = RunningJob{
 		Job:             job,
 		Estimate:        estimate,
 		Start:           e.Now(),
-		NodeIDs:         append([]int(nil), nodeIDs...),
+		NodeIDs:         c.idArena.copyOf(nodeIDs),
 		remainingSlices: len(nodeIDs),
 	}
 	for _, id := range nodeIDs {
 		node := c.nodes[id]
-		sl := &slice{
+		sl := c.slArena.alloc()
+		*sl = slice{
 			job:          rj,
 			realWork:     node.WorkToNodeSeconds(job.Runtime),
 			believedWork: node.WorkToNodeSeconds(estimate),

@@ -27,15 +27,18 @@ func RunSimulation(e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []worklo
 // context aborts the run at event-loop granularity with a wrapped context
 // error. The recorder is only flushed on a completed run.
 func RunSimulationContext(ctx context.Context, e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []workload.Job, inaccuracyPct float64) error {
+	var d ArrivalDriver
+	return RunSimulationReusing(ctx, e, p, rec, jobs, inaccuracyPct, &d)
+}
+
+// RunSimulationReusing is RunSimulationContext with a caller-owned
+// ArrivalDriver, so repeated runs reuse the driver's persistent handler
+// instead of allocating per-run arrival closures.
+func RunSimulationReusing(ctx context.Context, e *sim.Engine, p Policy, rec *metrics.Recorder, jobs []workload.Job, inaccuracyPct float64, d *ArrivalDriver) error {
 	if err := workload.ValidateAll(jobs); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	for _, j := range jobs {
-		j := j
-		e.At(j.Submit, sim.PriorityArrival, func(e *sim.Engine) {
-			p.Submit(e, j, j.EstimateAt(inaccuracyPct))
-		})
-	}
+	d.begin(e, p, jobs, inaccuracyPct)
 	if e.MaxEvents == 0 {
 		e.MaxEvents = defaultEventBudget
 	}
@@ -44,4 +47,44 @@ func RunSimulationContext(ctx context.Context, e *sim.Engine, p Policy, rec *met
 	}
 	rec.Flush()
 	return nil
+}
+
+// ArrivalDriver feeds a job stream to a policy with one chained event: each
+// arrival schedules the next before submitting its own job, so a run holds
+// at most one arrival event and one persistent handler instead of a closure
+// per job. The zero value is ready to use and can be reused across runs.
+//
+// Chaining preserves the exact event ordering of the schedule-everything-
+// up-front approach: arrivals are the only PriorityArrival events, job
+// submit times are validated nondecreasing, and each arrival's event is
+// created before any later arrival's — so the (time, priority, sequence)
+// order among arrivals, and between arrivals and any other event, is
+// unchanged.
+type ArrivalDriver struct {
+	p    Policy
+	jobs []workload.Job
+	pct  float64
+	i    int
+	h    sim.Handler
+}
+
+// begin points the driver at a run's policy and job stream and schedules
+// the first arrival.
+func (d *ArrivalDriver) begin(e *sim.Engine, p Policy, jobs []workload.Job, inaccuracyPct float64) {
+	d.p, d.jobs, d.pct, d.i = p, jobs, inaccuracyPct, 0
+	if d.h == nil {
+		d.h = d.fire
+	}
+	if len(jobs) > 0 {
+		e.At(jobs[0].Submit, sim.PriorityArrival, d.h)
+	}
+}
+
+func (d *ArrivalDriver) fire(e *sim.Engine) {
+	j := d.jobs[d.i]
+	d.i++
+	if d.i < len(d.jobs) {
+		e.At(d.jobs[d.i].Submit, sim.PriorityArrival, d.h)
+	}
+	d.p.Submit(e, j, j.EstimateAt(d.pct))
 }

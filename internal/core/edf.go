@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"clustersched/internal/cluster"
@@ -32,24 +31,58 @@ type edfItem struct {
 	seq      int // FIFO tiebreak for equal deadlines
 }
 
+// edfQueue is a hand-rolled binary min-heap over (AbsDeadline, seq).
+// container/heap would box every edfItem through its Push(any) interface,
+// allocating per enqueue on the hottest EDF path; the manual sift keeps
+// items in the slice. The comparator is a total order (seq breaks every
+// tie), so the pop sequence is identical to container/heap's.
 type edfQueue []edfItem
 
 func (q edfQueue) Len() int { return len(q) }
-func (q edfQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
+
+func edfLess(a, b edfItem) bool {
 	if a.job.AbsDeadline() != b.job.AbsDeadline() {
 		return a.job.AbsDeadline() < b.job.AbsDeadline()
 	}
 	return a.seq < b.seq
 }
-func (q edfQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *edfQueue) Push(x any)   { *q = append(*q, x.(edfItem)) }
-func (q *edfQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+func (q *edfQueue) push(it edfItem) {
+	s := append(*q, it)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !edfLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*q = s
+}
+
+func (q *edfQueue) popMin() edfItem {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		min := i
+		if l := 2*i + 1; l < n && edfLess(s[l], s[min]) {
+			min = l
+		}
+		if r := 2*i + 2; r < n && edfLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 }
 
 // NewEDF wires an EDF policy to a space-shared cluster, including its
@@ -66,7 +99,7 @@ func NewEDF(c *cluster.SpaceShared, rec *metrics.Recorder) *EDF {
 		rec.Killed(kj.Job.Job)
 		job := kj.Job.Job
 		job.Runtime = kj.RemainingRuntime
-		heap.Push(&p.queue, edfItem{job: job, estimate: kj.RemainingEstimate, seq: job.ID})
+		p.queue.push(edfItem{job: job, estimate: kj.RemainingEstimate, seq: job.ID})
 		// The gang's surviving nodes were just released; someone queued
 		// (possibly the victim itself) may be able to start.
 		p.dispatch(e)
@@ -90,9 +123,13 @@ func (p *EDF) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
 	}
-	heap.Push(&p.queue, edfItem{job: job, estimate: estimate, seq: job.ID})
+	p.queue.push(edfItem{job: job, estimate: estimate, seq: job.ID})
 	p.dispatch(e)
 }
+
+// Reset empties the wait queue so the policy can drive a fresh run on a
+// reset cluster, keeping the queue's storage.
+func (p *EDF) Reset() { p.queue = p.queue[:0] }
 
 // dispatch starts queued jobs in deadline order while the head job's
 // processors are available; it blocks (no backfilling) on the first job
@@ -107,7 +144,7 @@ func (p *EDF) dispatch(e *sim.Engine) {
 			// happens when it is about to execute.
 			return
 		}
-		heap.Pop(&p.queue)
+		p.queue.popMin()
 		// Admission just prior to execution.
 		if now >= head.job.AbsDeadline() {
 			p.Recorder.Reject(head.job, "deadline expired while queued")

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"clustersched/internal/cluster"
 	"clustersched/internal/metrics"
@@ -54,6 +54,11 @@ func NewLibra(c *cluster.TimeShared, rec *metrics.Recorder) *Libra {
 
 // Name implements Policy.
 func (p *Libra) Name() string { return "Libra" }
+
+// Reset prepares the policy for a fresh run on a reset cluster. Libra
+// keeps no cross-arrival state beyond its scratch buffers, so this only
+// exists to satisfy the resettable-policy contract.
+func (p *Libra) Reset() {}
 
 // Submit implements Policy: the Libra admission test and best-fit
 // placement.
@@ -127,24 +132,33 @@ type nodeFit struct {
 }
 
 // orderBySelection sorts candidate nodes per the fit strategy; ties break
-// on node id for determinism.
+// on node id for determinism. slices.SortFunc rather than sort.Slice: the
+// comparators are total orders so the results are identical, and SortFunc
+// avoids sort.Slice's reflection-based swapper allocation on a per-arrival
+// path.
 func orderBySelection(fits []nodeFit, sel NodeSelection) {
 	switch sel {
 	case BestFit:
-		sort.Slice(fits, func(a, b int) bool {
-			if fits[a].share != fits[b].share {
-				return fits[a].share > fits[b].share
+		slices.SortFunc(fits, func(a, b nodeFit) int {
+			if a.share != b.share {
+				if a.share > b.share {
+					return -1
+				}
+				return 1
 			}
-			return fits[a].id < fits[b].id
+			return a.id - b.id
 		})
 	case WorstFit:
-		sort.Slice(fits, func(a, b int) bool {
-			if fits[a].share != fits[b].share {
-				return fits[a].share < fits[b].share
+		slices.SortFunc(fits, func(a, b nodeFit) int {
+			if a.share != b.share {
+				if a.share < b.share {
+					return -1
+				}
+				return 1
 			}
-			return fits[a].id < fits[b].id
+			return a.id - b.id
 		})
 	case FirstFit:
-		sort.Slice(fits, func(a, b int) bool { return fits[a].id < fits[b].id })
+		slices.SortFunc(fits, func(a, b nodeFit) int { return a.id - b.id })
 	}
 }

@@ -36,10 +36,11 @@ type LibraRisk struct {
 	// prove they are behaviour-preserving.
 	DisableFastPath bool
 
-	// fits and ids are reused across Submit calls so admission does not
-	// allocate per arrival.
+	// fits, ids and cand are reused across Submit calls so admission does
+	// not allocate per arrival.
 	fits []nodeFit
 	ids  []int
+	cand cluster.Candidate
 }
 
 // NewLibraRisk wires a LibraRisk policy to a time-shared cluster,
@@ -64,6 +65,11 @@ func NewLibraRisk(c *cluster.TimeShared, rec *metrics.Recorder) *LibraRisk {
 
 // Name implements Policy.
 func (p *LibraRisk) Name() string { return "LibraRisk" }
+
+// Reset prepares the policy for a fresh run on a reset cluster. LibraRisk
+// keeps no cross-arrival state beyond its scratch buffers, so this only
+// exists to satisfy the resettable-policy contract.
+func (p *LibraRisk) Reset() {}
 
 // NodeRisk evaluates one node: the deadline-delay values of all its jobs
 // plus the candidate (Algorithm 1 lines 2-7), their mean µ and risk σ.
@@ -124,7 +130,8 @@ func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64) {
 		return
 	}
 	now := e.Now()
-	cand := &cluster.Candidate{JobID: job.ID, RefWork: estimate, AbsDeadline: job.AbsDeadline()}
+	p.cand = cluster.Candidate{JobID: job.ID, RefWork: estimate, AbsDeadline: job.AbsDeadline()}
+	cand := &p.cand
 	firstFit := p.Selection == FirstFit
 	zeroRisk := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {

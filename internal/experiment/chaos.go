@@ -101,7 +101,9 @@ func ChaosSweepContext(ctx context.Context, base BaseConfig, baseJobs []workload
 	} else {
 		progress = func(int, bool) {}
 	}
-	runPool(ctx, len(points), base.workerCount(len(points)), func(i int) {
+	workers := base.workerCount(len(points))
+	scratches := newScratchPool(base, workers)
+	runPool(ctx, len(points), workers, func(w, i int) {
 		pt, spec := &points[i], specs[i]
 		var key string
 		if base.Journal != nil {
@@ -120,8 +122,11 @@ func ChaosSweepContext(ctx context.Context, base BaseConfig, baseJobs []workload
 				return
 			}
 		}
+		sc := scratchFor(scratches, w)
 		sum, sigma, err := superviseCell(ctx, base, spec, func(runCtx context.Context) (metrics.Summary, float64, error) {
-			s, mon, err := RunInstrumentedContext(runCtx, base, baseJobs, spec, ChaosMonitorInterval)
+			use := sc.acquire()
+			s, mon, err := runInstrumented(runCtx, base, baseJobs, spec, ChaosMonitorInterval, use)
+			use.release()
 			var meanSigma float64
 			if mon != nil {
 				var sigmaSum float64

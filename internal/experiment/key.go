@@ -42,8 +42,9 @@ func WorkloadDigest(jobs []workload.Job) string {
 
 // baseKeyView enumerates exactly the BaseConfig fields that determine a
 // cell's result. Supervision knobs (Workers, RunTimeout, Progress,
-// Journal) are deliberately absent: re-running a sweep with a different
-// worker count or watchdog must still match its journal.
+// Journal) and DisableReuse are deliberately absent: re-running a sweep
+// with a different worker count, watchdog, or context-reuse setting must
+// still match its journal.
 type baseKeyView struct {
 	Nodes            int
 	Rating           float64

@@ -137,10 +137,16 @@ func superviseCell(ctx context.Context, base BaseConfig, spec RunSpec, fn cellFu
 	return metrics.Summary{}, 0, last
 }
 
-// runCell supervises one plain (monitor-less) sweep cell.
-func runCell(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec) (metrics.Summary, error) {
+// runCell supervises one plain (monitor-less) sweep cell, reusing the
+// worker's scratch when one is provided and clean. The acquire/release
+// pair is what keeps the supervised retry safe: a panicking attempt never
+// reaches release, so the retry (and every later cell on the worker) runs
+// on the fresh-build path instead of a half-mutated scratch.
+func runCell(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, sc *runScratch) (metrics.Summary, error) {
 	sum, _, err := superviseCell(ctx, base, spec, func(runCtx context.Context) (metrics.Summary, float64, error) {
-		s, err := RunContext(runCtx, base, baseJobs, spec)
+		use := sc.acquire()
+		s, _, err := runInstrumented(runCtx, base, baseJobs, spec, 0, use)
+		use.release()
 		return s, 0, err
 	})
 	return sum, err
@@ -177,18 +183,20 @@ func newProgressCounter(fn func(ProgressEvent), total int) func(ProgressEvent) {
 
 // runPool dispatches indices [0, n) to a bounded worker pool, stops
 // admitting new indices once ctx is done, and drains in-flight work
-// before returning.
-func runPool(ctx context.Context, n, workers int, fn func(i int)) {
+// before returning. fn receives the worker index w alongside the work
+// index i so callers can attach per-worker state (the reuse scratches);
+// each w is owned by exactly one goroutine.
+func runPool(ctx context.Context, n, workers int, fn func(w, i int)) {
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 admit:
 	for i := 0; i < n; i++ {
@@ -239,7 +247,9 @@ func SweepContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job,
 			})
 		}
 	}
-	runPool(ctx, len(specs), base.workerCount(len(specs)), func(i int) {
+	workers := base.workerCount(len(specs))
+	scratches := newScratchPool(base, workers)
+	runPool(ctx, len(specs), workers, func(w, i int) {
 		spec := specs[i]
 		var key string
 		if base.Journal != nil {
@@ -260,7 +270,7 @@ func SweepContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job,
 				return
 			}
 		}
-		sum, err := runCell(ctx, base, baseJobs, spec)
+		sum, err := runCell(ctx, base, baseJobs, spec, scratchFor(scratches, w))
 		results[i] = Result{Spec: spec, Summary: sum, Err: err}
 		if err == nil && base.Journal != nil {
 			if jerr := base.Journal.Append(checkpoint.Record{Key: key, Label: spec.Label, Summary: sum}); jerr != nil {

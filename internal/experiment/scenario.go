@@ -85,6 +85,14 @@ type BaseConfig struct {
 	// monotonicity, job conservation, and cluster structural invariants
 	// are re-validated after each event, and any violation fails the run.
 	CheckInvariants bool
+	// DisableReuse makes every sweep cell build its engine, recorder,
+	// cluster and policy from scratch instead of reusing the per-worker run
+	// context. Results are identical by contract — the differential tests
+	// run paper-scale sweeps both ways and assert byte-identical summaries
+	// — so the flag exists for those tests and for bisecting a suspected
+	// reuse bug. Like the supervision knobs it cannot affect results and is
+	// excluded from checkpoint cell keys.
+	DisableReuse bool
 
 	// Supervision knobs. None of these affect simulation results — they
 	// are excluded from checkpoint cell keys — only how a sweep reacts to
@@ -199,46 +207,11 @@ func RunInstrumented(base BaseConfig, baseJobs []workload.Job, spec RunSpec, mon
 	return RunInstrumentedContext(context.Background(), base, baseJobs, spec, monitorInterval)
 }
 
-// RunInstrumentedContext is RunInstrumented under a context.
+// RunInstrumentedContext is RunInstrumented under a context. It always
+// builds the run from scratch; sweeps route through runInstrumented with a
+// per-worker scratch instead (see reuse.go).
 func RunInstrumentedContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64) (metrics.Summary, *core.Monitor, error) {
-	jobs, err := workload.AssignDeadlines(baseJobs, spec.Deadline)
-	if err != nil {
-		return metrics.Summary{}, nil, err
-	}
-	jobs = workload.ScaleArrivals(jobs, spec.ArrivalDelayFactor)
-
-	e := sim.NewEngine()
-	rec := metrics.NewRecorder()
-	pol, ts, ss, err := buildPolicyClusters(base, spec.Policy, rec)
-	if err != nil {
-		return metrics.Summary{}, nil, err
-	}
-	var chk *sim.InvariantChecker
-	if base.CheckInvariants {
-		chk = core.InstallInvariantChecker(e, rec, ts, ss)
-	}
-	if spec.Faults.Enabled() {
-		if err := installFaults(e, spec.Faults, spec.Policy, ts, ss, jobs); err != nil {
-			return metrics.Summary{}, nil, err
-		}
-	}
-	var mon *core.Monitor
-	if monitorInterval > 0 && ts != nil {
-		mon, err = core.NewMonitor(ts, monitorInterval)
-		if err != nil {
-			return metrics.Summary{}, nil, err
-		}
-		mon.Start(e)
-	}
-	if err := core.RunSimulationContext(ctx, e, pol, rec, jobs, spec.InaccuracyPct); err != nil {
-		return metrics.Summary{}, mon, err
-	}
-	if chk != nil {
-		if err := chk.Err(); err != nil {
-			return metrics.Summary{}, mon, err
-		}
-	}
-	return rec.Summarize(), mon, nil
+	return runInstrumented(ctx, base, baseJobs, spec, monitorInterval, nil)
 }
 
 // installFaults validates fault support for the policy, defaults the

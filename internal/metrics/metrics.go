@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"slices"
 
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
@@ -55,12 +56,31 @@ type JobResult struct {
 	Reason   string  // rejection reason, if any
 }
 
+// pendingSlot is one entry of the Recorder's dense pending table.
+type pendingSlot struct {
+	job     workload.Job
+	present bool
+}
+
 // Recorder accumulates job results during a simulation. It is not
 // goroutine-safe; each simulation owns one.
+//
+// Pending jobs live in a dense slice indexed by (ID - denseBase) rather
+// than a map: workload IDs are consecutive in practice, so the hot
+// Submitted/Complete path becomes a slice index instead of a map operation
+// and allocates nothing once the table has grown. IDs far outside the dense
+// window (more than ~8x the submitted count) spill to an overflow map so
+// adversarial ID patterns stay bounded in memory.
 type Recorder struct {
-	results  []JobResult
-	pending  map[int]workload.Job
-	rejected int
+	results []JobResult
+	// pendingDense holds jobs without a final outcome, indexed by
+	// ID - denseBase; haveBase latches denseBase on the first submission.
+	pendingDense    []pendingSlot
+	denseBase       int
+	haveBase        bool
+	pendingOverflow map[int]workload.Job
+	pendingCount    int
+	rejected        int
 	// submitted counts Submitted calls independently of the result list,
 	// so the conservation invariant (submitted = finalized + pending) can
 	// detect double-finalization or lost jobs.
@@ -76,15 +96,69 @@ type Recorder struct {
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{pending: make(map[int]workload.Job)}
+	return &Recorder{}
 }
+
+// Reset returns the recorder to its NewRecorder state in place, keeping the
+// grown result and pending storage so a reused recorder records its next
+// run without touching the heap. The Observer is cleared; reinstall it
+// after Reset if the next run needs one.
+func (r *Recorder) Reset() {
+	r.results = r.results[:0]
+	r.pendingDense = r.pendingDense[:0]
+	clear(r.pendingOverflow)
+	r.denseBase, r.haveBase = 0, false
+	r.pendingCount, r.rejected, r.submitted, r.kills = 0, 0, 0, 0
+	r.Observer = nil
+}
+
+// denseLimit bounds how far past the submitted count the dense table may
+// grow; beyond it an ID spills to the overflow map.
+func (r *Recorder) denseLimit() int { return 8*(r.submitted+1) + 1024 }
 
 // Submitted registers a job entering the system (before any admission
 // decision). Every submitted job must later be rejected, completed, or
 // flushed as unfinished.
 func (r *Recorder) Submitted(j workload.Job) {
 	r.submitted++
-	r.pending[j.ID] = j
+	if !r.haveBase {
+		r.denseBase, r.haveBase = j.ID, true
+	}
+	if idx := j.ID - r.denseBase; idx >= 0 && idx < r.denseLimit() {
+		for len(r.pendingDense) <= idx {
+			r.pendingDense = append(r.pendingDense, pendingSlot{})
+		}
+		slot := &r.pendingDense[idx]
+		if !slot.present {
+			r.pendingCount++
+		}
+		slot.job, slot.present = j, true
+		return
+	}
+	if r.pendingOverflow == nil {
+		r.pendingOverflow = make(map[int]workload.Job)
+	}
+	if _, ok := r.pendingOverflow[j.ID]; !ok {
+		r.pendingCount++
+	}
+	r.pendingOverflow[j.ID] = j
+}
+
+// clearPending finalizes a job's pending entry, wherever it lives. The
+// dense table is checked first; an ID stored in the overflow map before the
+// dense window grew over it is still found there.
+func (r *Recorder) clearPending(id int) {
+	if r.haveBase {
+		if idx := id - r.denseBase; idx >= 0 && idx < len(r.pendingDense) && r.pendingDense[idx].present {
+			r.pendingDense[idx].present = false
+			r.pendingCount--
+			return
+		}
+	}
+	if _, ok := r.pendingOverflow[id]; ok {
+		delete(r.pendingOverflow, id)
+		r.pendingCount--
+	}
 }
 
 // Killed records that a running job was torn down by a node crash. The job
@@ -101,16 +175,16 @@ func (r *Recorder) Kills() int { return r.kills }
 // job is either finalized (one result) or still pending — no job lost, none
 // finalized twice. Returns nil while the books balance.
 func (r *Recorder) ConservationError() error {
-	if got := len(r.results) + len(r.pending); got != r.submitted {
+	if got := len(r.results) + r.pendingCount; got != r.submitted {
 		return fmt.Errorf("metrics: %d submitted, but %d finalized + %d pending = %d",
-			r.submitted, len(r.results), len(r.pending), got)
+			r.submitted, len(r.results), r.pendingCount, got)
 	}
 	return nil
 }
 
 // Reject records an admission-control rejection.
 func (r *Recorder) Reject(j workload.Job, reason string) {
-	delete(r.pending, j.ID)
+	r.clearPending(j.ID)
 	r.rejected++
 	res := JobResult{
 		JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
@@ -125,7 +199,7 @@ func (r *Recorder) Reject(j workload.Job, reason string) {
 // Complete records a job completion. minRuntime is the job's dedicated
 // runtime on the slowest node it occupied (the slowdown denominator).
 func (r *Recorder) Complete(j workload.Job, finish, minRuntime float64) {
-	delete(r.pending, j.ID)
+	r.clearPending(j.ID)
 	res := JobResult{
 		JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
 		Submit: j.Submit, Finish: finish,
@@ -147,22 +221,44 @@ func (r *Recorder) Complete(j workload.Job, finish, minRuntime float64) {
 }
 
 // Flush marks every still-pending job as unfinished; call once when the
-// simulation ends.
+// simulation ends. The order is deterministic: ascending job ID within the
+// dense table, then ascending ID across the overflow map.
 func (r *Recorder) Flush() {
-	for _, j := range r.pending {
+	for i := range r.pendingDense {
+		slot := &r.pendingDense[i]
+		if !slot.present {
+			continue
+		}
+		slot.present = false
+		j := slot.job
 		r.results = append(r.results, JobResult{
 			JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
 			Outcome: Unfinished, Submit: j.Submit,
 		})
 	}
-	r.pending = make(map[int]workload.Job)
+	if len(r.pendingOverflow) > 0 {
+		ids := make([]int, 0, len(r.pendingOverflow))
+		for id := range r.pendingOverflow {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids {
+			j := r.pendingOverflow[id]
+			r.results = append(r.results, JobResult{
+				JobID: j.ID, Class: j.Class, NumProc: j.NumProc,
+				Outcome: Unfinished, Submit: j.Submit,
+			})
+		}
+		clear(r.pendingOverflow)
+	}
+	r.pendingCount = 0
 }
 
 // Results returns the accumulated records (unsorted).
 func (r *Recorder) Results() []JobResult { return r.results }
 
 // Pending returns the number of jobs without a final outcome yet.
-func (r *Recorder) Pending() int { return len(r.pending) }
+func (r *Recorder) Pending() int { return r.pendingCount }
 
 // Summary is the aggregate view of one simulation run.
 type Summary struct {

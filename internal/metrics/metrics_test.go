@@ -117,3 +117,89 @@ func TestOutcomeString(t *testing.T) {
 		t.Error("unknown outcome should still print")
 	}
 }
+
+func TestRecorderOverflowIDs(t *testing.T) {
+	r := NewRecorder()
+	// First submission latches denseBase; a far-away ID must spill to the
+	// overflow map and still complete/flush correctly.
+	near := wjob(100, 0, 50, 100, workload.LowUrgency)
+	far := wjob(100_000_000, 1, 50, 100, workload.LowUrgency)
+	far2 := wjob(200_000_000, 2, 50, 100, workload.HighUrgency)
+	r.Submitted(near)
+	r.Submitted(far)
+	r.Submitted(far2)
+	if r.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", r.Pending())
+	}
+	r.Complete(far, 40, 50)
+	if r.Pending() != 2 {
+		t.Fatalf("Pending = %d after overflow complete, want 2", r.Pending())
+	}
+	r.Flush()
+	if err := r.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	if s.Submitted != 3 || s.Met != 1 || s.Unfinished != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Flush order is deterministic: dense ascending, then overflow ascending.
+	res := r.Results()
+	last := res[len(res)-1]
+	if last.JobID != 200_000_000 {
+		t.Fatalf("last flushed ID = %d, want 200000000", last.JobID)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.Observer = func(JobResult) {}
+	r.Submitted(wjob(1, 0, 50, 100, workload.LowUrgency))
+	r.Submitted(wjob(2, 1, 50, 100, workload.LowUrgency))
+	r.Complete(wjob(1, 0, 50, 100, workload.LowUrgency), 40, 50)
+	r.Killed(wjob(2, 1, 50, 100, workload.LowUrgency))
+	r.Reset()
+	if r.Pending() != 0 || len(r.Results()) != 0 || r.Kills() != 0 || r.Observer != nil {
+		t.Fatalf("Reset left pending=%d results=%d kills=%d observer=%v",
+			r.Pending(), len(r.Results()), r.Kills(), r.Observer != nil)
+	}
+	if s := r.Summarize(); s.Submitted != 0 {
+		t.Fatalf("post-reset summary = %+v", s)
+	}
+	// A reused recorder behaves exactly like a fresh one.
+	j := wjob(7, 0, 100, 200, workload.HighUrgency)
+	r.Submitted(j)
+	r.Complete(j, 150, 100)
+	r.Flush()
+	if err := r.ConservationError(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	if s.Submitted != 1 || s.Met != 1 {
+		t.Fatalf("post-reset run summary = %+v", s)
+	}
+}
+
+func TestRecorderSteadyStateAllocationFree(t *testing.T) {
+	r := NewRecorder()
+	jobs := make([]workload.Job, 64)
+	for i := range jobs {
+		jobs[i] = wjob(1_000_000+i, float64(i), 50, 100, workload.LowUrgency)
+	}
+	run := func() {
+		r.Reset()
+		for _, j := range jobs {
+			r.Submitted(j)
+		}
+		for i, j := range jobs {
+			if i%2 == 0 {
+				r.Complete(j, j.Submit+40, 50)
+			}
+		}
+		r.Flush()
+	}
+	run() // grow the dense table and result storage
+	if avg := testing.AllocsPerRun(10, run); avg > 0 {
+		t.Fatalf("steady-state recorder allocates %.1f times per run, want 0", avg)
+	}
+}

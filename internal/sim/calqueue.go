@@ -11,6 +11,12 @@ import "math"
 // The engine defaults to the binary heap; BenchmarkEventQueue* compares
 // the two and NewEngineCalendar opts a simulation in. Both orderings are
 // identical: (time, priority, insertion sequence).
+// Cancellation is lazy here, unlike the binary heap's O(log n) removal:
+// detaching from a singly linked bucket chain would need a full chain walk,
+// so a cancelled event stays chained until pop reaches it and the engine
+// recycles it. The canceled counter keeps len() live-only regardless, and
+// the population of dead entries is bounded by the number of pending
+// cancelled events, which the engine's freelist reclaims as they surface.
 type calendarQueue struct {
 	buckets    []*Event // singly linked chains via Event.next, sorted
 	width      float64  // time span of one bucket
@@ -18,6 +24,7 @@ type calendarQueue struct {
 	lastTime   float64  // dequeue cursor: never goes backwards
 	lastBucket int
 	size       int
+	canceled   int // dead entries still chained (lazy deletion)
 }
 
 // calendar chain linkage lives on Event to avoid per-node allocations.
@@ -37,7 +44,37 @@ func (q *calendarQueue) reset(nbuckets int, width, start float64) {
 	q.lastBucket = q.bucketFor(start)
 }
 
-func (q *calendarQueue) len() int { return q.size }
+// len reports live events only; lazily deleted entries are excluded.
+func (q *calendarQueue) len() int { return q.size - q.canceled }
+
+// remove implements lazy deletion: the event stays chained (detaching from
+// a singly linked bucket would cost a chain walk) but is accounted dead so
+// len() stays live-only. Returns false: the engine must not recycle the
+// event until pop surfaces it.
+func (q *calendarQueue) remove(ev *Event) bool {
+	q.canceled++
+	return false
+}
+
+// drain empties every bucket chain, handing each event to f, and rewinds
+// the cursor to time zero while keeping the learned bucket width.
+func (q *calendarQueue) drain(f func(*Event)) {
+	for i, head := range q.buckets {
+		q.buckets[i] = nil
+		for ev := head; ev != nil; {
+			nx := ev.next
+			ev.next = nil
+			ev.queued = false
+			f(ev)
+			ev = nx
+		}
+	}
+	q.size = 0
+	q.canceled = 0
+	q.bucketBase = 0
+	q.lastTime = 0
+	q.lastBucket = q.bucketFor(0)
+}
 
 func (q *calendarQueue) bucketFor(t float64) int {
 	idx := int(math.Floor((t - q.bucketBase) / q.width))
@@ -61,6 +98,7 @@ func eventLess(a, b *Event) bool {
 }
 
 func (q *calendarQueue) push(ev *Event) {
+	ev.queued = true
 	idx := q.bucketFor(ev.Time)
 	// Insert into the sorted chain.
 	head := q.buckets[idx]
@@ -94,7 +132,11 @@ func (q *calendarQueue) pop() *Event {
 		if head := q.buckets[idx]; head != nil && head.Time < yearEnd {
 			q.buckets[idx] = head.next
 			head.next = nil
+			head.queued = false
 			q.size--
+			if head.canceled {
+				q.canceled--
+			}
 			q.lastBucket = idx
 			q.lastTime = head.Time
 			if q.size < len(q.buckets)/4 && len(q.buckets) > 2 {
@@ -120,7 +162,11 @@ func (q *calendarQueue) pop() *Event {
 	}
 	q.buckets[min] = minEv.next
 	minEv.next = nil
+	minEv.queued = false
 	q.size--
+	if minEv.canceled {
+		q.canceled--
+	}
 	q.lastBucket = q.bucketFor(minEv.Time)
 	q.lastTime = minEv.Time
 	return minEv

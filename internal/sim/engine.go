@@ -16,6 +16,11 @@ import (
 // intra-simulation parallelism for scheduling studies, and whole parameter
 // sweeps parallelize across independent Engine instances instead (see
 // internal/experiment).
+//
+// Events are pooled: a fired or cancelled event returns to an intrusive
+// freelist and the next At/After reuses it, so the steady-state event loop
+// allocates nothing. This is safe precisely because the engine is
+// single-goroutine — no other goroutine can observe a recycled event.
 type Engine struct {
 	now     float64
 	queue   eventSet
@@ -32,6 +37,11 @@ type Engine struct {
 	// checker, when installed, re-validates model invariants after every
 	// handler; see SetInvariantChecker.
 	checker *InvariantChecker
+	// free heads the intrusive Event freelist (chained via Event.next).
+	free *Event
+	// recycleH is the bound-once method value for recycle, so Reset can
+	// drain the queue without allocating a closure per call.
+	recycleH func(*Event)
 }
 
 // ErrEventBudget is returned by Run when MaxEvents is exhausted, which in a
@@ -61,8 +71,9 @@ func NewEngineCalendar() *Engine {
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Pending returns the number of events in the calendar, including events
-// that were cancelled but not yet popped.
+// Pending returns the number of live events in the calendar. Cancelled
+// events do not count: the binary-heap event set removes them eagerly, and
+// the calendar queue accounts its lazily deleted entries.
 func (e *Engine) Pending() int { return e.queue.len() }
 
 // Processed returns the number of event handlers run so far.
@@ -74,7 +85,9 @@ func (e *Engine) Processed() uint64 { return e.processed }
 func (e *Engine) SetHorizon(t float64) { e.horizon = t }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
-// always a model bug and silently clamping would corrupt causality.
+// always a model bug and silently clamping would corrupt causality. The
+// returned *Event may be a recycled allocation; it is valid to Cancel only
+// until its handler has run.
 func (e *Engine) At(t float64, p Priority, fn Handler) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9g before now %.9g", t, e.now))
@@ -83,7 +96,14 @@ func (e *Engine) At(t float64, p Priority, fn Handler) *Event {
 		panic("sim: scheduling event at NaN time")
 	}
 	e.seq++
-	ev := &Event{Time: t, Priority: p, seq: e.seq, fn: fn}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.Time, ev.Priority, ev.seq, ev.fn = t, p, e.seq, fn
+		ev.canceled, ev.recycled, ev.next = false, false, nil
+	} else {
+		ev = &Event{Time: t, Priority: p, seq: e.seq, fn: fn, eng: e}
+	}
 	e.queue.push(ev)
 	return ev
 }
@@ -95,6 +115,46 @@ func (e *Engine) After(d float64, p Priority, fn Handler) *Event {
 
 // Stop makes Run return after the current handler completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Reset returns the engine to its freshly constructed state in place: the
+// calendar is emptied (every pending event moves to the freelist), the
+// clock, sequence counter, processed count, horizon, event budget and
+// invariant checker all revert to their constructor values. The freelist
+// and the event set's internal capacity are retained, so a run on a reset
+// engine schedules from recycled storage instead of the heap.
+//
+// Reset invalidates every *Event previously returned by At/After;
+// cancelling one of them afterwards panics via the recycled-event guard.
+func (e *Engine) Reset() {
+	if e.recycleH == nil {
+		e.recycleH = e.recycle
+	}
+	e.queue.drain(e.recycleH)
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
+	e.horizon = math.Inf(1)
+	e.MaxEvents = 0
+	e.checker = nil
+}
+
+// recycle pushes a dead event onto the freelist. The handler reference is
+// dropped so closures do not outlive their run.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.recycled = true
+	ev.next = e.free
+	e.free = ev
+}
+
+// cancelEvent is Cancel's engine-side half: detach the event from the
+// event set if the set supports eager removal, and recycle it.
+func (e *Engine) cancelEvent(ev *Event) {
+	if e.queue.remove(ev) {
+		e.recycle(ev)
+	}
+}
 
 // SetInvariantChecker installs (or, with nil, removes) an invariant
 // checker that runs after every processed event. A nil checker costs one
@@ -147,6 +207,8 @@ func (e *Engine) RunContext(ctx context.Context) error {
 			return nil
 		}
 		if ev.canceled {
+			// Lazily deleted (calendar queue) — reclaim it now.
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.Time
@@ -158,26 +220,46 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		if e.checker != nil {
 			e.checker.observe(e)
 		}
+		if !ev.canceled {
+			// A handler cancelling its own in-flight event keeps it out of
+			// the pool (rare, and recycling it then would make the stale
+			// pointer the canceller holds ambiguous).
+			e.recycle(ev)
+		}
 	}
 }
 
 // Step processes exactly one non-cancelled event and reports whether one
 // was available. Useful for unit tests that walk a model event by event.
-func (e *Engine) Step() bool {
+// Step honors the same limits as Run: an event beyond the horizon stays in
+// the calendar and Step reports false, and exhausting MaxEvents returns
+// ErrEventBudget.
+func (e *Engine) Step() (bool, error) {
 	for {
 		ev := e.queue.pop()
 		if ev == nil {
-			return false
+			return false, nil
+		}
+		if ev.Time > e.horizon {
+			e.queue.push(ev)
+			return false, nil
 		}
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.Time
 		e.processed++
+		if e.MaxEvents != 0 && e.processed > e.MaxEvents {
+			return false, ErrEventBudget
+		}
 		ev.fn(e)
 		if e.checker != nil {
 			e.checker.observe(e)
 		}
-		return true
+		if !ev.canceled {
+			e.recycle(ev)
+		}
+		return true, nil
 	}
 }

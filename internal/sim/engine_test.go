@@ -171,17 +171,62 @@ func TestEngineStep(t *testing.T) {
 	var hits int
 	e.At(1, PriorityDefault, func(*Engine) { hits++ })
 	e.At(2, PriorityDefault, func(*Engine) { hits++ })
-	if !e.Step() {
-		t.Fatal("Step() = false with events pending")
+	if ok, err := e.Step(); !ok || err != nil {
+		t.Fatalf("Step() = %v, %v with events pending", ok, err)
 	}
 	if hits != 1 {
 		t.Fatalf("hits = %d after one step, want 1", hits)
 	}
-	if !e.Step() {
-		t.Fatal("Step() = false with one event pending")
+	if ok, err := e.Step(); !ok || err != nil {
+		t.Fatalf("Step() = %v, %v with one event pending", ok, err)
 	}
-	if e.Step() {
-		t.Fatal("Step() = true with empty calendar")
+	if ok, err := e.Step(); ok || err != nil {
+		t.Fatalf("Step() = %v, %v with empty calendar", ok, err)
+	}
+}
+
+func TestEngineStepHonorsHorizon(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.At(1, PriorityDefault, func(*Engine) { hits++ })
+	e.At(10, PriorityDefault, func(*Engine) { hits++ })
+	e.SetHorizon(5)
+	if ok, err := e.Step(); !ok || err != nil {
+		t.Fatalf("Step() = %v, %v for in-horizon event", ok, err)
+	}
+	// The t=10 event is beyond the horizon: Step must refuse to process it
+	// and leave it in the calendar, exactly like Run.
+	if ok, err := e.Step(); ok || err != nil {
+		t.Fatalf("Step() = %v, %v for past-horizon event, want false, nil", ok, err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (event beyond horizon must not run)", hits)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 (past-horizon event must stay queued)", e.Pending())
+	}
+	e.SetHorizon(20)
+	if ok, err := e.Step(); !ok || err != nil {
+		t.Fatalf("Step() = %v, %v after widening horizon", ok, err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d after widened horizon, want 2", hits)
+	}
+}
+
+func TestEngineStepHonorsEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 2
+	for i := 0; i < 3; i++ {
+		e.At(float64(i), PriorityDefault, func(*Engine) {})
+	}
+	for i := 0; i < 2; i++ {
+		if ok, err := e.Step(); !ok || err != nil {
+			t.Fatalf("Step() = %v, %v within budget", ok, err)
+		}
+	}
+	if ok, err := e.Step(); ok || err != ErrEventBudget {
+		t.Fatalf("Step() = %v, %v beyond budget, want false, ErrEventBudget", ok, err)
 	}
 }
 

@@ -27,15 +27,26 @@ const (
 // engine so it may schedule follow-up events.
 type Handler func(e *Engine)
 
-// Event is a single entry in the simulation calendar.
+// Event is a single entry in the simulation calendar. Events are owned by
+// the engine that scheduled them: once an event has fired (or been
+// cancelled) the engine recycles it through an intrusive freelist, so a
+// caller must not retain an *Event past the point where its handler ran.
 type Event struct {
 	Time     float64
 	Priority Priority
 	seq      uint64
 	fn       Handler
 	canceled bool
-	index    int    // heap position (binary-heap event set)
-	next     *Event // chain link (calendar-queue event set)
+	// recycled guards the freelist: it is set while the event sits on the
+	// engine's freelist, and any Cancel of such a stale pointer panics
+	// instead of silently corrupting an unrelated reused event.
+	recycled bool
+	// queued tracks calendar membership, so Cancel can tell a pending
+	// event (detachable) from one that is currently firing.
+	queued bool
+	eng    *Engine // owning engine, for O(log n) Cancel and recycling
+	index  int     // heap position (binary-heap event set); -1 off-heap
+	next   *Event  // chain link (calendar queue) or freelist link (engine)
 }
 
 // eventSet is the future-event-set abstraction: the engine works with
@@ -43,12 +54,35 @@ type Event struct {
 type eventSet interface {
 	push(ev *Event)
 	pop() *Event
+	// len reports live (non-cancelled) events still queued.
 	len() int
+	// remove detaches a cancelled event immediately when the set supports
+	// it, reporting whether the event left the set. Implementations that
+	// keep lazy deletion return false and account the event as dead.
+	remove(ev *Event) bool
+	// drain empties the set, invoking f on every event (cancelled or not).
+	drain(f func(*Event))
 }
 
-// Cancel marks the event so its handler will not run. Cancelled events stay
-// in the calendar until popped; this is O(1) and keeps the heap simple.
-func (ev *Event) Cancel() { ev.canceled = true }
+// Cancel marks the event so its handler will not run. On the binary-heap
+// event set the event is removed in O(log n) and recycled immediately; the
+// calendar queue keeps lazy deletion (the dead entry is dropped when its
+// bucket chain is popped) but accounts it so Pending stays live-only.
+// Cancelling an event that the engine has already recycled panics: the
+// caller held a stale pointer, and a silent cancel could hit whatever
+// event reused that allocation.
+func (ev *Event) Cancel() {
+	if ev.recycled {
+		panic("sim: Cancel of a recycled event (stale *Event retained after it fired)")
+	}
+	if ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.eng != nil && ev.queued {
+		ev.eng.cancelEvent(ev)
+	}
+}
 
 // Canceled reports whether Cancel has been called on the event.
 func (ev *Event) Canceled() bool { return ev.canceled }
@@ -95,13 +129,42 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
-func (q *eventQueue) push(ev *Event) { heap.Push(q, ev) }
+func (q *eventQueue) push(ev *Event) {
+	ev.queued = true
+	heap.Push(q, ev)
+}
 
 func (q *eventQueue) pop() *Event {
 	if len(q.events) == 0 {
 		return nil
 	}
-	return heap.Pop(q).(*Event)
+	ev := heap.Pop(q).(*Event)
+	ev.queued = false
+	return ev
 }
 
+// len is live-only by construction: cancelled events are removed eagerly.
 func (q *eventQueue) len() int { return len(q.events) }
+
+// remove detaches a cancelled event in O(log n) using its tracked heap
+// index, so long simulations with heavy Cancel traffic (every PSNode
+// reschedule cancels its previous update event) cannot grow the heap with
+// dead entries.
+func (q *eventQueue) remove(ev *Event) bool {
+	if !ev.queued || ev.index < 0 || ev.index >= len(q.events) || q.events[ev.index] != ev {
+		return false
+	}
+	heap.Remove(q, ev.index)
+	ev.queued = false
+	return true
+}
+
+func (q *eventQueue) drain(f func(*Event)) {
+	for i, ev := range q.events {
+		q.events[i] = nil
+		ev.index = -1
+		ev.queued = false
+		f(ev)
+	}
+	q.events = q.events[:0]
+}

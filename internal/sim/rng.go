@@ -14,6 +14,14 @@ type RNG struct {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed (re)initializes the generator in place, producing exactly the state
+// NewRNG(seed) would. It exists so hot paths can keep RNG values on the
+// stack (or embedded in a reused struct) instead of allocating via NewRNG.
+func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm = splitmix64(&r.s[i], sm)
@@ -22,7 +30,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // splitmix64 advances the SplitMix64 state and writes the next output.
@@ -39,7 +46,15 @@ func splitmix64(out *uint64, state uint64) uint64 {
 // Streams with distinct ids are statistically independent for simulation
 // purposes, and the parent's own sequence is not advanced.
 func (r *RNG) Stream(id uint64) *RNG {
-	return NewRNG(r.s[0] ^ (id+1)*0xd1342543de82ef95)
+	dst := &RNG{}
+	r.StreamInto(dst, id)
+	return dst
+}
+
+// StreamInto is Stream without the allocation: it seeds dst with the same
+// state Stream(id) would return. dst may live on the caller's stack.
+func (r *RNG) StreamInto(dst *RNG, id uint64) {
+	dst.Seed(r.s[0] ^ (id+1)*0xd1342543de82ef95)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

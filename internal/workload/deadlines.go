@@ -49,25 +49,40 @@ func (c DeadlineConfig) Validate() error {
 // AssignDeadlines returns a copy of jobs with Class and Deadline set. The
 // class sequence is randomly interleaved across arrivals, as in the paper.
 func AssignDeadlines(jobs []Job, cfg DeadlineConfig) ([]Job, error) {
-	if err := cfg.Validate(); err != nil {
+	out := make([]Job, len(jobs))
+	if err := AssignDeadlinesInto(out, jobs, cfg); err != nil {
 		return nil, err
 	}
-	root := sim.NewRNG(cfg.Seed)
-	classRNG := root.Stream(1)
-	factorRNG := root.Stream(2)
+	return out, nil
+}
 
-	out := make([]Job, len(jobs))
-	copy(out, jobs)
-	for i := range out {
+// AssignDeadlinesInto is AssignDeadlines writing into caller-owned storage:
+// dst receives a copy of jobs with Class and Deadline set, drawing the exact
+// same random sequence as AssignDeadlines. It panics if len(dst) != len(jobs).
+// Reused run contexts call it to keep the per-run job slice out of the heap.
+func AssignDeadlinesInto(dst, jobs []Job, cfg DeadlineConfig) error {
+	if len(dst) != len(jobs) {
+		panic(fmt.Sprintf("workload: AssignDeadlinesInto dst len %d != jobs len %d", len(dst), len(jobs)))
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var root, classRNG, factorRNG sim.RNG
+	root.Seed(cfg.Seed)
+	root.StreamInto(&classRNG, 1)
+	root.StreamInto(&factorRNG, 2)
+
+	copy(dst, jobs)
+	for i := range dst {
 		mean := cfg.MeanLowFactor * cfg.Ratio
-		out[i].Class = LowUrgency
+		dst[i].Class = LowUrgency
 		if classRNG.Bool(cfg.HighUrgencyFraction) {
-			out[i].Class = HighUrgency
+			dst[i].Class = HighUrgency
 			mean = cfg.MeanLowFactor
 		}
 		stddev := mean / DeadlineFactorCVDivisor
 		factor := factorRNG.TruncNormal(mean, stddev, MinDeadlineFactor, mean*4)
-		out[i].Deadline = factor * out[i].Runtime
+		dst[i].Deadline = factor * dst[i].Runtime
 	}
-	return out, nil
+	return nil
 }

@@ -111,21 +111,28 @@ func (j Job) Validate() error {
 func ScaleArrivals(jobs []Job, factor float64) []Job {
 	out := make([]Job, len(jobs))
 	copy(out, jobs)
-	if len(out) == 0 || factor == 1 {
-		return out
+	ScaleArrivalsInPlace(out, factor)
+	return out
+}
+
+// ScaleArrivalsInPlace rewrites jobs' submit times in place with the same
+// transformation as ScaleArrivals. Callers that already own a scratch copy
+// of the workload (reused run contexts) use it to avoid the per-run clone.
+func ScaleArrivalsInPlace(jobs []Job, factor float64) {
+	if len(jobs) == 0 || factor == 1 {
+		return
 	}
 	if factor < 0 {
 		factor = 0
 	}
 	prevOrig := jobs[0].Submit
 	prevNew := jobs[0].Submit
-	for i := 1; i < len(out); i++ {
+	for i := 1; i < len(jobs); i++ {
 		gap := jobs[i].Submit - prevOrig
 		prevOrig = jobs[i].Submit
 		prevNew += gap * factor
-		out[i].Submit = prevNew
+		jobs[i].Submit = prevNew
 	}
-	return out
 }
 
 // ValidateAll returns the first error across all jobs, also checking that
