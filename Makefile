@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke trace-smoke clean
 
 # bench-gate regression thresholds, overridable per invocation:
 # allocs/op is nearly deterministic so the gate is tight; ns/op varies
@@ -107,6 +107,31 @@ resume-smoke:
 	$$tmp/experiments $$args -resume $$tmp/run.jsonl | grep -v ' regenerated in ' > $$tmp/resumed.txt; \
 	diff -u $$tmp/reference.txt $$tmp/resumed.txt || { echo "resume-smoke: resumed output differs from uninterrupted run"; exit 1; }; \
 	echo "resume-smoke: ok ($$before cells journaled before interrupt, $$(wc -l < $$tmp/run.jsonl) total)"
+
+# trace-smoke proves the observability layer end to end on the real
+# binaries: a figure regeneration with tracing, metrics and the admission
+# audit armed must print byte-identical figures to an unobserved run, the
+# audit log must cross-check against the event trace (tracedump exits
+# nonzero on any admit/reject disagreement), and the Chrome trace export
+# must validate.
+trace-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments; \
+	$(GO) build -o $$tmp/tracedump ./cmd/tracedump; \
+	args="-exp fig2 -jobs 500 -nodes 16"; \
+	$$tmp/experiments $$args | grep -v ' regenerated in ' > $$tmp/plain.txt; \
+	$$tmp/experiments $$args -trace $$tmp/ev.jsonl -trace-format jsonl \
+		-metrics $$tmp/metrics.prom -audit $$tmp/audit.jsonl \
+		| grep -v ' regenerated in ' > $$tmp/observed.txt; \
+	diff -u $$tmp/plain.txt $$tmp/observed.txt \
+		|| { echo "trace-smoke: figures differ with observability on"; exit 1; }; \
+	$$tmp/tracedump -trace $$tmp/ev.jsonl -audit $$tmp/audit.jsonl; \
+	grep -q '^sim_jobs_rejected_total ' $$tmp/metrics.prom \
+		|| { echo "trace-smoke: metrics export missing rejection counter"; exit 1; }; \
+	$$tmp/experiments $$args -trace $$tmp/trace.json -trace-format chrome >/dev/null; \
+	$$tmp/tracedump -chrome $$tmp/trace.json; \
+	echo "trace-smoke: ok"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -497,6 +497,33 @@ func BenchmarkAdmissionSubmitReject(b *testing.B) {
 	}
 }
 
+// BenchmarkAdmissionObsDisabledSubmit is BenchmarkAdmissionSubmitReject
+// with the observability hooks explicitly detached (their default state):
+// it pins the zero-overhead contract of the obs layer on the hottest
+// path, where a disabled tracer/metrics/audit must cost exactly one nil
+// check per would-be emission. The bench gate holds both this benchmark
+// and its twin above to the pre-observability baseline, so any accidental
+// allocation or time regression from the hooks fails CI.
+func BenchmarkAdmissionObsDisabledSubmit(b *testing.B) {
+	e, c := admissionCluster(b, 128, 4, true)
+	rec := metrics.NewRecorder()
+	p := core.NewLibraRisk(c, rec)
+	p.SetObs(nil, nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := workload.Job{
+			ID: 1_000_000 + i, Runtime: 2000, TraceEstimate: 2000,
+			NumProc: 2, Submit: 0, Deadline: 9000,
+		}
+		p.Submit(e, j, 2000)
+	}
+	b.StopTimer()
+	if s := rec.Summarize(); s.Rejected != s.Submitted {
+		b.Fatalf("expected all rejected, got %+v", s)
+	}
+}
+
 // BenchmarkAdmissionLibraShareScan measures Libra's admission test (eq. 2
 // with the early-exit share accumulation) over all 128 nodes.
 func BenchmarkAdmissionLibraShareScan(b *testing.B) {

@@ -35,6 +35,7 @@ import (
 	"clustersched/internal/experiment"
 	"clustersched/internal/fault"
 	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
 	"clustersched/internal/predict"
 	"clustersched/internal/sched"
 	"clustersched/internal/sim"
@@ -1006,6 +1007,105 @@ func (b *FigureBuilder) OpenJournal(path string) (int, error) {
 	return j.Len(), nil
 }
 
+// ObserveConfig selects which observability layers the builder records
+// (see Observe). All layers off is valid and records nothing.
+type ObserveConfig struct {
+	// Trace records per-event simulation traces (job lifecycle, node
+	// state, faults) for export as Chrome trace_event JSON or JSONL.
+	Trace bool
+	// Metrics accumulates counters/gauges/histograms across every run for
+	// export in Prometheus text or JSON snapshot format.
+	Metrics bool
+	// Audit records every admission decision with its per-node evaluation
+	// (risk σ for LibraRisk, share for Libra) and rejection reason.
+	Audit bool
+}
+
+// Observation is the accumulated observability output of a builder's
+// sweeps, merged deterministically across parallel workers: events and
+// decisions are ordered by (run tag, sequence) regardless of worker
+// interleaving. Cells satisfied from a checkpoint journal were not re-run
+// and contribute no observations.
+type Observation struct {
+	sweep *obs.Sweep
+}
+
+// Empty reports whether nothing was recorded (all layers off, or no runs).
+func (o *Observation) Empty() bool { return o == nil || o.sweep == nil }
+
+// EventCount returns the number of trace events recorded.
+func (o *Observation) EventCount() int {
+	if o.Empty() {
+		return 0
+	}
+	return len(o.sweep.Events())
+}
+
+// DecisionCount returns the number of admission decisions audited.
+func (o *Observation) DecisionCount() int {
+	if o.Empty() {
+		return 0
+	}
+	return len(o.sweep.Decisions())
+}
+
+// WriteChromeTrace writes the recorded events as a Chrome trace_event
+// JSON document (load in chrome://tracing or Perfetto). Each run becomes
+// a process; job lifecycles become spans.
+func (o *Observation) WriteChromeTrace(w io.Writer) error {
+	if o.Empty() {
+		return obs.WriteChromeTrace(w, nil)
+	}
+	return obs.WriteChromeTrace(w, o.sweep.Events())
+}
+
+// WriteTraceJSONL writes the recorded events as one JSON object per line.
+func (o *Observation) WriteTraceJSONL(w io.Writer) error {
+	if o.Empty() {
+		return nil
+	}
+	return obs.WriteJSONL(w, o.sweep.Events())
+}
+
+// WritePrometheus writes the merged metrics in Prometheus text format.
+func (o *Observation) WritePrometheus(w io.Writer) error {
+	if o.Empty() || o.sweep.Registry() == nil {
+		return nil
+	}
+	return o.sweep.Registry().WritePrometheus(w)
+}
+
+// WriteMetricsJSON writes the merged metrics as a JSON snapshot.
+func (o *Observation) WriteMetricsJSON(w io.Writer) error {
+	if o.Empty() || o.sweep.Registry() == nil {
+		return nil
+	}
+	return o.sweep.Registry().WriteJSON(w)
+}
+
+// WriteAuditJSONL writes the admission audit log as one JSON decision per
+// line, each carrying the candidate-node evaluations and, for rejections,
+// the reason.
+func (o *Observation) WriteAuditJSONL(w io.Writer) error {
+	if o.Empty() {
+		return nil
+	}
+	return obs.WriteAuditJSONL(w, o.sweep.Decisions())
+}
+
+// Observe arms observability on the builder: every simulation run by
+// subsequent Build calls records the selected layers into the returned
+// Observation. Figures are byte-identical with observability on or off —
+// recording never alters scheduling decisions — but runs pay the
+// recording cost, so leave it off for benchmarking. Calling Observe again
+// replaces the previous observation. Extension figures other than "chaos"
+// rebuild their own configs and are not observed.
+func (b *FigureBuilder) Observe(cfg ObserveConfig) *Observation {
+	sw := obs.NewSweep(obs.Options{Trace: cfg.Trace, Metrics: cfg.Metrics, Audit: cfg.Audit})
+	b.base.Obs = sw
+	return &Observation{sweep: sw}
+}
+
 // Build regenerates one figure. The paper figures ("figure1" through
 // "figure4") share the builder's single base workload; results are
 // identical to BuildFigure, which regenerates it per call.
@@ -1061,6 +1161,20 @@ func (b *FigureBuilder) WriteWorkloadTable(w io.Writer) error {
 		return err
 	}
 	return experiment.WriteWorkloadTable(w, tbl)
+}
+
+// WriteWorkloadTableJSON writes the workload-characteristics table as
+// JSON from the builder's shared base workload.
+func (b *FigureBuilder) WriteWorkloadTableJSON(w io.Writer) error {
+	jobs, err := b.baseJobs()
+	if err != nil {
+		return err
+	}
+	tbl, err := experiment.BuildWorkloadTableFrom(b.base, jobs)
+	if err != nil {
+		return err
+	}
+	return experiment.WriteWorkloadTableJSON(w, tbl)
 }
 
 // FigureIDs lists the paper's regenerable figures in order. The extension
@@ -1204,6 +1318,11 @@ func RenderFigure(w io.Writer, f Figure) error {
 // RenderFigureCSV writes the figure as tidy CSV (figure,panel,policy,x,y).
 func RenderFigureCSV(w io.Writer, f Figure) error {
 	return experiment.WriteFigureCSV(w, toInternalFigure(f))
+}
+
+// RenderFigureJSON writes the figure as indented JSON.
+func RenderFigureJSON(w io.Writer, f Figure) error {
+	return experiment.WriteFigureJSON(w, toInternalFigure(f))
 }
 
 // RenderFigureSVG writes the figure as a standalone SVG document with one

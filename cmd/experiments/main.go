@@ -21,6 +21,10 @@
 //	experiments -resume run.jsonl     # checkpoint cells; resume after ^C
 //	experiments -timeout 5m -progress # per-run watchdog, live cell count
 //	experiments -exp fig1 -cpuprofile cpu.out -memprofile mem.out
+//	experiments -exp fig2 -audit audit.jsonl    # admission audit log
+//	experiments -trace trace.json               # Chrome trace of every run
+//	experiments -metrics metrics.prom           # Prometheus-format metrics
+//	experiments -summary-format json            # machine-readable figures
 package main
 
 import (
@@ -55,9 +59,31 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 	progress := fs.Bool("progress", false, "report sweep progress per completed cell on stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the regeneration to `file`")
 	memprofile := fs.String("memprofile", "", "write a post-GC heap profile to `file` on exit")
+	traceOut := fs.String("trace", "", "record simulation traces (job lifecycle, node state, faults) to `file`; paper figures and chaos only")
+	traceFormat := fs.String("trace-format", "chrome", "trace output format: chrome (trace_event JSON for chrome://tracing) | jsonl")
+	metricsOut := fs.String("metrics", "", "record merged simulation metrics to `file`; paper figures and chaos only")
+	metricsFormat := fs.String("metrics-format", "prom", "metrics output format: prom (Prometheus text) | json")
+	auditOut := fs.String("audit", "", "record every admission decision (per-node σ/share, rejection reason) to `file` as JSONL; paper figures and chaos only")
+	summaryFormat := fs.String("summary-format", "text", "figure and table output format on stdout: text | json (timing chatter moves to stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *traceFormat {
+	case "chrome", "jsonl":
+	default:
+		return fmt.Errorf("unknown -trace-format %q (want chrome or jsonl)", *traceFormat)
+	}
+	switch *metricsFormat {
+	case "prom", "json":
+	default:
+		return fmt.Errorf("unknown -metrics-format %q (want prom or json)", *metricsFormat)
+	}
+	switch *summaryFormat {
+	case "text", "json":
+	default:
+		return fmt.Errorf("unknown -summary-format %q (want text or json)", *summaryFormat)
+	}
+	jsonSummary := *summaryFormat == "json"
 
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -122,6 +148,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 		// interrupted-then-resumed run matches an uninterrupted one.
 		fmt.Fprintf(os.Stderr, "experiments: journal %s: %d cells on file\n", *resume, loaded)
 	}
+	var obsv *clustersched.Observation
+	if *traceOut != "" || *metricsOut != "" || *auditOut != "" {
+		obsv = builder.Observe(clustersched.ObserveConfig{
+			Trace:   *traceOut != "",
+			Metrics: *metricsOut != "",
+			Audit:   *auditOut != "",
+		})
+		if *resume != "" {
+			// A journal-satisfied cell is not re-run and records nothing;
+			// warn so a partially-resumed trace isn't mistaken for complete.
+			fmt.Fprintln(os.Stderr, "experiments: note: cells satisfied from the journal contribute no trace/metrics/audit output")
+		}
+	}
 	if *progress {
 		builder.SetProgress(func(p clustersched.BuildProgress) {
 			state := "ran"
@@ -134,10 +173,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)\n", p.Done, p.Total, p.Cell, state)
 		})
 	}
+	// In JSON summary mode every timing/bookkeeping line moves to stderr so
+	// stdout is a clean concatenation of JSON documents.
+	chatter := io.Writer(stdout)
+	if jsonSummary {
+		chatter = os.Stderr
+	}
 	if wantTable {
-		if err := builder.WriteWorkloadTable(stdout); err != nil {
+		writeTable := builder.WriteWorkloadTable
+		if jsonSummary {
+			writeTable = builder.WriteWorkloadTableJSON
+		}
+		if err := writeTable(stdout); err != nil {
 			return err
 		}
+	}
+	renderFig := clustersched.RenderFigure
+	if jsonSummary {
+		renderFig = clustersched.RenderFigureJSON
 	}
 	for _, id := range wantFigs {
 		start := time.Now()
@@ -145,23 +198,79 @@ func run(ctx context.Context, args []string, stdout io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		if err := clustersched.RenderFigure(stdout, fig); err != nil {
+		if err := renderFig(stdout, fig); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(chatter, "[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, id+".csv")
 			if err := writeFile(path, fig, clustersched.RenderFigureCSV); err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "[wrote %s]\n\n", path)
+			fmt.Fprintf(chatter, "[wrote %s]\n\n", path)
 		}
 		if *svgDir != "" {
 			path := filepath.Join(*svgDir, id+".svg")
 			if err := writeFile(path, fig, clustersched.RenderFigureSVG); err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "[wrote %s]\n\n", path)
+			fmt.Fprintf(chatter, "[wrote %s]\n\n", path)
+		}
+	}
+	if obsv != nil {
+		if err := writeObservation(obsv, *traceOut, *traceFormat, *metricsOut, *metricsFormat, *auditOut); err != nil {
+			return err
+		}
+		// Observability bookkeeping goes to stderr unconditionally, so
+		// stdout stays byte-identical to a run without these flags.
+		if *traceOut != "" {
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s: %d trace events\n", *traceOut, obsv.EventCount())
+		}
+		if *metricsOut != "" {
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *metricsOut)
+		}
+		if *auditOut != "" {
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s: %d admission decisions\n", *auditOut, obsv.DecisionCount())
+		}
+	}
+	return nil
+}
+
+// writeObservation flushes the recorded observability layers to their
+// output files in the selected formats.
+func writeObservation(obsv *clustersched.Observation, traceOut, traceFormat, metricsOut, metricsFormat, auditOut string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		fn := obsv.WriteChromeTrace
+		if traceFormat == "jsonl" {
+			fn = obsv.WriteTraceJSONL
+		}
+		if err := write(traceOut, fn); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		fn := obsv.WritePrometheus
+		if metricsFormat == "json" {
+			fn = obsv.WriteMetricsJSON
+		}
+		if err := write(metricsOut, fn); err != nil {
+			return err
+		}
+	}
+	if auditOut != "" {
+		if err := write(auditOut, obsv.WriteAuditJSONL); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,329 @@
+// Command tracedump inspects the observability output of cmd/experiments:
+// event traces (-trace, JSONL as written by -trace-format jsonl), admission
+// audit logs (-audit) and Chrome trace_event documents (-chrome).
+//
+// For a trace it prints event counts by kind; for an audit log it prints
+// the accept/reject totals, a per-policy rejection-reason breakdown (digit
+// runs are normalized so "only 3 of 17 ..." and "only 5 of 8 ..." count as
+// one reason), and the top-K riskiest accepted jobs by admission-time node
+// risk σ. Given both a trace and an audit log of the same run, it
+// cross-checks that every traced rejection has exactly one audit decision,
+// and exits nonzero on mismatch.
+//
+// Examples:
+//
+//	experiments -exp fig2 -trace ev.jsonl -trace-format jsonl -audit audit.jsonl
+//	tracedump -trace ev.jsonl -audit audit.jsonl
+//	tracedump -audit audit.jsonl -policy LibraRisk -top 10
+//	tracedump -chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"clustersched/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "event trace `file` (JSONL)")
+	auditPath := fs.String("audit", "", "admission audit log `file` (JSONL)")
+	chromePath := fs.String("chrome", "", "Chrome trace_event `file` to validate")
+	policy := fs.String("policy", "", "only events/decisions of this policy (e.g. LibraRisk)")
+	runFilter := fs.String("run", "", "only events/decisions whose run tag contains this substring")
+	kindFilter := fs.String("kind", "", "only trace events of this kind (e.g. reject; see list in output)")
+	jobFilter := fs.Int("job", -1, "only events/decisions for this job ID (-1 = all)")
+	top := fs.Int("top", 5, "how many riskiest admissions to list from the audit log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" && *auditPath == "" && *chromePath == "" {
+		return fmt.Errorf("nothing to do: pass -trace, -audit and/or -chrome (-h for help)")
+	}
+	if *kindFilter != "" {
+		if err := new(obs.Kind).UnmarshalText([]byte(*kindFilter)); err != nil {
+			return fmt.Errorf("-kind: %w (want one of %s)", err, strings.Join(obs.KindNames(), ", "))
+		}
+	}
+
+	var events []obs.Event
+	if *tracePath != "" {
+		evs, err := readEvents(*tracePath)
+		if err != nil {
+			return err
+		}
+		events = filterEvents(evs, *policy, *runFilter, *kindFilter, *jobFilter)
+		if err := dumpTrace(stdout, events, len(evs)); err != nil {
+			return err
+		}
+	}
+	var decisions []obs.Decision
+	if *auditPath != "" {
+		all, err := readDecisions(*auditPath)
+		if err != nil {
+			return err
+		}
+		decisions = filterDecisions(all, *policy, *runFilter, *jobFilter)
+		if err := dumpAudit(stdout, decisions, len(all), *top); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" && *auditPath != "" {
+		if err := crossCheck(stdout, events, decisions); err != nil {
+			return err
+		}
+	}
+	if *chromePath != "" {
+		f, err := os.Open(*chromePath)
+		if err != nil {
+			return err
+		}
+		n, err := obs.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chrome trace %s: valid, %d trace events\n", *chromePath, n)
+	}
+	return nil
+}
+
+func readEvents(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadJSONL(f)
+}
+
+func readDecisions(path string) ([]obs.Decision, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadAuditJSONL(f)
+}
+
+func filterEvents(evs []obs.Event, policy, run, kind string, job int) []obs.Event {
+	out := evs[:0:0]
+	for _, ev := range evs {
+		if policy != "" && ev.Policy != policy {
+			continue
+		}
+		if run != "" && !strings.Contains(ev.Run, run) {
+			continue
+		}
+		if kind != "" && ev.Kind.String() != kind {
+			continue
+		}
+		if job >= 0 && ev.Job != job {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func filterDecisions(ds []obs.Decision, policy, run string, job int) []obs.Decision {
+	out := ds[:0:0]
+	for _, d := range ds {
+		if policy != "" && d.Policy != policy {
+			continue
+		}
+		if run != "" && !strings.Contains(d.Run, run) {
+			continue
+		}
+		if job >= 0 && d.Job != job {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func dumpTrace(w io.Writer, events []obs.Event, total int) error {
+	if _, err := fmt.Fprintf(w, "trace: %d events (of %d in file)\n", len(events), total); err != nil {
+		return err
+	}
+	byKind := map[string]int{}
+	runs := map[string]bool{}
+	for _, ev := range events {
+		byKind[ev.Kind.String()]++
+		runs[ev.Run] = true
+	}
+	for _, name := range obs.KindNames() {
+		if n := byKind[name]; n > 0 {
+			if _, err := fmt.Fprintf(w, "  %-14s %d\n", name, n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "  runs: %d\n\n", len(runs))
+	return err
+}
+
+// normalizeReason collapses every run of digits to N so parameterized
+// reasons ("only 3 of 17 required nodes have zero risk") aggregate.
+func normalizeReason(s string) string {
+	var b strings.Builder
+	inDigits := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				b.WriteByte('N')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// maxSigma returns the admission-time risk σ of an accepted decision: the
+// largest per-node σ among the chosen nodes (falling back to all evaluated
+// nodes when the chosen ones carry no evaluations, e.g. fast-path admits).
+func maxSigma(d obs.Decision) float64 {
+	chosen := make(map[int]bool, len(d.Chosen))
+	for _, id := range d.Chosen {
+		chosen[id] = true
+	}
+	best, found := 0.0, false
+	for _, ev := range d.Nodes {
+		if !chosen[ev.Node] {
+			continue
+		}
+		found = true
+		if ev.Sigma > best {
+			best = ev.Sigma
+		}
+	}
+	if !found {
+		for _, ev := range d.Nodes {
+			if ev.Sigma > best {
+				best = ev.Sigma
+			}
+		}
+	}
+	return best
+}
+
+func dumpAudit(w io.Writer, ds []obs.Decision, total, top int) error {
+	accepted, rejected := 0, 0
+	type reasonKey struct{ policy, reason string }
+	reasons := map[reasonKey]int{}
+	for _, d := range ds {
+		if d.Accepted {
+			accepted++
+			continue
+		}
+		rejected++
+		reasons[reasonKey{d.Policy, normalizeReason(d.Reason)}]++
+	}
+	if _, err := fmt.Fprintf(w, "audit: %d decisions (of %d in file): %d accepted, %d rejected\n",
+		len(ds), total, accepted, rejected); err != nil {
+		return err
+	}
+	keys := make([]reasonKey, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].policy != keys[j].policy {
+			return keys[i].policy < keys[j].policy
+		}
+		if reasons[keys[i]] != reasons[keys[j]] {
+			return reasons[keys[i]] > reasons[keys[j]]
+		}
+		return keys[i].reason < keys[j].reason
+	})
+	if len(keys) > 0 {
+		if _, err := fmt.Fprintln(w, "rejection reasons by policy:"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %-10s %6d  %s\n", k.policy, reasons[k], k.reason); err != nil {
+				return err
+			}
+		}
+	}
+	if top > 0 {
+		risky := make([]obs.Decision, 0, len(ds))
+		for _, d := range ds {
+			if d.Accepted && maxSigma(d) > 0 {
+				risky = append(risky, d)
+			}
+		}
+		sort.Slice(risky, func(i, j int) bool {
+			si, sj := maxSigma(risky[i]), maxSigma(risky[j])
+			if si != sj {
+				return si > sj
+			}
+			if risky[i].Run != risky[j].Run {
+				return risky[i].Run < risky[j].Run
+			}
+			return risky[i].Seq < risky[j].Seq
+		})
+		if len(risky) > top {
+			risky = risky[:top]
+		}
+		if len(risky) > 0 {
+			if _, err := fmt.Fprintf(w, "top %d riskiest admissions (max node σ at admission):\n", len(risky)); err != nil {
+				return err
+			}
+			for _, d := range risky {
+				if _, err := fmt.Fprintf(w, "  σ=%-10.2f job %-6d t=%-12.0f %s\n",
+					maxSigma(d), d.Job, d.Time, d.Run); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// crossCheck verifies that the trace and the audit log agree: every
+// traced reject/admit event must have exactly one audit decision (the
+// policies emit both from the same code path, so a mismatch means the
+// two files are from different runs or one is truncated).
+func crossCheck(w io.Writer, events []obs.Event, decisions []obs.Decision) error {
+	evRejects, evAdmits := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindReject:
+			evRejects++
+		case obs.KindAdmit:
+			evAdmits++
+		}
+	}
+	auRejects, auAdmits := 0, 0
+	for _, d := range decisions {
+		if d.Accepted {
+			auAdmits++
+		} else {
+			auRejects++
+		}
+	}
+	if evRejects != auRejects || evAdmits != auAdmits {
+		return fmt.Errorf("trace/audit mismatch: trace has %d rejects / %d admits, audit has %d / %d",
+			evRejects, evAdmits, auRejects, auAdmits)
+	}
+	_, err := fmt.Fprintf(w, "cross-check: trace and audit agree (%d rejects, %d admits)\n", evRejects, evAdmits)
+	return err
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersched/internal/obs"
+)
+
+// writeSample writes a small paired trace + audit log: two admits (one
+// risky), one reject, across two policies.
+func writeSample(t *testing.T) (tracePath, auditPath string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	events := []obs.Event{
+		{Seq: 1, Time: 0, Kind: obs.KindArrive, Job: 1, Node: -1, Run: "r0", Policy: "LibraRisk"},
+		{Seq: 2, Time: 0, Kind: obs.KindAdmit, Job: 1, Node: 0, Value: 3.5, Run: "r0", Policy: "LibraRisk"},
+		{Seq: 3, Time: 5, Kind: obs.KindArrive, Job: 2, Node: -1, Run: "r0", Policy: "LibraRisk"},
+		{Seq: 4, Time: 5, Kind: obs.KindReject, Job: 2, Node: -1, Detail: "only 1 of 2 required nodes have zero risk", Run: "r0", Policy: "LibraRisk"},
+		{Seq: 1, Time: 0, Kind: obs.KindArrive, Job: 1, Node: -1, Run: "r1", Policy: "Libra"},
+		{Seq: 2, Time: 0, Kind: obs.KindAdmit, Job: 1, Node: 1, Value: 0.4, Run: "r1", Policy: "Libra"},
+	}
+	tracePath = filepath.Join(dir, "events.jsonl")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(tf, events); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	decisions := []obs.Decision{
+		{Seq: 1, Time: 0, Run: "r0", Policy: "LibraRisk", Job: 1, NumProc: 1, Accepted: true,
+			Chosen: []int{0}, Nodes: []obs.NodeEval{{Node: 0, Sigma: 3.5, Mu: 1.2, Suitable: true}}},
+		{Seq: 2, Time: 5, Run: "r0", Policy: "LibraRisk", Job: 2, NumProc: 2, Accepted: false,
+			Reason: "only 1 of 2 required nodes have zero risk",
+			Nodes:  []obs.NodeEval{{Node: 0, Sigma: 0, Suitable: true}, {Node: 1, Sigma: 9.9, Suitable: false}}},
+		{Seq: 1, Time: 0, Run: "r1", Policy: "Libra", Job: 1, NumProc: 1, Accepted: true,
+			Chosen: []int{1}, Nodes: []obs.NodeEval{{Node: 1, Share: 0.4, Suitable: true}}},
+	}
+	auditPath = filepath.Join(dir, "audit.jsonl")
+	af, err := os.Create(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteAuditJSONL(af, decisions); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	return tracePath, auditPath
+}
+
+func TestDumpAndCrossCheck(t *testing.T) {
+	tracePath, auditPath := writeSample(t)
+	var sb strings.Builder
+	if err := run([]string{"-trace", tracePath, "-audit", auditPath}, &sb); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"trace: 6 events (of 6 in file)",
+		"admit          2",
+		"reject         1",
+		"runs: 2",
+		"audit: 3 decisions (of 3 in file): 2 accepted, 1 rejected",
+		"LibraRisk       1  only N of N required nodes have zero risk",
+		"σ=3.50",
+		"cross-check: trace and audit agree (1 rejects, 2 admits)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tracePath, auditPath := writeSample(t)
+	var sb strings.Builder
+	if err := run([]string{"-trace", tracePath, "-audit", auditPath, "-policy", "Libra"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace: 2 events (of 6 in file)") {
+		t.Errorf("policy filter not applied to trace:\n%s", out)
+	}
+	if !strings.Contains(out, "audit: 1 decisions (of 3 in file)") {
+		t.Errorf("policy filter not applied to audit:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-trace", tracePath, "-kind", "reject"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "trace: 1 events (of 6 in file)") {
+		t.Errorf("kind filter not applied:\n%s", sb.String())
+	}
+
+	if err := run([]string{"-trace", tracePath, "-kind", "nonsense"}, &sb); err == nil {
+		t.Error("expected error for unknown -kind")
+	}
+}
+
+func TestCrossCheckMismatch(t *testing.T) {
+	tracePath, auditPath := writeSample(t)
+	// Filtering only the trace by job drops its reject while the audit keeps
+	// it, so the cross-check must fail.
+	var sb strings.Builder
+	err := run([]string{"-trace", tracePath, "-audit", auditPath, "-job", "1"}, &sb)
+	if err != nil {
+		t.Fatalf("job filter applies to both files, want agreement: %v", err)
+	}
+	// Truncate the audit file to force a real mismatch.
+	data, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if err := os.WriteFile(auditPath, []byte(strings.Join(lines[:1], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-trace", tracePath, "-audit", auditPath}, &sb); err == nil {
+		t.Error("expected cross-check mismatch error for truncated audit log")
+	}
+}
+
+func TestNormalizeReason(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"only 3 of 17 required nodes have zero risk", "only N of N required nodes have zero risk"},
+		{"needs 128 processors, cluster has 64", "needs N processors, cluster has N"},
+		{"deadline expired while queued", "deadline expired while queued"},
+	} {
+		if got := normalizeReason(tc.in); got != tc.want {
+			t.Errorf("normalizeReason(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNoInputsIsError(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("expected error when no inputs given")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
@@ -59,6 +60,12 @@ type SpaceShared struct {
 
 	// OnNodeUp fires when a crashed node recovers.
 	OnNodeUp func(e *sim.Engine, id int)
+
+	// Trace and Metrics are the optional observability hooks. Both default
+	// to nil (one pointer comparison per would-be emission, nothing else)
+	// and survive Reset — the experiment layer reattaches them per run.
+	Trace   obs.Tracer
+	Metrics *obs.SimMetrics
 
 	running int
 	killed  int
@@ -230,6 +237,9 @@ func (c *SpaceShared) Start(e *sim.Engine, job workload.Job, estimate float64) (
 	c.runs = append(c.runs, r)
 	duration := c.gangRuntime(job.Runtime, rj.NodeIDs)
 	r.ev = e.After(duration, sim.PriorityCompletion, h)
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindStart, Job: job.ID, Node: rj.NodeIDs[0], Value: estimate})
+	}
 	return rj, nil
 }
 
@@ -246,8 +256,30 @@ func (c *SpaceShared) finish(e *sim.Engine, r *ssRunning) {
 	c.dropRun(r)
 	rj.done = true
 	rj.Finish = e.Now()
+	if c.Trace != nil || c.Metrics != nil {
+		c.emitFinish(rj)
+	}
 	if c.OnJobDone != nil {
 		c.OnJobDone(e, rj)
+	}
+}
+
+// emitFinish reports a completed job to the observability hooks, with the
+// same deadline tolerance as RunningJob.DeadlineMet.
+func (c *SpaceShared) emitFinish(rj *RunningJob) {
+	response := rj.Finish - rj.Job.Submit
+	missed := rj.Finish > rj.Job.AbsDeadline()+epsTime
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: rj.Finish, Kind: obs.KindFinish, Job: rj.Job.ID, Node: rj.NodeIDs[0], Value: response})
+		if missed {
+			c.Trace.Emit(obs.Event{Time: rj.Finish, Kind: obs.KindDeadlineMiss, Job: rj.Job.ID, Node: rj.NodeIDs[0], Value: rj.Finish - rj.Job.AbsDeadline()})
+		}
+	}
+	if c.Metrics != nil {
+		c.Metrics.Completed.Inc()
+		if missed {
+			c.Metrics.DeadlineMisses.Inc()
+		}
 	}
 }
 
@@ -298,6 +330,16 @@ func (c *SpaceShared) SetNodeSpeed(e *sim.Engine, id int, factor float64) {
 	if factor == c.speed[id] {
 		return
 	}
+	if c.Trace != nil {
+		kind := obs.KindNodeSlow
+		if factor == 1 {
+			kind = obs.KindNodeNominal
+		}
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: kind, Job: -1, Node: id, Value: factor})
+	}
+	if c.Metrics != nil && factor != 1 {
+		c.Metrics.NodeSlowdowns.Inc()
+	}
 	now := e.Now()
 	affected := make([]*ssRunning, 0, 1)
 	for _, r := range c.runs {
@@ -327,12 +369,24 @@ func (c *SpaceShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob 
 	if !down {
 		c.down[id] = false
 		c.free++
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindNodeUp, Job: -1, Node: id})
+		}
+		if c.Metrics != nil {
+			c.Metrics.NodeRepairs.Inc()
+		}
 		if c.OnNodeUp != nil {
 			c.OnNodeUp(e, id)
 		}
 		return nil
 	}
 	c.down[id] = true
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindNodeDown, Job: -1, Node: id})
+	}
+	if c.Metrics != nil {
+		c.Metrics.NodeCrashes.Inc()
+	}
 	if !c.busy[id] {
 		c.free--
 		return nil
@@ -365,6 +419,12 @@ func (c *SpaceShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob 
 		Job:               rj,
 		RemainingRuntime:  math.Max(0, victim.remaining),
 		RemainingEstimate: math.Max(1e-6, victim.estRemaining),
+	}
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindKill, Job: rj.Job.ID, Node: id, Value: kj.RemainingRuntime})
+	}
+	if c.Metrics != nil {
+		c.Metrics.Kills.Inc()
 	}
 	if c.OnJobKilled != nil {
 		c.OnJobKilled(e, kj)

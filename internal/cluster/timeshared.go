@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
@@ -41,6 +42,12 @@ type TimeShared struct {
 
 	// OnNodeUp, if set, is invoked when a crashed node recovers.
 	OnNodeUp func(e *sim.Engine, id int)
+
+	// Trace and Metrics are the optional observability hooks. Both default
+	// to nil (one pointer comparison per would-be emission, nothing else)
+	// and survive Reset — the experiment layer reattaches them per run.
+	Trace   obs.Tracer
+	Metrics *obs.SimMetrics
 
 	running int
 	killed  int
@@ -132,7 +139,22 @@ func (c *TimeShared) UpNodes() int {
 // SetNodeSpeed re-times node id at a new effective-rate multiplier (1 is
 // nominal, values in (0,1) model a transient straggler).
 func (c *TimeShared) SetNodeSpeed(e *sim.Engine, id int, factor float64) {
+	before := c.nodes[id].Speed()
 	c.nodes[id].SetSpeed(e, factor)
+	after := c.nodes[id].Speed()
+	if after == before {
+		return
+	}
+	if c.Trace != nil {
+		kind := obs.KindNodeSlow
+		if after == 1 {
+			kind = obs.KindNodeNominal
+		}
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: kind, Job: -1, Node: id, Value: after})
+	}
+	if c.Metrics != nil && after != 1 {
+		c.Metrics.NodeSlowdowns.Inc()
+	}
 }
 
 // SetNodeDown crashes (down=true) or recovers (down=false) node id.
@@ -151,18 +173,30 @@ func (c *TimeShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob {
 	}
 	if !down {
 		node.markUp()
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindNodeUp, Job: -1, Node: id})
+		}
+		if c.Metrics != nil {
+			c.Metrics.NodeRepairs.Inc()
+		}
 		if c.OnNodeUp != nil {
 			c.OnNodeUp(e, id)
 		}
 		return nil
+	}
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindNodeDown, Job: -1, Node: id})
+	}
+	if c.Metrics != nil {
+		c.Metrics.NodeCrashes.Inc()
 	}
 	victims := node.markDown(e)
 	killed := make([]KilledJob, 0, len(victims))
 	for _, sl := range victims {
 		rj := sl.job
 		kj := KilledJob{
-			Job:              rj,
-			RemainingRuntime: node.NodeSecondsToWork(math.Max(0, sl.realWork)),
+			Job:               rj,
+			RemainingRuntime:  node.NodeSecondsToWork(math.Max(0, sl.realWork)),
 			RemainingEstimate: node.NodeSecondsToWork(math.Max(0, sl.believedWork)),
 		}
 		// Tear down the rest of the gang; each sibling node reports the
@@ -184,6 +218,12 @@ func (c *TimeShared) SetNodeDown(e *sim.Engine, id int, down bool) []KilledJob {
 		}
 		c.running--
 		c.killed++
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindKill, Job: rj.Job.ID, Node: id, Value: kj.RemainingRuntime})
+		}
+		if c.Metrics != nil {
+			c.Metrics.Kills.Inc()
+		}
 		killed = append(killed, kj)
 	}
 	for _, kj := range killed {
@@ -273,6 +313,9 @@ func (c *TimeShared) Submit(e *sim.Engine, job workload.Job, estimate float64, n
 		node.addSlice(e, sl)
 	}
 	c.running++
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindStart, Job: job.ID, Node: nodeIDs[0], Value: estimate})
+	}
 	return rj, nil
 }
 
@@ -285,8 +328,32 @@ func (c *TimeShared) sliceDone(e *sim.Engine, sl *slice) {
 	rj.done = true
 	rj.Finish = e.Now()
 	c.running--
+	if c.Trace != nil || c.Metrics != nil {
+		c.emitFinish(e, rj)
+	}
 	if c.OnJobDone != nil {
 		c.OnJobDone(e, rj)
+	}
+}
+
+// emitFinish reports a completed job to the observability hooks: a finish
+// event carrying the response time, plus a deadline-miss annotation when
+// the job ran past its hard deadline (same epsTime tolerance as
+// RunningJob.DeadlineMet).
+func (c *TimeShared) emitFinish(e *sim.Engine, rj *RunningJob) {
+	response := rj.Finish - rj.Job.Submit
+	missed := rj.Finish > rj.Job.AbsDeadline()+epsTime
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Time: rj.Finish, Kind: obs.KindFinish, Job: rj.Job.ID, Node: rj.NodeIDs[0], Value: response})
+		if missed {
+			c.Trace.Emit(obs.Event{Time: rj.Finish, Kind: obs.KindDeadlineMiss, Job: rj.Job.ID, Node: rj.NodeIDs[0], Value: rj.Finish - rj.Job.AbsDeadline()})
+		}
+	}
+	if c.Metrics != nil {
+		c.Metrics.Completed.Inc()
+		if missed {
+			c.Metrics.DeadlineMisses.Inc()
+		}
 	}
 }
 

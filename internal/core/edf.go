@@ -21,6 +21,10 @@ type EDF struct {
 	Cluster  *cluster.SpaceShared
 	Recorder *metrics.Recorder
 
+	// obsHooks carries the optional per-run tracer/metrics/audit
+	// attachments (see SetObs); all nil by default.
+	obsHooks
+
 	queue edfQueue
 }
 
@@ -29,6 +33,10 @@ type edfItem struct {
 	job      workload.Job
 	estimate float64
 	seq      int // FIFO tiebreak for equal deadlines
+	// submittedAt is the engine's processed-event count at enqueue time;
+	// the difference at dispatch is the job's admission latency in events.
+	submittedAt uint64
+	resubmit    bool // re-queued after a node crash
 }
 
 // edfQueue is a hand-rolled binary min-heap over (AbsDeadline, seq).
@@ -99,7 +107,7 @@ func NewEDF(c *cluster.SpaceShared, rec *metrics.Recorder) *EDF {
 		rec.Killed(kj.Job.Job)
 		job := kj.Job.Job
 		job.Runtime = kj.RemainingRuntime
-		p.queue.push(edfItem{job: job, estimate: kj.RemainingEstimate, seq: job.ID})
+		p.enqueue(e, edfItem{job: job, estimate: kj.RemainingEstimate, seq: job.ID, resubmit: true})
 		// The gang's surviving nodes were just released; someone queued
 		// (possibly the victim itself) may be able to start.
 		p.dispatch(e)
@@ -119,12 +127,36 @@ func (p *EDF) QueueLen() int { return p.queue.Len() }
 // Submit implements Policy: enqueue and try to dispatch.
 func (p *EDF) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
+	p.arriveObs(e.Now(), job)
 	if job.NumProc > p.Cluster.Len() {
-		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		p.beginObs(e.Now(), job, estimate, false)
+		p.reject(e.Now(), job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
 	}
-	p.queue.push(edfItem{job: job, estimate: estimate, seq: job.ID})
+	p.enqueue(e, edfItem{job: job, estimate: estimate, seq: job.ID})
 	p.dispatch(e)
+}
+
+// enqueue pushes an item stamped with the engine's event count and
+// samples the queue-depth metrics.
+func (p *EDF) enqueue(e *sim.Engine, it edfItem) {
+	it.submittedAt = e.Processed()
+	p.queue.push(it)
+	if p.Sim != nil {
+		depth := float64(p.queue.Len())
+		p.Sim.QueueDepth.Observe(depth)
+		if depth > p.Sim.MaxQueueDepth.Value() {
+			p.Sim.MaxQueueDepth.Set(depth)
+		}
+	}
+}
+
+// reject records a rejection in both the metrics recorder and the
+// observability hooks, keeping the audit decision count exactly equal to
+// the recorded rejection count.
+func (p *EDF) reject(now float64, job workload.Job, reason string) {
+	p.Recorder.Reject(job, reason)
+	p.rejectObs(now, job, reason)
 }
 
 // Reset empties the wait queue so the policy can drive a fresh run on a
@@ -145,23 +177,32 @@ func (p *EDF) dispatch(e *sim.Engine) {
 			return
 		}
 		p.queue.popMin()
-		// Admission just prior to execution.
+		// Admission just prior to execution: this is EDF's decision point,
+		// so the audit record opens here, not at enqueue.
+		p.beginObs(now, head.job, head.estimate, head.resubmit)
 		if now >= head.job.AbsDeadline() {
-			p.Recorder.Reject(head.job, "deadline expired while queued")
+			p.reject(now, head.job, "deadline expired while queued")
 			continue
 		}
 		rt, ok := p.Cluster.RuntimeOn(head.estimate, head.job.NumProc)
 		if !ok {
 			// FreeCount said yes; this cannot fail, but stay safe.
-			p.Recorder.Reject(head.job, "processors vanished before start")
+			p.reject(now, head.job, "processors vanished before start")
 			continue
 		}
 		if now+rt > head.job.AbsDeadline() {
-			p.Recorder.Reject(head.job, "deadline unreachable per runtime estimate")
+			p.reject(now, head.job, "deadline unreachable per runtime estimate")
 			continue
 		}
-		if _, err := p.Cluster.Start(e, head.job, head.estimate); err != nil {
-			p.Recorder.Reject(head.job, "start failed: "+err.Error())
+		rj, err := p.Cluster.Start(e, head.job, head.estimate)
+		if err != nil {
+			p.reject(now, head.job, "start failed: "+err.Error())
+			continue
 		}
+		wait := float64(e.Processed() - head.submittedAt)
+		if p.Sim != nil {
+			p.Sim.AdmitLatencyEvents.Observe(wait)
+		}
+		p.acceptObs(now, head.job, rj.NodeIDs, wait)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"clustersched/internal/cluster"
 	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
@@ -24,6 +25,10 @@ type Libra struct {
 	// FirstFit scan cutoff so the differential tests can prove they are
 	// behaviour-preserving.
 	DisableFastPath bool
+
+	// obsHooks carries the optional per-run tracer/metrics/audit
+	// attachments (see SetObs); all nil by default.
+	obsHooks
 
 	// fits and ids are reused across Submit calls so admission does not
 	// allocate per arrival.
@@ -47,7 +52,7 @@ func NewLibra(c *cluster.TimeShared, rec *metrics.Recorder) *Libra {
 		job.Runtime = kj.RemainingRuntime
 		// Resubmission, not a new submission: the job is still pending in
 		// the recorder and must end with exactly one final outcome.
-		p.admit(e, job, kj.RemainingEstimate)
+		p.admit(e, job, kj.RemainingEstimate, true)
 	}
 	return p
 }
@@ -70,34 +75,58 @@ func (p *Libra) Reset() {}
 // selection the node walk stops once NumProc suitable nodes are found.
 func (p *Libra) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
-	p.admit(e, job, estimate)
+	p.arriveObs(e.Now(), job)
+	p.admit(e, job, estimate, false)
+}
+
+// reject records a rejection in both the metrics recorder and the
+// observability hooks, keeping the audit decision count exactly equal to
+// the recorded rejection count.
+func (p *Libra) reject(now float64, job workload.Job, reason string) {
+	p.Recorder.Reject(job, reason)
+	p.rejectObs(now, job, reason)
 }
 
 // admit runs the admission test and placement without registering a new
-// submission — shared by Submit and the crash-resubmission hook.
-func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64) {
+// submission — shared by Submit and the crash-resubmission hook (resubmit
+// marks the latter in the audit log).
+func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64, resubmit bool) {
+	now := e.Now()
+	p.beginObs(now, job, estimate, resubmit)
 	if job.NumProc > p.Cluster.Len() {
-		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		p.reject(now, job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
 	}
-	now := e.Now()
 	absDL := job.AbsDeadline()
 	const limit = 1 + 1e-9
+	auditing := p.auditing()
 	firstFit := p.Selection == FirstFit && !p.DisableFastPath
 	suitable := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
 		if p.Cluster.Node(i).Down() {
+			if auditing {
+				p.Audit.Node(obs.NodeEval{Node: i, Down: true})
+			}
 			continue
 		}
 		var s float64
 		var ok bool
-		if p.DisableFastPath {
+		if p.DisableFastPath || auditing {
+			// Audit mode computes the full share even past the limit so the
+			// log shows the real number; the decision (s ≤ limit) is
+			// identical to the early-abort fast path's.
 			s = p.Cluster.Node(i).LibraShareWith(now, estimate, absDL)
 			ok = s <= limit
 		} else {
 			s, ok = p.Cluster.Node(i).LibraShareWithLimit(now, estimate, absDL, limit)
 		}
+		if auditing {
+			p.Audit.Node(obs.NodeEval{Node: i, Share: obs.JSONFloat(s), Suitable: ok})
+		}
 		if ok {
+			if p.Sim != nil {
+				p.Sim.AdmitShare.Observe(s)
+			}
 			suitable = append(suitable, nodeFit{id: i, share: s})
 			if firstFit && len(suitable) == job.NumProc {
 				break
@@ -106,7 +135,7 @@ func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64) {
 	}
 	p.fits = suitable
 	if len(suitable) < job.NumProc {
-		p.Recorder.Reject(job, fmt.Sprintf("only %d of %d required nodes can hold the share", len(suitable), job.NumProc))
+		p.reject(now, job, fmt.Sprintf("only %d of %d required nodes can hold the share", len(suitable), job.NumProc))
 		return
 	}
 	orderBySelection(suitable, p.Selection)
@@ -114,21 +143,29 @@ func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64) {
 		p.ids = make([]int, job.NumProc)
 	}
 	ids := p.ids[:job.NumProc]
+	maxShare := 0.0
 	for i := range ids {
 		ids[i] = suitable[i].id
+		if suitable[i].share > maxShare {
+			maxShare = suitable[i].share
+		}
 	}
 	if _, err := p.Cluster.Submit(e, job, estimate, ids); err != nil {
 		// Unreachable with a correct admission test; surface as rejection
 		// rather than corrupt the metrics.
-		p.Recorder.Reject(job, "placement failed: "+err.Error())
+		p.reject(now, job, "placement failed: "+err.Error())
+		return
 	}
+	p.acceptObs(now, job, ids, maxShare)
 }
 
 // nodeFit pairs a node id with the total share it would carry after
-// accepting the candidate job.
+// accepting the candidate job, plus the risk σ LibraRisk evaluated for it
+// (0 when not computed — selection never orders by it).
 type nodeFit struct {
 	id    int
 	share float64
+	sigma float64
 }
 
 // orderBySelection sorts candidate nodes per the fit strategy; ties break

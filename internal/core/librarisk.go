@@ -5,6 +5,7 @@ import (
 
 	"clustersched/internal/cluster"
 	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
@@ -36,6 +37,10 @@ type LibraRisk struct {
 	// prove they are behaviour-preserving.
 	DisableFastPath bool
 
+	// obsHooks carries the optional per-run tracer/metrics/audit
+	// attachments (see SetObs); all nil by default.
+	obsHooks
+
 	// fits, ids and cand are reused across Submit calls so admission does
 	// not allocate per arrival.
 	fits []nodeFit
@@ -58,7 +63,7 @@ func NewLibraRisk(c *cluster.TimeShared, rec *metrics.Recorder) *LibraRisk {
 		rec.Killed(kj.Job.Job)
 		job := kj.Job.Job
 		job.Runtime = kj.RemainingRuntime
-		p.admit(e, job, kj.RemainingEstimate)
+		p.admit(e, job, kj.RemainingEstimate, true)
 	}
 	return p
 }
@@ -87,21 +92,38 @@ func (p *LibraRisk) NodeRisk(now float64, n *cluster.PSNode, cand *cluster.Candi
 }
 
 // nodeSuitable applies Algorithm 1's suitability test to one node.
+func (p *LibraRisk) nodeSuitable(now float64, n *cluster.PSNode, cand *cluster.Candidate) bool {
+	_, _, ok, _ := p.evalNode(now, n, cand, false)
+	return ok
+}
+
+// evalNode applies Algorithm 1's suitability test to one node, returning
+// the µ/σ it computed and whether it ran the fluid simulation at all.
 //
 // Fast path: an empty node is always suitable under the σ rule, without
 // running the fluid simulation — the prediction set is the candidate
 // alone, a single observation, whose population standard deviation is
 // exactly 0 ≤ any non-negative threshold. The µ rule depends on the
 // candidate's own predicted delay, so it always runs the simulation.
-func (p *LibraRisk) nodeSuitable(now float64, n *cluster.PSNode, cand *cluster.Candidate) bool {
-	if !p.DisableFastPath && !p.MeanRule && n.NumSlices() == 0 {
-		return true
+// forceRisk (audit mode) always computes the real µ/σ; the decision is
+// identical because that single-observation σ is exactly 0.
+func (p *LibraRisk) evalNode(now float64, n *cluster.PSNode, cand *cluster.Candidate, forceRisk bool) (mu, sigma float64, suitable, computed bool) {
+	if !forceRisk && !p.DisableFastPath && !p.MeanRule && n.NumSlices() == 0 {
+		return 0, 0, true, false
 	}
-	mu, sigma := p.NodeRisk(now, n, cand)
+	mu, sigma = p.NodeRisk(now, n, cand)
 	if p.MeanRule {
-		return mu <= 1+sigmaTolerance
+		return mu, sigma, mu <= 1+sigmaTolerance, true
 	}
-	return sigma <= p.SigmaThreshold+sigmaTolerance
+	return mu, sigma, sigma <= p.SigmaThreshold+sigmaTolerance, true
+}
+
+// reject records a rejection in both the metrics recorder and the
+// observability hooks, keeping the audit decision count exactly equal to
+// the recorded rejection count.
+func (p *LibraRisk) reject(now float64, job workload.Job, reason string) {
+	p.Recorder.Reject(job, reason)
+	p.rejectObs(now, job, reason)
 }
 
 // Submit implements Policy: Algorithm 1.
@@ -119,30 +141,44 @@ func (p *LibraRisk) nodeSuitable(now float64, n *cluster.PSNode, cand *cluster.C
 //     (BestFit/WorstFit) actually orders by them.
 func (p *LibraRisk) Submit(e *sim.Engine, job workload.Job, estimate float64) {
 	p.Recorder.Submitted(job)
-	p.admit(e, job, estimate)
+	p.arriveObs(e.Now(), job)
+	p.admit(e, job, estimate, false)
 }
 
 // admit runs Algorithm 1 without registering a new submission — shared by
-// Submit and the crash-resubmission hook.
-func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64) {
+// Submit and the crash-resubmission hook (resubmit marks the latter in
+// the audit log).
+func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64, resubmit bool) {
+	now := e.Now()
+	p.beginObs(now, job, estimate, resubmit)
 	if job.NumProc > p.Cluster.Len() {
-		p.Recorder.Reject(job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
+		p.reject(now, job, fmt.Sprintf("needs %d processors, cluster has %d", job.NumProc, p.Cluster.Len()))
 		return
 	}
-	now := e.Now()
 	p.cand = cluster.Candidate{JobID: job.ID, RefWork: estimate, AbsDeadline: job.AbsDeadline()}
 	cand := &p.cand
 	firstFit := p.Selection == FirstFit
+	auditing := p.auditing()
 	zeroRisk := p.fits[:0]
 	for i := 0; i < p.Cluster.Len(); i++ {
 		n := p.Cluster.Node(i)
 		if n.Down() {
+			if auditing {
+				p.Audit.Node(obs.NodeEval{Node: i, Down: true})
+			}
 			continue
 		}
-		if !p.nodeSuitable(now, n, cand) {
+		mu, sigma, suitable, computed := p.evalNode(now, n, cand, auditing)
+		if computed && p.Sim != nil {
+			p.Sim.RiskSigma.Observe(sigma)
+		}
+		if auditing {
+			p.Audit.Node(obs.NodeEval{Node: i, Sigma: sigma, Mu: mu, Suitable: suitable})
+		}
+		if !suitable {
 			continue
 		}
-		fit := nodeFit{id: i}
+		fit := nodeFit{id: i, sigma: sigma}
 		if !firstFit || p.DisableFastPath {
 			// Record the post-acceptance share so BestFit/WorstFit
 			// selections have the same notion of fit Libra uses.
@@ -155,7 +191,7 @@ func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64) {
 	}
 	p.fits = zeroRisk
 	if len(zeroRisk) < job.NumProc {
-		p.Recorder.Reject(job, fmt.Sprintf("only %d of %d required nodes have zero risk", len(zeroRisk), job.NumProc))
+		p.reject(now, job, fmt.Sprintf("only %d of %d required nodes have zero risk", len(zeroRisk), job.NumProc))
 		return
 	}
 	orderBySelection(zeroRisk, p.Selection)
@@ -163,10 +199,16 @@ func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64) {
 		p.ids = make([]int, job.NumProc)
 	}
 	ids := p.ids[:job.NumProc]
+	maxSigma := 0.0
 	for i := range ids {
 		ids[i] = zeroRisk[i].id
+		if zeroRisk[i].sigma > maxSigma {
+			maxSigma = zeroRisk[i].sigma
+		}
 	}
 	if _, err := p.Cluster.Submit(e, job, estimate, ids); err != nil {
-		p.Recorder.Reject(job, "placement failed: "+err.Error())
+		p.reject(now, job, "placement failed: "+err.Error())
+		return
 	}
+	p.acceptObs(now, job, ids, maxSigma)
 }

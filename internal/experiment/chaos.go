@@ -125,7 +125,7 @@ func ChaosSweepContext(ctx context.Context, base BaseConfig, baseJobs []workload
 		sc := scratchFor(scratches, w)
 		sum, sigma, err := superviseCell(ctx, base, spec, func(runCtx context.Context) (metrics.Summary, float64, error) {
 			use := sc.acquire()
-			s, mon, err := runInstrumented(runCtx, base, baseJobs, spec, ChaosMonitorInterval, use)
+			s, mon, err := runInstrumented(runCtx, base, baseJobs, spec, ChaosMonitorInterval, use, i)
 			use.release()
 			var meanSigma float64
 			if mon != nil {

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/obs"
+	"clustersched/internal/sim"
+)
+
+// obsPolicy is the attachment surface the core policies expose (via their
+// embedded obsHooks). Extension policies in internal/sched do not
+// implement it and get cluster-level observability only.
+type obsPolicy interface {
+	SetObs(t obs.Tracer, m *obs.SimMetrics, a *obs.AuditLog)
+}
+
+// runTag names one run inside a sweep's merged observability output. The
+// cell index disambiguates cells whose Ident collides (the chaos sweep
+// varies only the fault seed, which Ident does not render); -1 means a
+// standalone run outside any sweep.
+func runTag(cell int, spec RunSpec) string {
+	if cell < 0 {
+		return spec.Ident()
+	}
+	return fmt.Sprintf("cell%03d %s", cell, spec.Ident())
+}
+
+// runTracer unwraps the bundle's buffer as a Tracer, avoiding the
+// typed-nil interface trap: a nil *obs.Buffer stored in a non-nil
+// interface would pass `!= nil` checks and then crash on Emit.
+func runTracer(r *obs.Run) obs.Tracer {
+	if r == nil || r.Trace == nil {
+		return nil
+	}
+	return r.Trace
+}
+
+// attachObs points the run's components at the bundle's hooks. Called
+// once per run, after the (possibly cached) policy and cluster are reset;
+// detachObs must run before the context is reused without observability.
+func attachObs(r *obs.Run, pol core.Policy, ts *cluster.TimeShared, ss *cluster.SpaceShared) {
+	tr := runTracer(r)
+	if ts != nil {
+		ts.Trace, ts.Metrics = tr, r.Sim
+	}
+	if ss != nil {
+		ss.Trace, ss.Metrics = tr, r.Sim
+	}
+	if op, ok := pol.(obsPolicy); ok {
+		op.SetObs(tr, r.Sim, r.Audit)
+	}
+}
+
+// detachObs clears every hook attachObs set, so a cached policy context
+// reused by a later cell (or a run with observability off) pays only the
+// nil checks again.
+func detachObs(pol core.Policy, ts *cluster.TimeShared, ss *cluster.SpaceShared) {
+	if ts != nil {
+		ts.Trace, ts.Metrics = nil, nil
+	}
+	if ss != nil {
+		ss.Trace, ss.Metrics = nil, nil
+	}
+	if op, ok := pol.(obsPolicy); ok {
+		op.SetObs(nil, nil, nil)
+	}
+}
+
+// finishRunObs records the end-of-run observations that only exist once
+// the simulation has drained: per-node utilization (time-shared only —
+// the space-shared substrate does not track per-node busy integrals).
+func finishRunObs(r *obs.Run, e *sim.Engine, ts *cluster.TimeShared) {
+	if r.Sim == nil || ts == nil {
+		return
+	}
+	now := e.Now()
+	if now <= 0 {
+		return
+	}
+	for i := 0; i < ts.Len(); i++ {
+		r.Sim.NodeUtilization.Observe(ts.Node(i).ServedWork() / now)
+	}
+}

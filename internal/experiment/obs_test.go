@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"clustersched/internal/obs"
+)
+
+// TestObservabilityDifferential is the obs layer's acceptance test:
+// the same sweep with every observability layer armed and with none must
+// produce byte-identical summaries — recording can never perturb a
+// scheduling decision. Workers > 1 so, under -race, it also proves the
+// per-run bundles and the sweep-level merge are properly synchronized.
+func TestObservabilityDifferential(t *testing.T) {
+	base := testBase()
+	base.Workers = 3
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := reuseSpecs(base)
+	baseline := Sweep(base, jobs, specs)
+	if err := FirstError(baseline); err != nil {
+		t.Fatal(err)
+	}
+	observed := base
+	observed.Obs = obs.NewSweep(obs.Options{Trace: true, Metrics: true, Audit: true})
+	withObs := Sweep(observed, jobs, specs)
+	if err := FirstError(withObs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if baseline[i].Summary != withObs[i].Summary {
+			t.Errorf("spec %d (%s): observability changed the result:\noff %+v\non  %+v",
+				i, specs[i].Ident(), baseline[i].Summary, withObs[i].Summary)
+		}
+	}
+
+	events := observed.Obs.Events()
+	decisions := observed.Obs.Decisions()
+	if len(events) == 0 || len(decisions) == 0 {
+		t.Fatalf("observed sweep recorded %d events, %d decisions; want both > 0", len(events), len(decisions))
+	}
+	if !sort.SliceIsSorted(events, func(i, j int) bool {
+		if events[i].Run != events[j].Run {
+			return events[i].Run < events[j].Run
+		}
+		return events[i].Seq < events[j].Seq
+	}) {
+		t.Error("merged events not sorted by (run, seq)")
+	}
+
+	// The audit log and the trace are emitted from the same code paths, so
+	// they must agree decision for decision, and the audit's reject count
+	// must equal the recorders' total.
+	evAdmits, evRejects := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindAdmit:
+			evAdmits++
+		case obs.KindReject:
+			evRejects++
+		}
+	}
+	auAdmits, auRejects := 0, 0
+	for _, d := range decisions {
+		if d.Accepted {
+			auAdmits++
+		} else {
+			auRejects++
+		}
+	}
+	if evAdmits != auAdmits || evRejects != auRejects {
+		t.Errorf("trace (%d admits, %d rejects) disagrees with audit (%d, %d)",
+			evAdmits, evRejects, auAdmits, auRejects)
+	}
+	// Per-cell exactness: for every cell of a core policy (the extension
+	// policies implement no audit surface) without faults (a killed job's
+	// resubmission may be rejected — audited, but outside Summary.Rejected's
+	// submission decomposition), the audited rejection count must equal the
+	// recorder's exactly.
+	core := map[PolicyKind]bool{EDF: true, Libra: true, LibraRisk: true}
+	byRun := map[string]int{}
+	for _, d := range decisions {
+		if !d.Accepted && !d.Resubmit {
+			byRun[d.Run]++
+		}
+	}
+	for i, spec := range specs {
+		if spec.Faults.Enabled() || !core[spec.Policy] {
+			continue
+		}
+		tag := runTag(i, spec)
+		if byRun[tag] != withObs[i].Summary.Rejected {
+			t.Errorf("%s: %d audited rejections != %d recorded", tag, byRun[tag], withObs[i].Summary.Rejected)
+		}
+	}
+
+	// Every LibraRisk risk rejection must carry the per-node evaluation
+	// that justified it, σ included.
+	sawRiskReject := false
+	for _, d := range decisions {
+		if d.Policy != "LibraRisk" || d.Accepted || !strings.Contains(d.Reason, "zero risk") {
+			continue
+		}
+		sawRiskReject = true
+		if len(d.Nodes) == 0 {
+			t.Fatalf("risk rejection of job %d in %s has no node evaluations", d.Job, d.Run)
+		}
+		unsuitable := 0
+		for _, ev := range d.Nodes {
+			if !ev.Suitable && !ev.Down && ev.Sigma <= 0 {
+				t.Errorf("job %d in %s: node %d unsuitable but σ=%g", d.Job, d.Run, ev.Node, ev.Sigma)
+			}
+			if !ev.Suitable {
+				unsuitable++
+			}
+		}
+		if unsuitable == 0 {
+			t.Errorf("risk rejection of job %d in %s lists no unsuitable node", d.Job, d.Run)
+		}
+	}
+	if !sawRiskReject {
+		t.Error("sweep produced no LibraRisk risk rejection to audit; scale the workload up")
+	}
+
+	// The merged export surfaces must round-trip / validate.
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(&chrome); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	var prom bytes.Buffer
+	if err := observed.Obs.Registry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"sim_jobs_submitted_total", "sim_jobs_rejected_total", "sim_admission_risk_sigma_bucket"} {
+		if !strings.Contains(prom.String(), metric) {
+			t.Errorf("prometheus export missing %s", metric)
+		}
+	}
+	var audit bytes.Buffer
+	if err := obs.WriteAuditJSONL(&audit, decisions); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadAuditJSONL(&audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(decisions) {
+		t.Errorf("audit round-trip: %d decisions became %d", len(decisions), len(back))
+	}
+}
+
+// TestObservabilityDeterministicAcrossWorkers pins the merge contract:
+// the same observed sweep at 1 and at 4 workers yields identical events,
+// decisions and metrics, regardless of completion interleaving.
+func TestObservabilityDeterministicAcrossWorkers(t *testing.T) {
+	base := testBase()
+	base.Generator.Jobs = 200
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := reuseSpecs(base)
+	render := func(workers int) (string, string, string) {
+		b := base
+		b.Workers = workers
+		b.Obs = obs.NewSweep(obs.Options{Trace: true, Metrics: true, Audit: true})
+		if err := FirstError(Sweep(b, jobs, specs)); err != nil {
+			t.Fatal(err)
+		}
+		var ev, au, pr bytes.Buffer
+		if err := obs.WriteJSONL(&ev, b.Obs.Events()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteAuditJSONL(&au, b.Obs.Decisions()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Obs.Registry().WritePrometheus(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return ev.String(), au.String(), pr.String()
+	}
+	ev1, au1, pr1 := render(1)
+	ev4, au4, pr4 := render(4)
+	if ev1 != ev4 {
+		t.Error("trace events differ between 1 and 4 workers")
+	}
+	if au1 != au4 {
+		t.Error("audit decisions differ between 1 and 4 workers")
+	}
+	if pr1 != pr4 {
+		t.Error("merged metrics differ between 1 and 4 workers")
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -159,6 +160,61 @@ func WriteFigureCSV(w io.Writer, f Figure) error {
 		}
 	}
 	return nil
+}
+
+// figureJSON is the machine-readable shape of a figure; field names are
+// chosen for stability, not to mirror the Go structs.
+type figureJSON struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Panels []panelJSON `json:"panels"`
+}
+
+type panelJSON struct {
+	Name   string       `json:"name"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	X      []float64    `json:"x"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Name string    `json:"policy"`
+	Y    []float64 `json:"y"`
+}
+
+// WriteFigureJSON emits the figure as indented JSON for downstream
+// plotting tools, mirroring WriteFigureCSV's tidy data with structure.
+func WriteFigureJSON(w io.Writer, f Figure) error {
+	out := figureJSON{ID: f.ID, Title: f.Title, Panels: make([]panelJSON, 0, len(f.Panels))}
+	for _, p := range f.Panels {
+		pj := panelJSON{Name: p.Name, XLabel: p.XLabel, YLabel: p.YLabel, X: p.X}
+		for _, s := range p.Series {
+			pj.Series = append(pj.Series, seriesJSON(s))
+		}
+		out.Panels = append(out.Panels, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteWorkloadTableJSON emits the §4 workload characteristics as JSON
+// (the WorkloadTable struct's exported fields, lower_snake keys).
+func WriteWorkloadTableJSON(w io.Writer, t WorkloadTable) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Jobs                  int     `json:"jobs"`
+		MeanInterarrivalSec   float64 `json:"mean_interarrival_sec"`
+		MeanRuntimeSec        float64 `json:"mean_runtime_sec"`
+		MeanProcs             float64 `json:"mean_procs"`
+		OfferedUtilization    float64 `json:"offered_utilization"`
+		PctExactEstimates     float64 `json:"pct_exact_estimates"`
+		PctUnderestimates     float64 `json:"pct_underestimates"`
+		PctOverestimates      float64 `json:"pct_overestimates"`
+		MeanOverestimateRatio float64 `json:"mean_overestimate_ratio"`
+	}(t))
 }
 
 // WriteWorkloadTable renders the §4 workload characteristics table with

@@ -6,6 +6,7 @@ import (
 	"clustersched/internal/cluster"
 	"clustersched/internal/core"
 	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
 )
@@ -86,7 +87,10 @@ func (sc *runScratch) release() {
 // in-place transform draws the same random sequence as its allocating
 // counterpart — and the differential tests in reuse_test.go hold them to
 // byte-identical figures at paper scale.
-func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64, sc *runScratch) (metrics.Summary, *core.Monitor, error) {
+// cell is the sweep cell index used to tag observability output (-1 for
+// standalone runs); observability setup runs only when base.Obs is set,
+// so runs with it off execute the pre-observability instruction stream.
+func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64, sc *runScratch, cell int) (metrics.Summary, *core.Monitor, error) {
 	var (
 		jobs []workload.Job
 		e    *sim.Engine
@@ -146,12 +150,21 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 		}
 	}
 
+	var orun *obs.Run
+	if base.Obs != nil {
+		orun = base.Obs.NewRun(runTag(cell, spec), spec.Policy.String())
+		attachObs(orun, pol, ts, ss)
+		// Detach unconditionally so a cached policy context never carries
+		// hooks for a bundle that was merged (or discarded on error).
+		defer detachObs(pol, ts, ss)
+	}
+
 	var chk *sim.InvariantChecker
 	if base.CheckInvariants {
 		chk = core.InstallInvariantChecker(e, rec, ts, ss)
 	}
 	if spec.Faults.Enabled() {
-		if err := installFaults(e, spec.Faults, spec.Policy, ts, ss, jobs); err != nil {
+		if err := installFaults(e, spec.Faults, spec.Policy, ts, ss, jobs, runTracer(orun)); err != nil {
 			return metrics.Summary{}, nil, err
 		}
 	}
@@ -169,6 +182,14 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 	}
 	if chk != nil {
 		if err := chk.Err(); err != nil {
+			return metrics.Summary{}, mon, err
+		}
+	}
+	if orun != nil {
+		// Only successful runs merge; a failed attempt's partial bundle is
+		// simply dropped, so the sweep output never mixes in aborted runs.
+		finishRunObs(orun, e, ts)
+		if err := base.Obs.Finish(orun); err != nil {
 			return metrics.Summary{}, mon, err
 		}
 	}

@@ -142,10 +142,10 @@ func superviseCell(ctx context.Context, base BaseConfig, spec RunSpec, fn cellFu
 // pair is what keeps the supervised retry safe: a panicking attempt never
 // reaches release, so the retry (and every later cell on the worker) runs
 // on the fresh-build path instead of a half-mutated scratch.
-func runCell(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, sc *runScratch) (metrics.Summary, error) {
+func runCell(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, sc *runScratch, cell int) (metrics.Summary, error) {
 	sum, _, err := superviseCell(ctx, base, spec, func(runCtx context.Context) (metrics.Summary, float64, error) {
 		use := sc.acquire()
-		s, _, err := runInstrumented(runCtx, base, baseJobs, spec, 0, use)
+		s, _, err := runInstrumented(runCtx, base, baseJobs, spec, 0, use, cell)
 		use.release()
 		return s, 0, err
 	})
@@ -270,7 +270,7 @@ func SweepContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job,
 				return
 			}
 		}
-		sum, err := runCell(ctx, base, baseJobs, spec, scratchFor(scratches, w))
+		sum, err := runCell(ctx, base, baseJobs, spec, scratchFor(scratches, w), i)
 		results[i] = Result{Spec: spec, Summary: sum, Err: err}
 		if err == nil && base.Journal != nil {
 			if jerr := base.Journal.Append(checkpoint.Record{Key: key, Label: spec.Label, Summary: sum}); jerr != nil {

@@ -14,6 +14,7 @@ import (
 	"clustersched/internal/core"
 	"clustersched/internal/fault"
 	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
 	"clustersched/internal/sched"
 	"clustersched/internal/sim"
 	"clustersched/internal/workload"
@@ -93,6 +94,14 @@ type BaseConfig struct {
 	// reuse bug. Like the supervision knobs it cannot affect results and is
 	// excluded from checkpoint cell keys.
 	DisableReuse bool
+
+	// Obs, when set, collects tracing, metrics and/or an admission audit
+	// log across the sweep's runs (see internal/obs). Like the supervision
+	// knobs it cannot affect simulation results — the differential test
+	// asserts byte-identical figures with it on and off — and is excluded
+	// from checkpoint cell keys. Note that cells satisfied from the resume
+	// journal are not re-run and therefore contribute no observations.
+	Obs *obs.Sweep
 
 	// Supervision knobs. None of these affect simulation results — they
 	// are excluded from checkpoint cell keys — only how a sweep reacts to
@@ -211,12 +220,13 @@ func RunInstrumented(base BaseConfig, baseJobs []workload.Job, spec RunSpec, mon
 // builds the run from scratch; sweeps route through runInstrumented with a
 // per-worker scratch instead (see reuse.go).
 func RunInstrumentedContext(ctx context.Context, base BaseConfig, baseJobs []workload.Job, spec RunSpec, monitorInterval float64) (metrics.Summary, *core.Monitor, error) {
-	return runInstrumented(ctx, base, baseJobs, spec, monitorInterval, nil)
+	return runInstrumented(ctx, base, baseJobs, spec, monitorInterval, nil, -1)
 }
 
 // installFaults validates fault support for the policy, defaults the
-// horizon to the last (scaled) job arrival, and arms the injector.
-func installFaults(e *sim.Engine, cfg fault.Config, kind PolicyKind, ts *cluster.TimeShared, ss *cluster.SpaceShared, jobs []workload.Job) error {
+// horizon to the last (scaled) job arrival, and arms the injector. tr,
+// when non-nil, receives a KindFault event per injected failure.
+func installFaults(e *sim.Engine, cfg fault.Config, kind PolicyKind, ts *cluster.TimeShared, ss *cluster.SpaceShared, jobs []workload.Job, tr obs.Tracer) error {
 	switch kind {
 	case EDF, Libra, LibraRisk:
 	default:
@@ -248,6 +258,7 @@ func installFaults(e *sim.Engine, cfg fault.Config, kind PolicyKind, ts *cluster
 		return err
 	}
 	if inj != nil {
+		inj.Trace = tr
 		inj.Install(e)
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"clustersched/internal/obs"
 	"clustersched/internal/sim"
 )
 
@@ -109,6 +110,11 @@ type Injector struct {
 	cfg     Config
 	cluster Cluster
 
+	// Trace, if set, receives a KindFault event per injected failure
+	// (Detail names the process); the node transitions it causes are
+	// traced separately by the cluster. Nil costs one comparison.
+	Trace obs.Tracer
+
 	// downDepth counts overlapping down-causes per node (its own renewal
 	// process plus correlated outages). The cluster transition fires only
 	// on 0→1 and 1→0 edges, so overlapping failures compose correctly.
@@ -201,6 +207,9 @@ func (in *Injector) scheduleCrash(e *sim.Engine, id int, rng *sim.RNG) {
 	up := rng.Exp(in.cfg.MTBF)
 	in.at(e, up, func(e *sim.Engine) {
 		in.crashes++
+		if in.Trace != nil {
+			in.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindFault, Job: -1, Node: id, Detail: "crash"})
+		}
 		in.nodeDown(e, id)
 		// Repairs are capped at the horizon rather than dropped: a node
 		// left permanently dead past the horizon would starve the drain
@@ -221,6 +230,13 @@ func (in *Injector) scheduleStraggler(e *sim.Engine, id int, rng *sim.RNG) {
 	gap := rng.Exp(in.cfg.StragglerMTBF)
 	in.at(e, gap, func(e *sim.Engine) {
 		in.stragglerEpisodes++
+		if in.Trace != nil {
+			factor := in.cfg.StragglerFactor
+			if factor == 0 {
+				factor = 0.5
+			}
+			in.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindFault, Job: -1, Node: id, Value: factor, Detail: "straggler"})
+		}
 		in.nodeSlow(e, id, true)
 		dur := rng.Exp(in.cfg.StragglerDuration)
 		d := dur
@@ -248,6 +264,9 @@ func (in *Injector) scheduleCorrelated(e *sim.Engine, rng *sim.RNG) {
 			size = in.cluster.Nodes
 		}
 		start := rng.Intn(in.cluster.Nodes)
+		if in.Trace != nil {
+			in.Trace.Emit(obs.Event{Time: e.Now(), Kind: obs.KindFault, Job: -1, Node: start, Value: float64(size), Detail: "correlated-outage"})
+		}
 		ids := make([]int, size)
 		for i := range ids {
 			ids[i] = (start + i) % in.cluster.Nodes

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Counter is a monotonically increasing metric. Not synchronized: the
+// simulation engine is single-goroutine, and sweep workers each own a
+// private Registry merged after the fact.
+type Counter struct {
+	v float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d, which must be non-negative.
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a point-in-time metric.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction. Observations beyond the last upper bound land in the
+// implicit +Inf bucket. No locks, no dynamic resizing: Observe is a
+// linear scan over a handful of bounds and two adds.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// instrumentKind discriminates the registry's instrument table.
+type instrumentKind uint8
+
+const (
+	kindCounter instrumentKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// instrument is one registered metric with its metadata.
+type instrument struct {
+	name string
+	help string
+	kind instrumentKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry owns a set of named instruments. Registration is idempotent:
+// asking for an existing name of the same kind returns the same
+// instrument, so pre-resolved bundles (SimMetrics) and ad-hoc lookups
+// compose. Mismatched re-registration panics — it is always a wiring bug.
+//
+// A Registry is not synchronized; each simulation run owns one and
+// completed registries merge across workers via Merge.
+type Registry struct {
+	by    map[string]*instrument
+	order []*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*instrument)}
+}
+
+func (r *Registry) lookup(name, help string, kind instrumentKind) *instrument {
+	if in, ok := r.by[name]; ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return in
+	}
+	in := &instrument{name: name, help: help, kind: kind}
+	r.by[name] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.lookup(name, help, kindCounter)
+	if in.c == nil {
+		in.c = &Counter{}
+	}
+	return in.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.lookup(name, help, kindGauge)
+	if in.g == nil {
+		in.g = &Gauge{}
+	}
+	return in.g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given ascending upper bounds. Later calls ignore the bounds
+// argument (the first registration wins).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	in := r.lookup(name, help, kindHistogram)
+	if in.h == nil {
+		bs := append([]float64(nil), bounds...)
+		in.h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	}
+	return in.h
+}
+
+// Merge folds other into r: counters and histogram buckets sum, gauges
+// take the maximum (the only commutative, worker-order-independent choice
+// for point-in-time values). Instruments missing on either side are
+// created/ignored as needed; histograms must share bucket bounds.
+func (r *Registry) Merge(other *Registry) error {
+	for _, in := range other.order {
+		switch in.kind {
+		case kindCounter:
+			r.Counter(in.name, in.help).Add(in.c.v)
+		case kindGauge:
+			g := r.Gauge(in.name, in.help)
+			if in.g.v > g.v {
+				g.Set(in.g.v)
+			}
+		case kindHistogram:
+			h := r.Histogram(in.name, in.help, in.h.bounds)
+			if len(h.bounds) != len(in.h.bounds) {
+				return fmt.Errorf("obs: histogram %q bucket count mismatch: %d vs %d", in.name, len(h.bounds), len(in.h.bounds))
+			}
+			for i, b := range h.bounds {
+				if b != in.h.bounds[i] {
+					return fmt.Errorf("obs: histogram %q bound %d mismatch: %g vs %g", in.name, i, b, in.h.bounds[i])
+				}
+			}
+			for i, c := range in.h.counts {
+				h.counts[i] += c
+			}
+			h.sum += in.h.sum
+			h.count += in.h.count
+		}
+	}
+	return nil
+}
+
+// sorted returns the instruments in name order, the deterministic export
+// order regardless of registration interleaving across code paths.
+func (r *Registry) sorted() []*instrument {
+	out := append([]*instrument(nil), r.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// promFloat renders a float the way the Prometheus text format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format, instruments in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, in := range r.sorted() {
+		typ := "counter"
+		switch in.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if in.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, typ); err != nil {
+			return err
+		}
+		var err error
+		switch in.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %s\n", in.name, promFloat(in.c.v))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", in.name, promFloat(in.g.v))
+		case kindHistogram:
+			cum := uint64(0)
+			for i, b := range in.h.bounds {
+				cum += in.h.counts[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", in.name, promFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += in.h.counts[len(in.h.bounds)]
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", in.name, cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", in.name, promFloat(in.h.sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", in.name, in.h.count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricSnapshot is the JSON form of one instrument.
+type MetricSnapshot struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one non-cumulative histogram bucket in JSON output;
+// UpperBound is +Inf for the overflow bucket (rendered as "+Inf").
+type BucketSnapshot struct {
+	UpperBound string `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Snapshot returns the registry's instruments in name order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	out := make([]MetricSnapshot, 0, len(r.order))
+	for _, in := range r.sorted() {
+		s := MetricSnapshot{Name: in.name, Help: in.help}
+		switch in.kind {
+		case kindCounter:
+			s.Type, s.Value = "counter", in.c.v
+		case kindGauge:
+			s.Type, s.Value = "gauge", in.g.v
+		case kindHistogram:
+			s.Type, s.Sum, s.Count = "histogram", in.h.sum, in.h.count
+			for i, b := range in.h.bounds {
+				s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: promFloat(b), Count: in.h.counts[i]})
+			}
+			s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: "+Inf", Count: in.h.counts[len(in.h.bounds)]})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON exports the registry as an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

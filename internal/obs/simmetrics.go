@@ -1,0 +1,73 @@
+package obs
+
+// SimMetrics is the pre-resolved instrument bundle the simulation hot
+// paths use. Resolving every instrument once at run setup keeps emission
+// to a field increment — no map lookups inside the event loop. Components
+// hold a *SimMetrics in a nil-defaulting field and guard each update with
+// `if m != nil`, mirroring the Tracer contract.
+type SimMetrics struct {
+	// Job lifecycle counters.
+	Submitted      *Counter
+	Admitted       *Counter
+	Rejected       *Counter
+	Completed      *Counter
+	DeadlineMisses *Counter
+	Kills          *Counter
+
+	// Node state counters.
+	NodeCrashes   *Counter
+	NodeRepairs   *Counter
+	NodeSlowdowns *Counter
+
+	// Distributions.
+	RiskSigma          *Histogram // per-node σ evaluated during LibraRisk admission
+	AdmitShare         *Histogram // per-node share admitted by Libra/LibraRisk
+	QueueDepth         *Histogram // EDF queue depth sampled at each enqueue
+	AdmitLatencyEvents *Histogram // engine events between EDF submit and dispatch
+	NodeUtilization    *Histogram // per-node busy fraction at end of run
+
+	// End-of-run gauges (merged across workers by max).
+	MaxQueueDepth *Gauge
+}
+
+// Standard bucket bounds. Exported so tests and tools can label buckets
+// without re-deriving them.
+var (
+	// RiskSigmaBuckets spans the σ scale: 0 is the LibraRisk admission
+	// rule's requirement, and the paper's delay factors put interesting σ
+	// mass between 0 and a few tens of seconds.
+	RiskSigmaBuckets = []float64{0, 0.5, 1, 2, 4, 8, 16, 32}
+	// AdmitShareBuckets covers the (0, 1] share range Libra admits into.
+	AdmitShareBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	// QueueDepthBuckets covers EDF backlog depths seen at paper scale.
+	QueueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+	// AdmitLatencyBuckets counts engine events between submit and start.
+	AdmitLatencyBuckets = []float64{0, 1, 4, 16, 64, 256, 1024, 4096}
+	// UtilizationBuckets covers per-node busy fractions.
+	UtilizationBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+)
+
+// NewSimMetrics registers (or re-resolves) the standard simulation
+// instruments on r.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Submitted:      r.Counter("sim_jobs_submitted_total", "Jobs submitted to admission control."),
+		Admitted:       r.Counter("sim_jobs_admitted_total", "Jobs accepted by admission control."),
+		Rejected:       r.Counter("sim_jobs_rejected_total", "Jobs rejected by admission control."),
+		Completed:      r.Counter("sim_jobs_completed_total", "Jobs whose last slice finished."),
+		DeadlineMisses: r.Counter("sim_jobs_deadline_missed_total", "Completed jobs that finished after their deadline."),
+		Kills:          r.Counter("sim_jobs_killed_total", "Running jobs torn down by node crashes."),
+
+		NodeCrashes:   r.Counter("sim_node_crashes_total", "Node down transitions."),
+		NodeRepairs:   r.Counter("sim_node_repairs_total", "Node up transitions."),
+		NodeSlowdowns: r.Counter("sim_node_slowdowns_total", "Node transitions off nominal speed."),
+
+		RiskSigma:          r.Histogram("sim_admission_risk_sigma", "Per-node delay stddev evaluated during LibraRisk admission.", RiskSigmaBuckets),
+		AdmitShare:         r.Histogram("sim_admission_share", "Per-node share admitted by Libra/LibraRisk.", AdmitShareBuckets),
+		QueueDepth:         r.Histogram("sim_queue_depth", "EDF queue depth sampled at each enqueue.", QueueDepthBuckets),
+		AdmitLatencyEvents: r.Histogram("sim_admission_latency_events", "Engine events between EDF submission and dispatch.", AdmitLatencyBuckets),
+		NodeUtilization:    r.Histogram("sim_node_utilization", "Per-node busy fraction over the run.", UtilizationBuckets),
+
+		MaxQueueDepth: r.Gauge("sim_queue_depth_max", "Largest EDF queue depth seen."),
+	}
+}

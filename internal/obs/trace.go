@@ -1,0 +1,154 @@
+package obs
+
+import "fmt"
+
+// Kind classifies a trace event. The job lifecycle runs arrive →
+// admit/reject → start → finish (plus deadline-miss and kill annotations);
+// node state changes cover crashes, repairs and speed degradation; Fault
+// marks an injected failure-process event distinct from the node
+// transition it causes.
+type Kind uint8
+
+// The event kinds.
+const (
+	// KindArrive: a job was submitted to the admission policy.
+	KindArrive Kind = iota
+	// KindAdmit: admission control accepted the job. Value carries the
+	// policy's acceptance measure (max risk σ over the chosen nodes for
+	// LibraRisk, max admitted share for Libra, queue wait in events for
+	// EDF).
+	KindAdmit
+	// KindReject: admission control rejected the job; Detail is the
+	// rejection reason.
+	KindReject
+	// KindStart: the cluster began executing the job; Node is the first
+	// node of its allocation, Value the admitted estimate.
+	KindStart
+	// KindFinish: the job's last slice completed; Value is the response
+	// time (finish − submit).
+	KindFinish
+	// KindDeadlineMiss: the job finished after its deadline (emitted in
+	// addition to KindFinish); Value is the lateness in seconds.
+	KindDeadlineMiss
+	// KindKill: a node crash tore the running job down; Value is its
+	// remaining real work in reference seconds.
+	KindKill
+	// KindNodeDown / KindNodeUp: a node crashed / recovered.
+	KindNodeDown
+	KindNodeUp
+	// KindNodeSlow: a node's effective-rate multiplier left nominal;
+	// Value is the new factor. KindNodeNominal: it returned to 1.
+	KindNodeSlow
+	KindNodeNominal
+	// KindFault: a fault-injector process fired (crash, straggler episode,
+	// correlated outage); Detail names the process. The resulting node
+	// transitions are traced separately by the cluster.
+	KindFault
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"arrive", "admit", "reject", "start", "finish", "deadline-miss",
+	"kill", "node-down", "node-up", "node-slow", "node-nominal", "fault",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalText makes kinds render as their names in JSON output.
+func (k Kind) MarshalText() ([]byte, error) {
+	if int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("obs: unknown kind %d", int(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText parses a kind name, the inverse of MarshalText.
+func (k *Kind) UnmarshalText(b []byte) error {
+	for i, n := range kindNames {
+		if n == string(b) {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown kind %q", b)
+}
+
+// KindNames lists every kind name in declaration order, for CLI validation.
+func KindNames() []string {
+	out := make([]string, len(kindNames))
+	copy(out, kindNames[:])
+	return out
+}
+
+// Event is one trace record. Times are simulated seconds; Seq orders
+// events within one run (ties in Time are broken by emission order, which
+// the single-goroutine engine makes deterministic). Job and Node are -1
+// when not applicable.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Time   float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	Job    int     `json:"job"`
+	Node   int     `json:"node"`
+	Value  float64 `json:"value,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	Run    string  `json:"run,omitempty"`
+	Policy string  `json:"policy,omitempty"`
+}
+
+// Tracer receives trace events. Components hold a Tracer in a
+// nil-defaulting field and guard every emission with `if t != nil`, so a
+// disabled tracer costs one pointer comparison and nothing else — no
+// event construction, no interface call, no allocation.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Buffer is the standard Tracer: it stamps each event with the run tag,
+// policy name and a per-run sequence number, and appends it to an
+// in-memory slice for export (WriteJSONL, WriteChromeTrace). A Buffer is
+// confined to one simulation run on one goroutine; nothing is
+// synchronized.
+type Buffer struct {
+	run    string
+	policy string
+	seq    uint64
+	events []Event
+}
+
+// NewBuffer returns an empty buffer stamping events with the given run
+// tag and policy name.
+func NewBuffer(run, policy string) *Buffer {
+	return &Buffer{run: run, policy: policy}
+}
+
+// Emit implements Tracer.
+func (b *Buffer) Emit(ev Event) {
+	b.seq++
+	ev.Seq = b.seq
+	ev.Run = b.run
+	ev.Policy = b.policy
+	b.events = append(b.events, ev)
+}
+
+// Events returns the buffered events in emission order. The slice aliases
+// the buffer's storage; it is valid until the next Emit or Reset.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Reset empties the buffer and restarts its sequence numbering for a new
+// run, keeping the grown storage. Event IDs are therefore stable across
+// reused run contexts: the same run produces the same (Seq, Time, Kind)
+// stream whether it executes on a fresh buffer or a reset one.
+func (b *Buffer) Reset(run, policy string) {
+	b.run, b.policy = run, policy
+	b.seq = 0
+	b.events = b.events[:0]
+}
