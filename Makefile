@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke trace-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke clean
 
 # bench-gate regression thresholds, overridable per invocation:
 # allocs/op is nearly deterministic so the gate is tight; ns/op varies
@@ -32,7 +32,7 @@ bench:
 # against the committed pre-optimization baseline (results/bench_seed.txt)
 # into BENCH_admission.json.
 bench-json:
-	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale' \
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk' \
 		-benchmem -count 5 . | tee results/bench_new.txt
 	$(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt \
 		> BENCH_admission.json
@@ -44,7 +44,7 @@ bench-json:
 # bench smoke, so an accidental allocation regression on the admission
 # hot path fails the build instead of landing silently.
 bench-gate:
-	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale' \
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk' \
 		-benchmem -count 2 . | tee results/bench_gate.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_admission.json -new results/bench_gate.txt \
 		-max-ns-ratio $(BENCH_MAX_NS_RATIO) -max-alloc-ratio $(BENCH_MAX_ALLOC_RATIO)
@@ -81,6 +81,24 @@ chaos-smoke:
 			-fault-straggler-mtbf 86400 -fault-correlated-mtbf 172800 \
 			|| exit 1; \
 	done
+
+# shard-smoke proves the sharded parallel engine byte-identical to the
+# sequential one under the race detector: the K = 1/2/4/8 differential
+# tests (paper figures, chaos sweep, fault/cancellation edge cases) plus
+# the shard-pool and shard-routing unit tests, and a real-binary K=4
+# differential on cmd/clustersim with faults and the invariant checker.
+shard-smoke:
+	$(GO) test -race -run 'TestShard|TestSharded|TestPeekNext|TestSetHorizonKey|TestAttachShards' \
+		./internal/sim/ ./internal/cluster/ ./internal/experiment/
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-policy librarisk -nodes 64 -jobs 800 -check-invariants \
+		-fault-seed 7 -fault-mtbf 1000000 -fault-correlated-mtbf 2000000"; \
+	$(GO) run ./cmd/clustersim $$args > $$tmp/seq.txt; \
+	$(GO) run ./cmd/clustersim $$args -shards 4 > $$tmp/sharded.txt; \
+	diff -u $$tmp/seq.txt $$tmp/sharded.txt \
+		|| { echo "shard-smoke: sharded output differs from sequential"; exit 1; }; \
+	echo "shard-smoke: ok"
 
 # resume-smoke proves interrupt-then-resume end to end on the real
 # binary: a journaled figure regeneration is SIGINT'd once the first

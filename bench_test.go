@@ -13,6 +13,7 @@ package clustersched
 // a compact results table.
 
 import (
+	"os"
 	"testing"
 
 	"clustersched/internal/cluster"
@@ -598,3 +599,68 @@ func sliceCountName(n int) string {
 		return "slices=64"
 	}
 }
+
+// --- Sharded engine ------------------------------------------------------
+
+// shardedBase scales the paper configuration up to a larger cluster,
+// keeping per-node load constant by shrinking the mean interarrival in
+// proportion to the node count.
+func shardedBase(nodes, jobs int) experiment.BaseConfig {
+	base := experiment.DefaultBase()
+	base.Nodes = nodes
+	gen := workload.DefaultGeneratorConfig()
+	gen.Jobs = jobs
+	gen.MaxProcs = 64
+	gen.MeanInterarrival = workload.TraceMeanInterarrival * float64(workload.SDSCSP2Nodes) / float64(nodes)
+	base.Generator = gen
+	return base
+}
+
+// benchShardedRun is the sharded-engine benchmark body: one LibraRisk run
+// per iteration over the given cluster/workload scale, sequential when
+// shards <= 1. The sequential and sharded variants run the exact same
+// simulation (the differential tests prove byte-identity), so their ratio
+// is the sharding speedup on this machine — on a single-core host the
+// sharded run instead measures pure barrier/coordination overhead.
+func benchShardedRun(b *testing.B, nodes, jobs, shards int) {
+	base := shardedBase(nodes, jobs)
+	base.Shards = shards
+	wl, err := experiment.GenerateBase(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiment.RunSpec{Policy: experiment.LibraRisk, ArrivalDelayFactor: 1, InaccuracyPct: 100, Deadline: base.Deadline}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.Run(base, wl, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(s.PctFulfilled, "fulfilled-%")
+		}
+	}
+}
+
+// BenchmarkShardedLibraRiskSeq is the sequential baseline for the sharded
+// engine at moderate datacenter scale (512 nodes, 10k jobs).
+func BenchmarkShardedLibraRiskSeq(b *testing.B) { benchShardedRun(b, 512, 10_000, 0) }
+
+// BenchmarkShardedLibraRiskShards8 runs the identical simulation on eight
+// engine shards.
+func BenchmarkShardedLibraRiskShards8(b *testing.B) { benchShardedRun(b, 512, 10_000, 8) }
+
+// BenchmarkShardedDatacenter* is the full 10,000-node / 1M-job scale the
+// sharding work targets. A single run takes many minutes, so it only runs
+// when explicitly requested:
+//
+//	BENCH_DATACENTER=1 go test -run xxx -bench ShardedDatacenter -benchtime 1x .
+func benchShardedDatacenter(b *testing.B, shards int) {
+	if os.Getenv("BENCH_DATACENTER") == "" {
+		b.Skip("set BENCH_DATACENTER=1 to run the 10k-node/1M-job benchmark")
+	}
+	benchShardedRun(b, 10_000, 1_000_000, shards)
+}
+
+func BenchmarkShardedDatacenterSeq(b *testing.B)     { benchShardedDatacenter(b, 0) }
+func BenchmarkShardedDatacenterShards8(b *testing.B) { benchShardedDatacenter(b, 8) }

@@ -161,6 +161,14 @@ type Options struct {
 	// MaxEvents overrides the engine's runaway-loop event budget
 	// (default 50M).
 	MaxEvents uint64
+	// Shards > 1 runs time-shared policies (libra, librarisk) on the
+	// sharded parallel engine: nodes are partitioned into Shards
+	// contiguous groups whose completion events advance concurrently
+	// between admission barriers. Results are byte-identical to the
+	// sequential engine at any shard count. Values ≤ 1 (and all
+	// space-shared policies) use the sequential engine; counts above the
+	// node count are clamped.
+	Shards int
 }
 
 // faultConfig assembles the internal fault configuration, defaulting the
@@ -320,6 +328,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("clustersched: RiskSigmaThreshold = %g, want >= 0", o.RiskSigmaThreshold)
 	case o.QoPSSlackFactor < 0 || math.IsNaN(o.QoPSSlackFactor):
 		return fmt.Errorf("clustersched: QoPSSlackFactor = %g, want >= 0", o.QoPSSlackFactor)
+	case o.Shards < 0:
+		return fmt.Errorf("clustersched: Shards = %d, want >= 0", o.Shards)
 	}
 	switch o.Policy {
 	case PolicyEDF, PolicyLibra, PolicyLibraRisk,
@@ -733,7 +743,36 @@ func runSimulation(ctx context.Context, o Options, jobs []workload.Job) (*metric
 	if o.MaxEvents > 0 {
 		e.MaxEvents = o.MaxEvents
 	}
-	if err := core.RunSimulationContext(ctx, e, pol, rec, jobs, o.InaccuracyPct); err != nil {
+	// Sharded execution for time-shared policies; space-shared policies
+	// stay sequential (every completion there is a dispatch decision).
+	shardCount := 0
+	if o.Shards > 1 && ts != nil {
+		shardCount = o.Shards
+		if shardCount > ts.Len() {
+			shardCount = ts.Len()
+		}
+	}
+	if shardCount > 1 {
+		engines := make([]*sim.Engine, shardCount)
+		for i := range engines {
+			engines[i] = sim.NewEngine()
+		}
+		if err := ts.AttachShards(engines); err != nil {
+			return nil, mon, err
+		}
+		pool := sim.NewShardPool(shardCount)
+		defer pool.Close()
+		if ap, ok := pol.(core.AdmitParallel); ok {
+			ap.SetAdmitPool(pool)
+		}
+		if mon != nil {
+			mon.PendingExtra = ts.ShardsPending
+		}
+		var drv core.ArrivalDriver
+		if err := core.RunSimulationSharded(ctx, e, ts, pool, pol, rec, jobs, o.InaccuracyPct, &drv); err != nil {
+			return nil, mon, err
+		}
+	} else if err := core.RunSimulationContext(ctx, e, pol, rec, jobs, o.InaccuracyPct); err != nil {
 		return nil, mon, err
 	}
 	if chk != nil {
@@ -1260,6 +1299,7 @@ func buildBase(o Options) experiment.BaseConfig {
 	base.Generator.MaxProcs = o.Nodes
 	base.Deadline.HighUrgencyFraction = o.HighUrgencyFraction
 	base.Deadline.Ratio = o.DeadlineRatio
+	base.Shards = o.Shards
 	return base
 }
 

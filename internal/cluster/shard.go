@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+
+	"clustersched/internal/sim"
+)
+
+// Sharded execution support: AttachShards partitions a TimeShared cluster's
+// nodes across K shard engines so their update events (the only events
+// nodes ever schedule) can be processed concurrently between admission
+// barriers. Nodes never interact with each other — every cross-node effect
+// flows through the policy's admit decision or a fault event, both of which
+// run on the global engine at a barrier — so partitioning by node is exact,
+// not an approximation.
+//
+// The one piece of shared state a node event touches is job-level gang
+// accounting (RunningJob countdown, the running counter, observability,
+// OnJobDone). During a phase those completions are parked per shard and
+// applied by EndShardPhase in (completion time, job id) order, which is
+// exactly the order the sequential engine would have fired them in — see
+// DESIGN.md "Sharded execution" for the determinism argument.
+
+// deferredDone is one slice completion parked during a shard phase.
+type deferredDone struct {
+	time float64
+	sl   *slice
+}
+
+// shardRuntime is the cluster-side state of an attached sharding.
+type shardRuntime struct {
+	engines []*sim.Engine
+	// index maps a shard engine back to its slot, so sliceDone can route a
+	// deferral without widening the node callback signature.
+	index map[*sim.Engine]int
+	// inPhase is true while shard engines run concurrently. It is written
+	// by the coordinator strictly before and after the pool barrier (whose
+	// atomics publish it), never during a phase.
+	inPhase bool
+	// deferred collects parked completions, one buffer per shard so phase
+	// workers never share a slice.
+	deferred [][]deferredDone
+	// merged is the coordinator's scratch for the barrier-time sort.
+	merged []deferredDone
+}
+
+// AttachShards installs K shard engines on the cluster, partitioning nodes
+// into contiguous ranges: node i belongs to shard i*K/n. Contiguity keeps
+// each shard's slice of the node array cache-dense, and the rule is exact
+// for any n and K with near-equal sizes. Every node's update events are
+// scheduled on its shard engine from here on; Reset or DetachShards
+// reverts to sequential mode. The engines must be distinct, freshly reset
+// (or idle), and outnumbered by nodes at most K = n.
+func (c *TimeShared) AttachShards(engines []*sim.Engine) error {
+	k := len(engines)
+	if k < 1 {
+		return fmt.Errorf("cluster: AttachShards with no engines")
+	}
+	if k > len(c.nodes) {
+		return fmt.Errorf("cluster: %d shards for %d nodes", k, len(c.nodes))
+	}
+	if c.shards != nil {
+		return fmt.Errorf("cluster: shards already attached")
+	}
+	sr := &shardRuntime{
+		engines:  slices.Clone(engines),
+		index:    make(map[*sim.Engine]int, k),
+		deferred: make([][]deferredDone, k),
+	}
+	for i, e := range engines {
+		if e == nil {
+			return fmt.Errorf("cluster: shard engine %d is nil", i)
+		}
+		if _, dup := sr.index[e]; dup {
+			return fmt.Errorf("cluster: shard engine %d duplicated", i)
+		}
+		sr.index[e] = i
+	}
+	n := len(c.nodes)
+	for i, node := range c.nodes {
+		s := i * k / n
+		node.eng = engines[s]
+		node.shard = s
+	}
+	c.shards = sr
+	return nil
+}
+
+// DetachShards reverts the cluster to sequential single-engine mode. Any
+// still-pending events on the shard engines remain the caller's to drain
+// or reset; parked completions that were never applied are dropped.
+func (c *TimeShared) DetachShards() {
+	if c.shards == nil {
+		return
+	}
+	for _, node := range c.nodes {
+		node.eng = nil
+		node.shard = 0
+	}
+	c.shards = nil
+}
+
+// ShardEngines returns the attached shard engines in shard order, or nil
+// in sequential mode. The returned slice is the runtime's own; callers
+// must not mutate it.
+func (c *TimeShared) ShardEngines() []*sim.Engine {
+	if c.shards == nil {
+		return nil
+	}
+	return c.shards.engines
+}
+
+// ShardOfNode returns the shard index owning node id (0 when detached).
+func (c *TimeShared) ShardOfNode(id int) int { return c.nodes[id].shard }
+
+// BeginShardPhase marks the start of a concurrent shard phase: slice
+// completions are parked instead of finished until EndShardPhase. Must be
+// called by the coordinator with no phase in flight.
+func (c *TimeShared) BeginShardPhase() {
+	if c.shards == nil {
+		panic("cluster: BeginShardPhase without attached shards")
+	}
+	c.shards.inPhase = true
+}
+
+// EndShardPhase closes a concurrent phase and applies every parked slice
+// completion on the coordinator, in ascending (completion time, job id)
+// order — the exact order the sequential engine fires them in (two
+// distinct jobs completing at the same instant have measure zero under the
+// continuous workload distributions; same-job ties are commutative). e is
+// the global engine, handed to completion callbacks exactly as the
+// sequential path would.
+func (c *TimeShared) EndShardPhase(e *sim.Engine) {
+	sr := c.shards
+	if sr == nil || !sr.inPhase {
+		panic("cluster: EndShardPhase without a phase in flight")
+	}
+	sr.inPhase = false
+	merged := sr.merged[:0]
+	for s, buf := range sr.deferred {
+		merged = append(merged, buf...)
+		for i := range buf {
+			buf[i].sl = nil
+		}
+		sr.deferred[s] = buf[:0]
+	}
+	// Stable sort so the (probability-zero) cross-job time-and-id tie
+	// still resolves deterministically, by shard index.
+	slices.SortStableFunc(merged, func(a, b deferredDone) int {
+		switch {
+		case a.time < b.time:
+			return -1
+		case a.time > b.time:
+			return 1
+		case a.sl.job.Job.ID < b.sl.job.Job.ID:
+			return -1
+		case a.sl.job.Job.ID > b.sl.job.Job.ID:
+			return 1
+		}
+		return 0
+	})
+	for _, d := range merged {
+		c.finishSlice(e, d.time, d.sl)
+	}
+	for i := range merged {
+		merged[i].sl = nil
+	}
+	sr.merged = merged[:0]
+}
+
+// ShardsPending sums the live pending events across all shard engines; 0
+// when detached. The monitor uses it to decide whether the system has
+// drained (see core.Monitor.PendingExtra).
+func (c *TimeShared) ShardsPending() int {
+	if c.shards == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range c.shards.engines {
+		total += e.Pending()
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+
+	"clustersched/internal/sim"
+)
+
+func shardEngines(k int) []*sim.Engine {
+	engines := make([]*sim.Engine, k)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	return engines
+}
+
+func TestAttachShardsPartitionIsContiguousAndBalanced(t *testing.T) {
+	c, err := NewTimeShared(10, 168, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachShards(shardEngines(4)); err != nil {
+		t.Fatal(err)
+	}
+	defer c.DetachShards()
+	// node i -> shard i*k/n: contiguous, monotone, sizes within one.
+	counts := make([]int, 4)
+	prev := 0
+	for i := 0; i < c.Len(); i++ {
+		s := c.ShardOfNode(i)
+		if s < prev || s >= 4 {
+			t.Fatalf("node %d in shard %d after shard %d", i, s, prev)
+		}
+		if want := i * 4 / 10; s != want {
+			t.Fatalf("node %d in shard %d, want %d", i, s, want)
+		}
+		prev = s
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 2 || n > 3 {
+			t.Fatalf("shard %d holds %d nodes, want 2 or 3", s, n)
+		}
+	}
+	if got := len(c.ShardEngines()); got != 4 {
+		t.Fatalf("ShardEngines() = %d engines, want 4", got)
+	}
+}
+
+func TestAttachShardsValidation(t *testing.T) {
+	c, err := NewTimeShared(4, 168, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachShards(nil); err == nil {
+		t.Fatal("AttachShards(nil) succeeded")
+	}
+	if err := c.AttachShards(shardEngines(5)); err == nil {
+		t.Fatal("more shards than nodes succeeded")
+	}
+	if err := c.AttachShards([]*sim.Engine{nil, nil}); err == nil {
+		t.Fatal("nil engines succeeded")
+	}
+	e := sim.NewEngine()
+	if err := c.AttachShards([]*sim.Engine{e, e}); err == nil {
+		t.Fatal("duplicate engines succeeded")
+	}
+	if err := c.AttachShards(shardEngines(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachShards(shardEngines(2)); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+	c.DetachShards()
+	if err := c.AttachShards(shardEngines(2)); err != nil {
+		t.Fatalf("re-attach after detach failed: %v", err)
+	}
+	c.DetachShards()
+}
+
+func TestDetachAndResetClearNodeRouting(t *testing.T) {
+	c, err := NewTimeShared(4, 168, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachShards(shardEngines(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.ShardOfNode(3) != 1 {
+		t.Fatalf("node 3 in shard %d, want 1", c.ShardOfNode(3))
+	}
+	c.DetachShards()
+	for i := 0; i < c.Len(); i++ {
+		if c.nodes[i].eng != nil || c.nodes[i].shard != 0 {
+			t.Fatalf("node %d kept shard routing after detach", i)
+		}
+	}
+	// Reset must also drop an attachment (a fresh run may be sequential).
+	if err := c.AttachShards(shardEngines(2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.shards != nil {
+		t.Fatal("Reset kept the shard runtime")
+	}
+	for i := 0; i < c.Len(); i++ {
+		if c.nodes[i].eng != nil {
+			t.Fatalf("node %d kept its shard engine after Reset", i)
+		}
+	}
+}
+
+func TestShardedCompletionsMatchSequential(t *testing.T) {
+	// One job per node across a 4-node cluster split into 2 shards;
+	// driving the shard engines through a phase + barrier must finish the
+	// same jobs at the same times the sequential cluster reports.
+	run := func(sharded bool) []float64 {
+		e := sim.NewEngine()
+		c, err := NewTimeShared(4, 168, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var finishes []float64
+		c.OnJobDone = func(_ *sim.Engine, rj *RunningJob) {
+			finishes = append(finishes, rj.Finish)
+		}
+		if sharded {
+			if err := c.AttachShards(shardEngines(2)); err != nil {
+				t.Fatal(err)
+			}
+			defer c.DetachShards()
+		}
+		for i := 0; i < 4; i++ {
+			j := job(i+1, 0, float64(1000*(i+1)), 1e9, 1)
+			if _, err := c.Submit(e, j, j.Runtime, []int{i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sharded {
+			c.BeginShardPhase()
+			for _, se := range c.ShardEngines() {
+				se.SetHorizon(1e18)
+				if err := se.Run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.EndShardPhase(e)
+			if c.ShardsPending() != 0 {
+				t.Fatalf("ShardsPending = %d after drain", c.ShardsPending())
+			}
+		} else if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return finishes
+	}
+	seq := run(false)
+	sh := run(true)
+	if len(seq) != 4 || len(sh) != 4 {
+		t.Fatalf("finishes: sequential %d, sharded %d, want 4", len(seq), len(sh))
+	}
+	for i := range seq {
+		if seq[i] != sh[i] {
+			t.Fatalf("finish %d: sequential %g, sharded %g", i, seq[i], sh[i])
+		}
+	}
+}

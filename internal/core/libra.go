@@ -34,6 +34,46 @@ type Libra struct {
 	// allocate per arrival.
 	fits []nodeFit
 	ids  []int
+
+	// pool, when attached (sharded runs), fans the admission node scan out
+	// across the shard workers; see SetAdmitPool and admitpar.go.
+	pool *sim.ShardPool
+	par  admitScratch
+	// parNow/parEstimate/parAbsDL stash the scan parameters and evalParH
+	// the bound-once evaluator, so the fan-out allocates no closure per
+	// arrival.
+	parNow      float64
+	parEstimate float64
+	parAbsDL    float64
+	evalParH    func(i int) (nodeFit, bool)
+}
+
+// libraLimit is the admission share ceiling with its float tolerance.
+const libraLimit = 1 + 1e-9
+
+// SetAdmitPool attaches (or with nil detaches) the worker pool the
+// admission scan may fan out on. Implements AdmitParallel.
+func (p *Libra) SetAdmitPool(pool *sim.ShardPool) {
+	p.pool = pool
+	if pool != nil && p.evalParH == nil {
+		p.evalParH = p.evalPar
+	}
+}
+
+// evalPar is the parallel scan's per-node evaluator: the exact sequential
+// walk body for one up node, against the parameters stashed by admit.
+// LibraShareWithLimit only reads node state, so distinct nodes evaluate
+// race-free in parallel.
+func (p *Libra) evalPar(i int) (nodeFit, bool) {
+	node := p.Cluster.Node(i)
+	if node.Down() {
+		return nodeFit{}, false
+	}
+	s, ok := node.LibraShareWithLimit(p.parNow, p.parEstimate, p.parAbsDL, libraLimit)
+	if !ok {
+		return nodeFit{}, false
+	}
+	return nodeFit{id: i, share: s}, true
 }
 
 // NewLibra wires a Libra policy to a time-shared cluster and installs its
@@ -98,11 +138,24 @@ func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64, resubmi
 		return
 	}
 	absDL := job.AbsDeadline()
-	const limit = 1 + 1e-9
+	const limit = libraLimit
 	auditing := p.auditing()
 	firstFit := p.Selection == FirstFit && !p.DisableFastPath
 	suitable := p.fits[:0]
-	for i := 0; i < p.Cluster.Len(); i++ {
+	// Fan the node walk out across the shard pool when attached, unless
+	// admission has order-sensitive observers (auditing, per-decision sim
+	// metrics) or fast paths are disabled — the parallel scan is itself a
+	// behaviour-preserving fast path. Under FirstFit a sequential prefix
+	// runs first so a shallow accept never pays the fan-out.
+	parFrom := p.Cluster.Len()
+	if p.pool != nil && !auditing && p.Sim == nil && !p.DisableFastPath &&
+		p.Cluster.Len() >= admitParMinNodes {
+		parFrom = 0
+		if firstFit {
+			parFrom = admitParPrefix
+		}
+	}
+	for i := 0; i < parFrom; i++ {
 		if p.Cluster.Node(i).Down() {
 			if auditing {
 				p.Audit.Node(obs.NodeEval{Node: i, Down: true})
@@ -132,6 +185,15 @@ func (p *Libra) admit(e *sim.Engine, job workload.Job, estimate float64, resubmi
 				break
 			}
 		}
+	}
+	if parFrom < p.Cluster.Len() && !(firstFit && len(suitable) >= job.NumProc) {
+		// Decision-identical to continuing the walk: evaluations are pure,
+		// results merge in node-index order, and the first NumProc entries
+		// (all FirstFit uses) are exactly the ones the sequential early
+		// exit would have stopped at. A rejection evaluates every node on
+		// both paths, so rejection reasons and counts match too.
+		p.parNow, p.parEstimate, p.parAbsDL = now, estimate, absDL
+		suitable = parallelScan(p.pool, &p.par, parFrom, p.Cluster.Len(), suitable, p.evalParH)
 	}
 	p.fits = suitable
 	if len(suitable) < job.NumProc {

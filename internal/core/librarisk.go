@@ -46,6 +46,45 @@ type LibraRisk struct {
 	fits []nodeFit
 	ids  []int
 	cand cluster.Candidate
+
+	// pool, when attached (sharded runs), fans the admission node scan out
+	// across the shard workers; see SetAdmitPool and admitpar.go.
+	pool *sim.ShardPool
+	par  admitScratch
+	// parNow/parFirstFit stash the scan parameters and evalParH the
+	// bound-once evaluator, so the fan-out allocates no closure per arrival.
+	parNow      float64
+	parFirstFit bool
+	evalParH    func(i int) (nodeFit, bool)
+}
+
+// SetAdmitPool attaches (or with nil detaches) the worker pool the
+// admission scan may fan out on. Implements AdmitParallel.
+func (p *LibraRisk) SetAdmitPool(pool *sim.ShardPool) {
+	p.pool = pool
+	if pool != nil && p.evalParH == nil {
+		p.evalParH = p.evalPar
+	}
+}
+
+// evalPar is the parallel scan's per-node evaluator: the exact sequential
+// walk body for one up node, against the parameters stashed by admit. It
+// touches only the node's own scratch (see PredictDelaysScratch), so
+// distinct nodes evaluate race-free in parallel.
+func (p *LibraRisk) evalPar(i int) (nodeFit, bool) {
+	n := p.Cluster.Node(i)
+	if n.Down() {
+		return nodeFit{}, false
+	}
+	_, sigma, suitable, _ := p.evalNode(p.parNow, n, &p.cand, false)
+	if !suitable {
+		return nodeFit{}, false
+	}
+	fit := nodeFit{id: i, sigma: sigma}
+	if !p.parFirstFit {
+		fit.share = n.LibraShareWith(p.parNow, p.cand.RefWork, p.cand.AbsDeadline)
+	}
+	return fit, true
 }
 
 // NewLibraRisk wires a LibraRisk policy to a time-shared cluster,
@@ -160,7 +199,20 @@ func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64, res
 	firstFit := p.Selection == FirstFit
 	auditing := p.auditing()
 	zeroRisk := p.fits[:0]
-	for i := 0; i < p.Cluster.Len(); i++ {
+	// Fan the node walk out across the shard pool when attached, unless
+	// admission has order-sensitive observers (auditing, per-decision sim
+	// metrics) or fast paths are disabled — the parallel scan is itself a
+	// behaviour-preserving fast path. Under FirstFit a sequential prefix
+	// runs first so a shallow accept never pays the fan-out.
+	parFrom := p.Cluster.Len()
+	if p.pool != nil && !auditing && p.Sim == nil && !p.DisableFastPath &&
+		p.Cluster.Len() >= admitParMinNodes {
+		parFrom = 0
+		if firstFit {
+			parFrom = admitParPrefix
+		}
+	}
+	for i := 0; i < parFrom; i++ {
 		n := p.Cluster.Node(i)
 		if n.Down() {
 			if auditing {
@@ -188,6 +240,15 @@ func (p *LibraRisk) admit(e *sim.Engine, job workload.Job, estimate float64, res
 		if firstFit && !p.DisableFastPath && len(zeroRisk) == job.NumProc {
 			break
 		}
+	}
+	if parFrom < p.Cluster.Len() && !(firstFit && len(zeroRisk) >= job.NumProc) {
+		// Decision-identical to continuing the walk: evaluations are pure,
+		// results merge in node-index order, and the first NumProc entries
+		// (all FirstFit uses) are exactly the ones the sequential early
+		// exit would have stopped at. A rejection evaluates every node on
+		// both paths, so rejection reasons and counts match too.
+		p.parNow, p.parFirstFit = now, firstFit
+		zeroRisk = parallelScan(p.pool, &p.par, parFrom, p.Cluster.Len(), zeroRisk, p.evalParH)
 	}
 	p.fits = zeroRisk
 	if len(zeroRisk) < job.NumProc {

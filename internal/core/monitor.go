@@ -50,6 +50,13 @@ type Monitor struct {
 	// DisableCache turns off the per-node baseline prediction cache so
 	// tests can compare cached against recomputed sample series.
 	DisableCache bool
+	// PendingExtra, when set, reports live events outside the engine the
+	// monitor ticks on. Sharded runs point it at the shard engines' summed
+	// backlog (cluster.TimeShared.ShardsPending): node events then live off
+	// the global calendar, and without the hook the monitor would stop
+	// sampling while jobs are still running — diverging from the sequential
+	// reference, whose single calendar keeps the tick armed.
+	PendingExtra func() int
 
 	samples []MonitorSample
 
@@ -120,7 +127,7 @@ func (m *Monitor) tick(e *sim.Engine) {
 	}
 	// Keep sampling only while something else is pending: the monitor's
 	// own event is the only one left when the workload has drained.
-	if e.Pending() > 0 {
+	if e.Pending() > 0 || (m.PendingExtra != nil && m.PendingExtra() > 0) {
 		e.After(m.Interval, sim.PriorityMonitor, m.tick)
 	}
 }

@@ -42,9 +42,11 @@ func WorkloadDigest(jobs []workload.Job) string {
 
 // baseKeyView enumerates exactly the BaseConfig fields that determine a
 // cell's result. Supervision knobs (Workers, RunTimeout, Progress,
-// Journal) and DisableReuse are deliberately absent: re-running a sweep
-// with a different worker count, watchdog, or context-reuse setting must
-// still match its journal.
+// Journal), DisableReuse and Shards are deliberately absent: re-running a
+// sweep with a different worker count, watchdog, context-reuse setting or
+// shard count must still match its journal — the sharded engine is
+// byte-identical to the sequential one by construction (asserted by the
+// shard differential tests).
 type baseKeyView struct {
 	Nodes            int
 	Rating           float64

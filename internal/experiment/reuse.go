@@ -44,6 +44,10 @@ type runScratch struct {
 	ctxs   map[PolicyKind]*policyContext
 	jobs   []workload.Job
 	driver core.ArrivalDriver
+	// shardEngines caches the per-shard engines of sharded runs
+	// (base.Shards > 1) so their event freelists and queue storage survive
+	// across cells just like the main engine's.
+	shardEngines []*sim.Engine
 	// dirty marks the scratch as possibly corrupt: it is set before every
 	// attempt that uses the scratch and cleared only when the attempt
 	// returns (even with an error — every component's Reset recovers from
@@ -150,6 +154,31 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 		}
 	}
 
+	// Sharded execution: attach per-shard engines and the phase worker
+	// pool for time-shared policies. Space-shared policies (EDF and the
+	// extension schedulers) stay sequential — every completion there is a
+	// dispatch decision, i.e. a barrier per event.
+	shardCount := 0
+	if base.Shards > 1 && ts != nil {
+		shardCount = base.Shards
+		if shardCount > ts.Len() {
+			shardCount = ts.Len()
+		}
+	}
+	var pool *sim.ShardPool
+	if shardCount > 1 {
+		if err := ts.AttachShards(shardEnginesFor(sc, shardCount)); err != nil {
+			return metrics.Summary{}, nil, err
+		}
+		defer ts.DetachShards()
+		pool = sim.NewShardPool(shardCount)
+		defer pool.Close()
+		if ap, ok := pol.(core.AdmitParallel); ok {
+			ap.SetAdmitPool(pool)
+			defer ap.SetAdmitPool(nil)
+		}
+	}
+
 	var orun *obs.Run
 	if base.Obs != nil {
 		orun = base.Obs.NewRun(runTag(cell, spec), spec.Policy.String())
@@ -175,10 +204,19 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 		if err != nil {
 			return metrics.Summary{}, nil, err
 		}
+		if shardCount > 1 {
+			mon.PendingExtra = ts.ShardsPending
+		}
 		mon.Start(e)
 	}
-	if err := core.RunSimulationReusing(ctx, e, pol, rec, jobs, spec.InaccuracyPct, drv); err != nil {
-		return metrics.Summary{}, mon, err
+	var runErr error
+	if shardCount > 1 {
+		runErr = core.RunSimulationSharded(ctx, e, ts, pool, pol, rec, jobs, spec.InaccuracyPct, drv)
+	} else {
+		runErr = core.RunSimulationReusing(ctx, e, pol, rec, jobs, spec.InaccuracyPct, drv)
+	}
+	if runErr != nil {
+		return metrics.Summary{}, mon, runErr
 	}
 	if chk != nil {
 		if err := chk.Err(); err != nil {
@@ -194,6 +232,27 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 		}
 	}
 	return rec.Summarize(), mon, nil
+}
+
+// shardEnginesFor returns k reset shard engines, drawing them from the
+// scratch's cache when available so sharded sweep cells reuse queue
+// storage and event freelists run over run.
+func shardEnginesFor(sc *runScratch, k int) []*sim.Engine {
+	if sc == nil {
+		engines := make([]*sim.Engine, k)
+		for i := range engines {
+			engines[i] = sim.NewEngine()
+		}
+		return engines
+	}
+	for len(sc.shardEngines) < k {
+		sc.shardEngines = append(sc.shardEngines, sim.NewEngine())
+	}
+	engines := sc.shardEngines[:k]
+	for _, se := range engines {
+		se.Reset()
+	}
+	return engines
 }
 
 // cachedPolicy looks up the scratch's policy cache; nil-safe.

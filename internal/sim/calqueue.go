@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // calendarQueue is Brown's calendar queue: a ring of time buckets, each a
 // sorted chain, giving amortized O(1) enqueue/dequeue for the
@@ -25,6 +28,9 @@ type calendarQueue struct {
 	lastBucket int
 	size       int
 	canceled   int // dead entries still chained (lazy deletion)
+	// sampleScratch is reused by sampledWidth so periodic resizes of a
+	// large calendar do not allocate.
+	sampleScratch []float64
 }
 
 // calendar chain linkage lives on Event to avoid per-node allocations.
@@ -99,6 +105,14 @@ func eventLess(a, b *Event) bool {
 
 func (q *calendarQueue) push(ev *Event) {
 	ev.queued = true
+	if ev.canceled {
+		// A dead entry re-enters the calendar (the engine re-queues an
+		// event that surfaced beyond its horizon, and resize re-chains
+		// everything it collected). pop decremented the counter when the
+		// entry surfaced, so it must be re-accounted here or len() would
+		// overcount live events for the rest of the run.
+		q.canceled++
+	}
 	idx := q.bucketFor(ev.Time)
 	// Insert into the sorted chain.
 	head := q.buckets[idx]
@@ -191,8 +205,8 @@ func (q *calendarQueue) bucketStart(idx int) float64 {
 	return start
 }
 
-// resize rebuilds the calendar with a new bucket count and a width set to
-// ~3x the mean gap between queued events, the standard heuristic.
+// resize rebuilds the calendar with a new bucket count and a width
+// re-derived from a bounded sample of the queued events.
 func (q *calendarQueue) resize(nbuckets int) {
 	events := make([]*Event, 0, q.size)
 	for _, head := range q.buckets {
@@ -205,21 +219,65 @@ func (q *calendarQueue) resize(nbuckets int) {
 	}
 	width := q.width
 	if len(events) >= 2 {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, ev := range events {
-			lo = math.Min(lo, ev.Time)
-			hi = math.Max(hi, ev.Time)
-		}
-		if span := hi - lo; span > 0 {
-			width = 3 * span / float64(len(events))
+		if w := q.sampledWidth(events); w > 0 {
+			width = w
 		}
 	}
 	if width <= 0 || math.IsInf(width, 0) || math.IsNaN(width) {
 		width = 1
 	}
 	q.reset(nbuckets, width, q.lastTime)
+	// push re-derives both counters for the re-chained population, dead
+	// entries included.
 	q.size = 0
+	q.canceled = 0
 	for _, ev := range events {
 		q.push(ev)
 	}
+}
+
+// sampledWidth estimates the bucket width as ~3x the typical inter-event
+// gap, from the median gap of a bounded, deterministically strided sample
+// of event times. The previous heuristic derived the width from the full
+// min-max span divided by the population, which a single far-future event
+// (a fault horizon, a long-idle monitor tick) inflates by orders of
+// magnitude: with 100k+ pending events nearly everything then lands in a
+// handful of buckets and every push degenerates into a long sorted-chain
+// walk. The median gap is robust to such outliers, and capping the sample
+// keeps resize O(n) with a tiny constant regardless of calendar size.
+// Returns 0 when no positive gap exists (all sampled times equal).
+func (q *calendarQueue) sampledWidth(events []*Event) float64 {
+	const maxSample = 64
+	n := len(events)
+	k := n
+	if k > maxSample {
+		k = maxSample
+	}
+	if cap(q.sampleScratch) < k {
+		q.sampleScratch = make([]float64, k)
+	}
+	s := q.sampleScratch[:k]
+	stride := n / k
+	for i := 0; i < k; i++ {
+		s[i] = events[i*stride].Time
+	}
+	sort.Float64s(s)
+	// Collapse to consecutive gaps in place, then pick the median of the
+	// positive ones.
+	for i := 0; i < k-1; i++ {
+		s[i] = s[i+1] - s[i]
+	}
+	s = s[:k-1]
+	sort.Float64s(s)
+	first := 0
+	for first < len(s) && s[first] <= 0 {
+		first++
+	}
+	if first == len(s) {
+		return 0
+	}
+	median := s[(first+len(s))/2]
+	// A sample gap spans ~n/k events, so scale it back to a per-event gap
+	// before applying the standard 3x rule.
+	return 3 * median * float64(k) / float64(n)
 }

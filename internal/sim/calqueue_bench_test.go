@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCalQueue measures the calendar queue under a hold-model churn
+// with lazy cancellations at steady populations of 1k, 10k and 100k
+// pending events — the regime the sharded datacenter runs push it into.
+// Each iteration pops one event, re-pushes it at a later time, and with
+// probability ~1/8 cancels a second event in place (which pop later
+// reclaims), so enqueue, cancel and dequeue all appear in the measured
+// loop. The 100k case is the one the sampled-width resize heuristic
+// exists for: a single far-future outlier must not collapse the
+// population into a handful of buckets.
+func BenchmarkCalQueue(b *testing.B) {
+	for _, pop := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("churn-%d", pop), func(b *testing.B) {
+			benchCalChurn(b, pop, false)
+		})
+		b.Run(fmt.Sprintf("churn-cancel-%d", pop), func(b *testing.B) {
+			benchCalChurn(b, pop, true)
+		})
+	}
+}
+
+func benchCalChurn(b *testing.B, pop int, cancels bool) {
+	r := NewRNG(uint64(pop))
+	q := newCalendarQueue()
+	events := make([]*Event, pop)
+	for i := range events {
+		events[i] = &Event{Time: r.Exp(50) * float64(i), seq: uint64(i)}
+		q.push(events[i])
+	}
+	// One far-future outlier so resize exercises the robust width path.
+	q.push(&Event{Time: 1e12, seq: uint64(pop)})
+	seq := uint64(pop)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		if ev == nil {
+			b.Fatal("queue drained")
+		}
+		now := ev.Time
+		if ev.canceled {
+			ev.canceled = false // recycle the dead entry as a fresh event
+		}
+		seq++
+		ev.Time = now + r.Exp(50)
+		ev.seq = seq
+		q.push(ev)
+		if cancels && i%8 == 0 {
+			// Lazy-cancel a random live entry; it stays chained until pop
+			// surfaces it, exactly like an engine-level Cancel.
+			victim := events[r.Intn(pop)]
+			if victim.queued && !victim.canceled {
+				victim.canceled = true
+				q.remove(victim)
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ type Engine struct {
 	stopped bool
 	// horizon, if finite, aborts Run once simulated time would pass it.
 	horizon float64
+	// horizonP refines the horizon to a (time, priority) key: an event at
+	// exactly horizon fires only while its priority is strictly below
+	// horizonP. SetHorizon leaves it at the inclusive sentinel so the plain
+	// time-only horizon keeps its historical "at or before t" semantics;
+	// SetHorizonKey pins it for sharded barrier phases.
+	horizonP Priority
 	// processed counts handler invocations, useful for tests and as a
 	// runaway-loop guard via MaxEvents.
 	processed uint64
@@ -55,17 +61,22 @@ var ErrEventBudget = errors.New("sim: event budget exhausted")
 // event-loop granularity.
 const ctxCheckMask = 63
 
+// horizonInclusive is the horizonP sentinel meaning "every priority at the
+// horizon time still fires" — the inclusive semantics SetHorizon has always
+// had. Priority is an int, so MaxInt compares above every real priority.
+const horizonInclusive Priority = math.MaxInt
+
 // NewEngine returns an engine with the clock at zero, an empty calendar,
 // and the binary-heap event set.
 func NewEngine() *Engine {
-	return &Engine{horizon: math.Inf(1), queue: &eventQueue{}}
+	return &Engine{horizon: math.Inf(1), horizonP: horizonInclusive, queue: &eventQueue{}}
 }
 
 // NewEngineCalendar returns an engine backed by a calendar queue, which
 // trades the heap's O(log n) operations for amortized O(1) under the
 // near-uniform event-time mixes cluster simulations produce.
 func NewEngineCalendar() *Engine {
-	return &Engine{horizon: math.Inf(1), queue: newCalendarQueue()}
+	return &Engine{horizon: math.Inf(1), horizonP: horizonInclusive, queue: newCalendarQueue()}
 }
 
 // Now returns the current simulated time in seconds.
@@ -82,7 +93,54 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // SetHorizon limits Run to events at or before t seconds. Events scheduled
 // later stay in the calendar; Run returns when the next event would exceed
 // the horizon.
-func (e *Engine) SetHorizon(t float64) { e.horizon = t }
+func (e *Engine) SetHorizon(t float64) {
+	e.horizon = t
+	e.horizonP = horizonInclusive
+}
+
+// SetHorizonKey limits Run to events strictly below the (t, p) ordering
+// key: an event fires while its time is before t, or its time equals t and
+// its priority is below p. This is the barrier horizon of the sharded
+// engine — a shard drains everything that sequentially precedes the next
+// global event without touching anything that ties with or follows it.
+func (e *Engine) SetHorizonKey(t float64, p Priority) {
+	e.horizon = t
+	e.horizonP = p
+}
+
+// PeekNext reports the (time, priority) key of the earliest live event
+// without processing it, skipping (and reclaiming) lazily deleted entries.
+// ok is false when the calendar is empty. The horizon is not consulted:
+// PeekNext answers "what would run next", limits apply only when running.
+func (e *Engine) PeekNext() (t float64, p Priority, ok bool) {
+	for {
+		ev := e.queue.pop()
+		if ev == nil {
+			return 0, 0, false
+		}
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		// Re-queue untouched: seq is unchanged, so ordering is preserved.
+		e.queue.push(ev)
+		return ev.Time, ev.Priority, true
+	}
+}
+
+// AdvanceTo moves the clock forward to t without processing anything.
+// Moving backwards is a no-op. The caller must guarantee no pending event
+// is earlier than t (the sharded driver advances a drained shard to the
+// global clock); violating that would make a later Run panic on the
+// clock-monotonicity its invariants assume.
+func (e *Engine) AdvanceTo(t float64) {
+	if math.IsNaN(t) {
+		panic("sim: AdvanceTo NaN time")
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug and silently clamping would corrupt causality. The
@@ -135,8 +193,17 @@ func (e *Engine) Reset() {
 	e.processed = 0
 	e.stopped = false
 	e.horizon = math.Inf(1)
+	e.horizonP = horizonInclusive
 	e.MaxEvents = 0
 	e.checker = nil
+}
+
+// pastHorizon reports whether ev lies beyond the run limit: strictly after
+// the horizon time, or at the horizon time with priority at or above the
+// horizon priority (only possible under SetHorizonKey — SetHorizon leaves
+// the priority at the inclusive sentinel).
+func (e *Engine) pastHorizon(ev *Event) bool {
+	return ev.Time > e.horizon || (ev.Time == e.horizon && ev.Priority >= e.horizonP)
 }
 
 // recycle pushes a dead event onto the freelist. The handler reference is
@@ -200,16 +267,18 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		if ev == nil {
 			return nil
 		}
-		if ev.Time > e.horizon {
+		if ev.canceled {
+			// Lazily deleted (calendar queue) — reclaim it now, even when it
+			// also lies past the horizon: re-queueing a dead entry would only
+			// delay its reclamation and force push to re-account it.
+			e.recycle(ev)
+			continue
+		}
+		if e.pastHorizon(ev) {
 			// Put it back for a later Run with a larger horizon; the
 			// sequence number is unchanged, so ordering is preserved.
 			e.queue.push(ev)
 			return nil
-		}
-		if ev.canceled {
-			// Lazily deleted (calendar queue) — reclaim it now.
-			e.recycle(ev)
-			continue
 		}
 		e.now = ev.Time
 		e.processed++
@@ -240,13 +309,13 @@ func (e *Engine) Step() (bool, error) {
 		if ev == nil {
 			return false, nil
 		}
-		if ev.Time > e.horizon {
-			e.queue.push(ev)
-			return false, nil
-		}
 		if ev.canceled {
 			e.recycle(ev)
 			continue
+		}
+		if e.pastHorizon(ev) {
+			e.queue.push(ev)
+			return false, nil
 		}
 		e.now = ev.Time
 		e.processed++

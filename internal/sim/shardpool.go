@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardPool is a low-latency fork-join pool for the sharded engine's
+// barrier phases. A sharded run executes one phase per global event, so
+// the dispatch cost is paid millions of times per simulation; channels or
+// sync.WaitGroup per phase would dominate short phases. The pool instead
+// keeps one goroutine per worker parked on an atomic epoch: publishing a
+// task is one atomic add per worker, and a worker that recently ran spins
+// briefly before parking, so back-to-back phases hand off without any
+// scheduler round trip.
+//
+// The calling goroutine participates as worker 0, so a pool of K workers
+// occupies exactly K goroutines during a phase (K-1 spawned plus the
+// coordinator) and a pool of 1 runs entirely inline with zero spawned
+// goroutines — the K=1 sharded run degenerates to the sequential engine
+// plus bookkeeping.
+//
+// All cross-goroutine publication goes through sync/atomic operations,
+// which establish happens-before edges (and are understood by the race
+// detector), so phase bodies may freely touch their shard's plain state.
+type ShardPool struct {
+	workers []*poolWorker
+	task    func(worker int)
+	// pending counts workers that have not finished the current task;
+	// Run returns when it hits zero.
+	pending atomic.Int64
+	closing atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// poolWorker is one spawned worker's parking slot.
+type poolWorker struct {
+	pool *ShardPool
+	id   int
+	// epoch is bumped by the coordinator to publish a new task. The worker
+	// spins on it and parks when it stays unchanged.
+	epoch atomic.Uint64
+	// parked is the handshake flag: the worker CASes false->true before
+	// blocking on wake, and the coordinator CASes true->false before
+	// sending exactly one wake token, so tokens and parks stay 1:1.
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+// poolSpinIters bounds how long an idle worker spins before parking.
+// Spinning covers the back-to-back phases of a hot barrier loop; parking
+// keeps an idle pool (between runs, or during long sequential stretches)
+// off the CPU.
+const poolSpinIters = 2048
+
+// NewShardPool returns a pool of k workers (k >= 1). The pool must be
+// Closed when the run ends or its k-1 spawned goroutines leak.
+func NewShardPool(k int) *ShardPool {
+	if k < 1 {
+		panic("sim: ShardPool needs at least one worker")
+	}
+	p := &ShardPool{workers: make([]*poolWorker, k)}
+	for i := 1; i < k; i++ {
+		w := &poolWorker{pool: p, id: i, wake: make(chan struct{}, 1)}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// Workers returns the pool size, including the coordinator's slot 0.
+func (p *ShardPool) Workers() int { return len(p.workers) }
+
+// Run executes fn(w) for every worker index w in [0, Workers()) and
+// returns when all invocations have completed. fn(0) runs on the calling
+// goroutine. Run must not be called concurrently with itself or Close.
+func (p *ShardPool) Run(fn func(worker int)) {
+	n := len(p.workers)
+	if n == 1 {
+		fn(0)
+		return
+	}
+	p.task = fn
+	p.pending.Store(int64(n - 1))
+	for _, w := range p.workers[1:] {
+		w.post()
+	}
+	fn(0)
+	for spin := 0; p.pending.Load() != 0; spin++ {
+		if spin%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close terminates the spawned workers and waits for them to exit. The
+// pool must be idle (no Run in flight).
+func (p *ShardPool) Close() {
+	p.closing.Store(true)
+	for _, w := range p.workers[1:] {
+		w.post()
+	}
+	p.wg.Wait()
+}
+
+// post publishes a new epoch to the worker and wakes it if parked.
+func (w *poolWorker) post() {
+	w.epoch.Add(1)
+	if w.parked.CompareAndSwap(true, false) {
+		w.wake <- struct{}{}
+	}
+}
+
+func (w *poolWorker) loop() {
+	defer w.pool.wg.Done()
+	var last uint64
+	for {
+		e := w.epoch.Load()
+		if e == last {
+			e = w.await(last)
+		}
+		last = e
+		if w.pool.closing.Load() {
+			return
+		}
+		w.pool.task(w.id)
+		w.pool.pending.Add(-1)
+	}
+}
+
+// await blocks until the epoch moves past last, spinning first and then
+// parking under the 1:1 token handshake with post.
+func (w *poolWorker) await(last uint64) uint64 {
+	for i := 0; i < poolSpinIters; i++ {
+		if e := w.epoch.Load(); e != last {
+			return e
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		if w.parked.CompareAndSwap(false, true) {
+			if w.epoch.Load() != last {
+				// A post raced with parking. Either it saw parked and is
+				// sending a token (consume it), or it missed the flag and
+				// we can simply unpark ourselves.
+				if !w.parked.CompareAndSwap(true, false) {
+					<-w.wake
+				}
+			} else {
+				<-w.wake
+			}
+		}
+		if e := w.epoch.Load(); e != last {
+			return e
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardPoolRunsEveryWorker(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		pool := NewShardPool(k)
+		if pool.Workers() != k {
+			t.Fatalf("Workers = %d, want %d", pool.Workers(), k)
+		}
+		hits := make([]atomic.Int64, k)
+		const rounds = 200
+		for r := 0; r < rounds; r++ {
+			pool.Run(func(w int) { hits[w].Add(1) })
+		}
+		pool.Close()
+		for w := range hits {
+			if got := hits[w].Load(); got != rounds {
+				t.Fatalf("k=%d worker %d ran %d times, want %d", k, w, got, rounds)
+			}
+		}
+	}
+}
+
+func TestShardPoolBarrier(t *testing.T) {
+	// Run returns only after every worker's function completed: each round
+	// sums a shared counter, so any worker still running from the previous
+	// round would be observed as a short sum.
+	pool := NewShardPool(4)
+	defer pool.Close()
+	var total atomic.Int64
+	for r := 1; r <= 100; r++ {
+		pool.Run(func(w int) { total.Add(int64(w + 1)) })
+		if got := total.Load(); got != int64(r*(1+2+3+4)) {
+			t.Fatalf("round %d: total = %d, want %d", r, got, int64(r*10))
+		}
+	}
+}
+
+func TestShardPoolParkAndWake(t *testing.T) {
+	// Gaps longer than the spin budget force workers to park; the next Run
+	// must wake them exactly once each and still complete.
+	pool := NewShardPool(3)
+	defer pool.Close()
+	var total atomic.Int64
+	for r := 0; r < 5; r++ {
+		time.Sleep(20 * time.Millisecond) // let workers park
+		pool.Run(func(w int) { total.Add(1) })
+	}
+	if got := total.Load(); got != 15 {
+		t.Fatalf("total = %d, want 15", got)
+	}
+}
+
+func TestShardPoolCloseIdempotentAndPanicOnBadSize(t *testing.T) {
+	pool := NewShardPool(2)
+	pool.Close()
+	pool.Close() // second Close must not hang or panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardPool(0) did not panic")
+		}
+	}()
+	NewShardPool(0)
+}
