@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke serve-smoke clean
 
 # bench-gate regression thresholds, overridable per invocation:
 # allocs/op is nearly deterministic so the gate is tight; ns/op varies
@@ -32,7 +32,7 @@ bench:
 # against the committed pre-optimization baseline (results/bench_seed.txt)
 # into BENCH_admission.json.
 bench-json:
-	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk' \
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk|ServeAdmit' \
 		-benchmem -count 5 . | tee results/bench_new.txt
 	$(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt \
 		> BENCH_admission.json
@@ -44,7 +44,7 @@ bench-json:
 # bench smoke, so an accidental allocation regression on the admission
 # hot path fails the build instead of landing silently.
 bench-gate:
-	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk' \
+	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk|ServeAdmit' \
 		-benchmem -count 2 . | tee results/bench_gate.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_admission.json -new results/bench_gate.txt \
 		-max-ns-ratio $(BENCH_MAX_NS_RATIO) -max-alloc-ratio $(BENCH_MAX_ALLOC_RATIO)
@@ -150,6 +150,46 @@ trace-smoke:
 	$$tmp/experiments $$args -trace $$tmp/trace.json -trace-format chrome >/dev/null; \
 	$$tmp/tracedump -chrome $$tmp/trace.json; \
 	echo "trace-smoke: ok"
+
+# serve-smoke proves the online admission daemon end to end on the real
+# binaries: race-run the serve overload/quota/shed/drain tests, boot
+# admissiond, drive 1k requests through admitload, scrape /metrics,
+# SIGTERM-drain (must exit 0 and checkpoint), then resume a fresh daemon
+# from the checkpoint and drain it again (exit 0) — the resumed audit
+# stream must be byte-identical to the original run's.
+serve-smoke:
+	$(GO) test -race -run 'TestAdmit|TestQuota|TestShed|TestOverload|TestDrain|TestResume|TestNoGoroutineLeak' \
+		./internal/serve/
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/admissiond ./cmd/admissiond; \
+	$(GO) build -o $$tmp/admitload ./cmd/admitload; \
+	$$tmp/admissiond -addr 127.0.0.1:0 -nodes 16 -time-scale 0 \
+		-audit $$tmp/audit1.jsonl -checkpoint $$tmp/drain.ckpt \
+		> $$tmp/daemon1.out 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do grep -q 'listening on' $$tmp/daemon1.out 2>/dev/null && break; sleep 0.1; done; \
+	url=$$(sed -n 's/^admissiond: listening on //p' $$tmp/daemon1.out); \
+	[ -n "$$url" ] || { echo "serve-smoke: daemon never listened"; cat $$tmp/daemon1.out; exit 1; }; \
+	$$tmp/admitload -url $$url -jobs 1000 -concurrency 8 -virtual -adf 0.05; \
+	$$tmp/admitload -url $$url -scrape /metrics > $$tmp/metrics.prom; \
+	grep -q '^serve_requests_total 1000$$' $$tmp/metrics.prom \
+		|| { echo "serve-smoke: metrics scrape missing the 1000-request count"; exit 1; }; \
+	grep -q '^serve_admission_latency_seconds_count ' $$tmp/metrics.prom \
+		|| { echo "serve-smoke: metrics scrape missing the latency histogram"; exit 1; }; \
+	kill -TERM $$pid; \
+	code=0; wait $$pid || code=$$?; \
+	[ $$code -eq 0 ] || { echo "serve-smoke: drained daemon exit code $$code, want 0"; cat $$tmp/daemon1.out; exit 1; }; \
+	[ -s $$tmp/drain.ckpt ] || { echo "serve-smoke: no drain checkpoint"; exit 1; }; \
+	$$tmp/admissiond -addr 127.0.0.1:0 -nodes 16 -time-scale 0 \
+		-audit $$tmp/audit2.jsonl -checkpoint $$tmp/drain.ckpt -resume \
+		> $$tmp/daemon2.out 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do grep -q 'listening on' $$tmp/daemon2.out 2>/dev/null && break; sleep 0.1; done; \
+	kill -TERM $$pid; \
+	code=0; wait $$pid || code=$$?; \
+	[ $$code -eq 0 ] || { echo "serve-smoke: resumed daemon exit code $$code, want 0"; cat $$tmp/daemon2.out; exit 1; }; \
+	cmp $$tmp/audit1.jsonl $$tmp/audit2.jsonl \
+		|| { echo "serve-smoke: resumed audit stream differs from the original"; exit 1; }; \
+	echo "serve-smoke: ok"
 
 examples:
 	$(GO) run ./examples/quickstart

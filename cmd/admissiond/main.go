@@ -1,0 +1,133 @@
+// Command admissiond serves online deadline-constrained admission
+// control over HTTP: the EDF/Libra/LibraRisk policies wrapped around a
+// live virtual-time cluster, with per-tenant quotas, admission-queue
+// backpressure, a load-shedding ladder, Prometheus metrics on /metrics,
+// an audit JSONL stream, and graceful drain with checkpoint/resume.
+//
+// Examples:
+//
+//	admissiond -addr :8080 -policy librarisk -nodes 128
+//	admissiond -addr :8080 -quota-rate 10 -quota-burst 50 -audit audit.jsonl
+//	admissiond -addr 127.0.0.1:0 -time-scale 0 -checkpoint d.ckpt -resume
+//
+// SIGTERM (or SIGINT) starts the drain: intake stops, queued requests
+// are decided, the audit stream is flushed, the checkpoint is written,
+// and the process exits 0. A second signal force-kills a stuck drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"clustersched/internal/cli"
+	"clustersched/internal/serve"
+)
+
+func main() {
+	cli.MainServer("admissiond", run)
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("admissiond", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	policy := fs.String("policy", "librarisk", "admission control: edf | libra | librarisk")
+	nodes := fs.Int("nodes", 128, "computation nodes")
+	rating := fs.Float64("rating", 168, "SPEC rating per node")
+	sigma := fs.Float64("sigma", 0, "LibraRisk σ threshold (0 = paper's zero-risk rule)")
+	timeScale := fs.Float64("time-scale", 1, "virtual seconds per wall second (0 = request-driven clock)")
+	queueDepth := fs.Int("queue-depth", 256, "admission queue bound")
+	reqTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request admission deadline")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant sustained admissions/sec (0 with no burst = unlimited)")
+	quotaBurst := fs.Float64("quota-burst", 0, "per-tenant burst credit (bucket depth)")
+	admitWorkers := fs.Int("admit-workers", 0, "shard-pool workers for the admission node scan (0/1 = serial)")
+	auditPath := fs.String("audit", "", "stream admission decisions to this JSONL file")
+	ckptPath := fs.String("checkpoint", "", "write the drain checkpoint to this file")
+	resume := fs.Bool("resume", false, "replay the checkpoint at startup when it exists")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Policy:         *policy,
+		Nodes:          *nodes,
+		Rating:         *rating,
+		SigmaThreshold: *sigma,
+		TimeScale:      *timeScale,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		QuotaRate:      *quotaRate,
+		QuotaBurst:     *quotaBurst,
+		AdmitWorkers:   *admitWorkers,
+		CheckpointPath: *ckptPath,
+		Resume:         *resume,
+	}
+	var auditFile *os.File
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("admissiond: %w", err)
+		}
+		auditFile = f
+		defer auditFile.Close()
+		cfg.Audit = f
+	}
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = s.Close()
+		return fmt.Errorf("admissiond: %w", err)
+	}
+	// The listening line is machine-parsed (serve-smoke, admitload
+	// scripts): keep its shape stable.
+	fmt.Fprintf(stdout, "admissiond: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		_ = s.Close()
+		return fmt.Errorf("admissiond: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: finish queued admissions and checkpoint first (the
+	// in-flight handlers are waiting on those decisions), then close the
+	// HTTP side.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	shutErr := hs.Shutdown(dctx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("admissiond: %w", err)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	if shutErr != nil {
+		return fmt.Errorf("admissiond: shutdown: %w", shutErr)
+	}
+	if auditFile != nil {
+		if err := auditFile.Sync(); err != nil {
+			return fmt.Errorf("admissiond: audit sync: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "admissiond: drained %d applied ops, exiting\n", s.OpsApplied())
+	// The context cancellation is the normal exit path; MainServer maps
+	// it to exit 0.
+	return ctx.Err()
+}

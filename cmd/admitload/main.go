@@ -1,0 +1,296 @@
+// Command admitload drives an admissiond instance with an SWF-derived
+// workload: closed-loop (fixed concurrency) or open-loop (fixed request
+// rate), with configurable estimate inaccuracy, optional virtual-time
+// submission, node-kill chaos, and a latency/status summary.
+//
+// Examples:
+//
+//	admitload -url http://127.0.0.1:8080 -jobs 1000 -concurrency 8
+//	admitload -url http://127.0.0.1:8080 -jobs 500 -rate 50 -inaccuracy 100
+//	admitload -url http://127.0.0.1:8080 -jobs 200 -virtual -adf 0.1
+//	admitload -url http://127.0.0.1:8080 -kill 3@0.5,3@2.0
+//	admitload -url http://127.0.0.1:8080 -scrape /metrics
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"clustersched/internal/cli"
+	"clustersched/internal/workload"
+)
+
+func main() {
+	cli.Main("admitload", run)
+}
+
+// admitRequest mirrors serve.AdmitRequest without importing the server
+// package: the load generator talks to the daemon only over the wire,
+// like any real client would.
+type admitRequest struct {
+	Tenant   string   `json:"tenant,omitempty"`
+	NumProc  int      `json:"numproc"`
+	Runtime  float64  `json:"runtime"`
+	Estimate float64  `json:"estimate,omitempty"`
+	Deadline float64  `json:"deadline"`
+	Class    string   `json:"class,omitempty"`
+	T        *float64 `json:"t,omitempty"`
+}
+
+type admitResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// result is one request's outcome.
+type result struct {
+	status   int
+	accepted bool
+	latency  time.Duration
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("admitload", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "admissiond base URL")
+	jobs := fs.Int("jobs", 1000, "workload size")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	inacc := fs.Float64("inaccuracy", 0, "estimate inaccuracy % (0=accurate, 100=trace)")
+	adf := fs.Float64("adf", 1, "arrival delay factor (<1 = heavier load; shapes -virtual times)")
+	rate := fs.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
+	tenants := fs.Int("tenants", 4, "spread requests across this many tenants")
+	virtual := fs.Bool("virtual", false, "send the workload's submit times as explicit t")
+	kills := fs.String("kill", "", "node-kill chaos: comma-separated node@seconds wall-clock offsets")
+	scrape := fs.String("scrape", "", "GET this path (e.g. /metrics), print the body and exit")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *scrape != "" {
+		return doScrape(ctx, client, *url, *scrape, stdout)
+	}
+
+	gcfg := workload.DefaultGeneratorConfig()
+	gcfg.Jobs = *jobs
+	gcfg.Seed = *seed
+	gcfg.MaxProcs = 16 // keep requests inside small daemon clusters too
+	wjobs, err := workload.Generate(gcfg)
+	if err != nil {
+		return err
+	}
+	dcfg := workload.DefaultDeadlineConfig()
+	dcfg.Seed = *seed + 1
+	wjobs, err = workload.AssignDeadlines(wjobs, dcfg)
+	if err != nil {
+		return err
+	}
+	workload.ScaleArrivalsInPlace(wjobs, *adf)
+
+	chaos, err := parseKills(*kills)
+	if err != nil {
+		return err
+	}
+	for _, k := range chaos {
+		k := k
+		go func() {
+			select {
+			case <-time.After(k.after):
+				body, _ := json.Marshal(map[string]any{"node": k.node, "down": true})
+				resp, err := client.Post(*url+"/node", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			case <-ctx.Done():
+			}
+		}()
+	}
+
+	reqs := make(chan admitRequest, 64)
+	go func() {
+		defer close(reqs)
+		var tick *time.Ticker
+		if *rate > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer tick.Stop()
+		}
+		for i, j := range wjobs {
+			r := admitRequest{
+				Tenant:   "tenant-" + strconv.Itoa(i%*tenants),
+				NumProc:  j.NumProc,
+				Runtime:  j.Runtime,
+				Estimate: j.EstimateAt(*inacc),
+				Deadline: j.Deadline,
+			}
+			if j.Class == workload.LowUrgency {
+				r.Class = "low"
+			}
+			if *virtual {
+				t := j.Submit
+				r.T = &t
+			}
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case reqs <- r:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	workers := *concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var results []result
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range reqs {
+				res := post(ctx, client, *url, r)
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	summarize(stdout, results)
+	return ctx.Err()
+}
+
+func post(ctx context.Context, client *http.Client, base string, r admitRequest) result {
+	body, _ := json.Marshal(r)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/admit", bytes.NewReader(body))
+	if err != nil {
+		return result{status: -1}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return result{status: -1, latency: lat}
+	}
+	defer resp.Body.Close()
+	var ar admitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ar)
+	return result{status: resp.StatusCode, accepted: ar.Accepted, latency: lat}
+}
+
+func doScrape(ctx context.Context, client *http.Client, base, path string, stdout io.Writer) error {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("admitload: scrape %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admitload: scrape %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// chaosKill is one scheduled node kill.
+type chaosKill struct {
+	node  int
+	after time.Duration
+}
+
+// parseKills parses "node@seconds,node@seconds".
+func parseKills(s string) ([]chaosKill, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []chaosKill
+	for _, part := range strings.Split(s, ",") {
+		node, after, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("admitload: bad -kill entry %q, want node@seconds", part)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil {
+			return nil, fmt.Errorf("admitload: bad -kill node %q: %w", node, err)
+		}
+		sec, err := strconv.ParseFloat(after, 64)
+		if err != nil || sec < 0 {
+			return nil, fmt.Errorf("admitload: bad -kill offset %q", after)
+		}
+		out = append(out, chaosKill{node: n, after: time.Duration(sec * float64(time.Second))})
+	}
+	return out, nil
+}
+
+// summarize prints status counts, the accept/reject split and latency
+// percentiles over the completed requests.
+func summarize(w io.Writer, results []result) {
+	counts := map[int]int{}
+	accepted, rejected := 0, 0
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		counts[r.status]++
+		if r.status == http.StatusOK {
+			if r.accepted {
+				accepted++
+			} else {
+				rejected++
+			}
+		}
+		if r.status > 0 {
+			lats = append(lats, r.latency)
+		}
+	}
+	fmt.Fprintf(w, "admitload: %d requests\n", len(results))
+	statuses := make([]int, 0, len(counts))
+	for st := range counts {
+		statuses = append(statuses, st)
+	}
+	sort.Ints(statuses)
+	for _, st := range statuses {
+		label := strconv.Itoa(st)
+		if st == -1 {
+			label = "transport-error"
+		}
+		fmt.Fprintf(w, "  status %s: %d\n", label, counts[st])
+	}
+	fmt.Fprintf(w, "  decided: %d accepted, %d rejected\n", accepted, rejected)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			k := int(p * float64(len(lats)-1))
+			return lats[k]
+		}
+		fmt.Fprintf(w, "  latency p50 %v p90 %v p99 %v max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+}

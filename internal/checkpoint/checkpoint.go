@@ -144,16 +144,26 @@ func (j *Journal) Append(rec Record) error {
 // flushLocked writes all records to a sibling temp file and renames it
 // over the journal path. Callers hold j.mu.
 func (j *Journal) flushLocked() error {
-	dir := filepath.Dir(j.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp-*")
+	return WriteFileJSONL(j.path, j.ordered)
+}
+
+// WriteFileJSONL atomically replaces path with one JSON line per record:
+// the lines go to a sibling temp file which is fsynced and renamed over
+// path, so the file on disk is always a complete, parseable JSONL
+// document — a process killed mid-write leaves either the old state or
+// the new one, never a torn line. This is the durability primitive behind
+// both the sweep journal and the admission daemon's drain checkpoint.
+func WriteFileJSONL[T any](path string, recs []T) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
-	for _, rec := range j.ordered {
-		if err := enc.Encode(rec); err != nil {
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
 			tmp.Close()
 			return fmt.Errorf("checkpoint: %w", err)
 		}
@@ -169,8 +179,40 @@ func (j *Journal) flushLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), j.path); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
+}
+
+// ReadFileJSONL parses a JSONL file written by WriteFileJSONL into one
+// record per line. Blank lines are skipped; a missing file is an error
+// (callers gate on existence to distinguish "no checkpoint" from a
+// corrupt one).
+func ReadFileJSONL[T any](path string) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []T
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec T
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("checkpoint: %s line %d: %w", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return out, nil
 }

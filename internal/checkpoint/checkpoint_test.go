@@ -174,3 +174,45 @@ func TestSummaryJSONRoundTripExact(t *testing.T) {
 		t.Fatalf("round trip drifted:\n in  %+v\n out %+v", in, out)
 	}
 }
+
+// TestWriteReadFileJSONL pins the generic JSONL state-file primitive the
+// admission daemon's drain checkpoint uses: records round-trip in order,
+// and a rewrite atomically replaces the previous state.
+func TestWriteReadFileJSONL(t *testing.T) {
+	type op struct {
+		Seq int     `json:"seq"`
+		T   float64 `json:"t"`
+		Tag string  `json:"tag,omitempty"`
+	}
+	path := filepath.Join(t.TempDir(), "state.jsonl")
+	in := []op{{Seq: 1, T: 0.5}, {Seq: 2, T: 1.25, Tag: "x"}, {Seq: 3, T: 1.25}}
+	if err := WriteFileJSONL(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFileJSONL[op](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d drifted: wrote %+v, read %+v", i, in[i], out[i])
+		}
+	}
+	// Overwrite with fewer records: the file must hold exactly the new set.
+	if err := WriteFileJSONL(path, in[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ReadFileJSONL[op](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("after rewrite: read %+v, want just %+v", out, in[0])
+	}
+	if _, err := ReadFileJSONL[op](filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("ReadFileJSONL on a missing file did not error")
+	}
+}

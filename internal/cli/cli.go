@@ -21,8 +21,25 @@ type RunFunc func(ctx context.Context, args []string, stdout io.Writer) error
 // what is in flight, and return the cancellation error. Once the context
 // is canceled the default signal disposition is restored, so a second
 // signal force-kills a stuck drain. A non-nil error is printed to stderr
-// as one "name: error" line and mapped to an exit code via ExitCode.
+// as one "name: error" line and mapped to an exit code via ExitCode:
+// batch semantics, where an interrupt is an abnormal end (exit 130).
 func Main(name string, run RunFunc) {
+	mainWith(name, run, ExitCode)
+}
+
+// MainServer is Main with server exit semantics: a run that ends because
+// its context was canceled performed a graceful drain, which is the
+// normal way a daemon exits, so the interrupt maps to exit 0 instead of
+// 130 (see ServerExitCode). The signal plumbing — first signal cancels
+// the context, second signal force-kills a stuck drain via the restored
+// default disposition — is the exact code path Main uses.
+func MainServer(name string, run RunFunc) {
+	mainWith(name, run, ServerExitCode)
+}
+
+// mainWith is the shared signal-handling entry point behind Main and
+// MainServer; only the error-to-exit-code mapping differs.
+func mainWith(name string, run RunFunc, exitCode func(error) int) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -30,8 +47,10 @@ func Main(name string, run RunFunc) {
 		stop()
 	}()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		os.Exit(ExitCode(err))
+		if code := exitCode(err); code != 0 {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(code)
+		}
 	}
 }
 
@@ -44,6 +63,18 @@ func ExitCode(err error) int {
 		return 0
 	case errors.Is(err, context.Canceled):
 		return 130
+	default:
+		return 1
+	}
+}
+
+// ServerExitCode maps a daemon's run error onto its exit code: a
+// cancellation means the signal-triggered drain completed and the exit
+// is clean (0); anything else is a failure (1).
+func ServerExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		return 0
 	default:
 		return 1
 	}

@@ -7,6 +7,28 @@ import (
 	"testing"
 )
 
+func TestServerExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil is a clean exit", nil, 0},
+		{"canceled is a completed drain, exit 0", context.Canceled, 0},
+		{"wrapped canceled", fmt.Errorf("serve: drain: %w", context.Canceled), 0},
+		{"plain failure", errors.New("boom"), 1},
+		{"deadline exceeded is a stuck drain, not a clean exit",
+			context.DeadlineExceeded, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ServerExitCode(tc.err); got != tc.want {
+				t.Fatalf("ServerExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestExitCode(t *testing.T) {
 	cases := []struct {
 		name string

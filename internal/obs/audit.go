@@ -167,6 +167,17 @@ func (a *AuditLog) Decisions() []Decision { return a.decisions }
 // Len returns the number of recorded decisions.
 func (a *AuditLog) Len() int { return len(a.decisions) }
 
+// Drain returns the decisions recorded since the last Drain and empties
+// the log without disturbing its sequence numbering, so a long-running
+// service can stream decisions to disk incrementally instead of holding
+// an unbounded history in memory. The returned slice is owned by the
+// caller; the log starts a fresh backing array.
+func (a *AuditLog) Drain() []Decision {
+	d := a.decisions
+	a.decisions = nil
+	return d
+}
+
 // Reset empties the log and restarts its sequence numbering for a new
 // run, keeping the grown storage.
 func (a *AuditLog) Reset(run, policy string) {

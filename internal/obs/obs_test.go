@@ -336,3 +336,29 @@ func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
 		t.Error("expected unknown-phase error")
 	}
 }
+
+func TestAuditLogDrainKeepsSequence(t *testing.T) {
+	a := NewAuditLog("serve", "LibraRisk")
+	a.Begin(1, 10, 2, 100, 500, false)
+	a.Accept([]int{0, 1})
+	a.Begin(2, 11, 1, 50, 300, false)
+	a.Reject("no zero-risk node")
+	first := a.Drain()
+	if len(first) != 2 || a.Len() != 0 {
+		t.Fatalf("Drain returned %d decisions, log kept %d; want 2 and 0", len(first), a.Len())
+	}
+	if first[0].Seq != 1 || first[1].Seq != 2 {
+		t.Fatalf("drained seqs = %d,%d; want 1,2", first[0].Seq, first[1].Seq)
+	}
+	// Decisions after a drain continue the sequence instead of restarting,
+	// so a streamed audit file is indistinguishable from an in-memory one.
+	a.Begin(3, 12, 1, 60, 400, false)
+	a.Accept([]int{2})
+	second := a.Drain()
+	if len(second) != 1 || second[0].Seq != 3 {
+		t.Fatalf("post-drain decision seq = %+v, want one decision with seq 3", second)
+	}
+	if got := a.Drain(); len(got) != 0 {
+		t.Fatalf("empty Drain returned %d decisions", len(got))
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotaTable enforces per-tenant admission-rate quotas with burst
+// credit: a classic token bucket per tenant, refilled lazily on access.
+// rate is tokens per wall second and burst is the bucket depth; rate
+// zero with burst positive is a fixed budget that never refills, which
+// is the shape the exactness tests pin down (exactly burst admits, no
+// timing dependence).
+type quotaTable struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate, burst float64, now func() time.Time) *quotaTable {
+	if burst <= 0 {
+		// A pure rate with no declared burst still needs capacity for one
+		// request or nothing ever passes.
+		burst = 1
+	}
+	return &quotaTable{
+		rate:    rate,
+		burst:   burst,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// take consumes one token from tenant's bucket. When the bucket is
+// empty it reports how long until the next token exists (at least one
+// second, per Retry-After's integer grain); for a non-replenishing
+// budget the wait is "until drain", reported as a flat minute.
+func (q *quotaTable) take(tenant string) (ok bool, retryAfter time.Duration) {
+	t := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: t}
+		q.buckets[tenant] = b
+	} else if q.rate > 0 {
+		dt := t.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens += dt * q.rate
+			if b.tokens > q.burst {
+				b.tokens = q.burst
+			}
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if q.rate <= 0 {
+		return false, time.Minute
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// tenants returns how many distinct tenants have buckets.
+func (q *quotaTable) tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

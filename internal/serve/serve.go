@@ -1,0 +1,701 @@
+// Package serve wraps the EDF/Libra/LibraRisk admission-control policies
+// in a long-running, overload-safe HTTP service: a live job stream is
+// admitted against concurrent cluster state instead of a batch
+// simulation.
+//
+// # Consistency model
+//
+// The simulation state (engine, cluster, policy, recorder, registry) is
+// single-goroutine by construction, so the server partitions access with
+// one RW lock: every mutation — advancing virtual time, processing
+// completions, admitting a job, crashing a node — happens on a single
+// apply worker holding the write lock, while snapshot reads (/state)
+// take the read lock. Admission requests enter a bounded queue and are
+// applied strictly in dequeue order, so each decision evaluates against
+// a consistent cluster snapshot that already includes every earlier
+// decision; there is no torn state to observe, ever.
+//
+// # Virtual time
+//
+// The cluster runs in virtual seconds. A request may pin its own submit
+// time (`t`), or the wall clock drives it via Config.TimeScale; either
+// way the applied time is clamped monotonically non-decreasing, the
+// engine first processes every completion at or before it, and only then
+// does the policy see the job. With TimeScale zero the clock is driven
+// purely by request times, which makes a request stream — and therefore
+// the audit log and the drain checkpoint — fully deterministic.
+//
+// # Overload envelope
+//
+// Per-tenant token buckets (quota with burst credit) answer 429, the
+// bounded queue and per-request deadlines answer 503, and both carry a
+// Retry-After derived from the cluster's own signal: the virtual time of
+// the next believed completion, i.e. when LibraRisk's view of the world
+// next changes. A load-shedding ladder driven by queue depth and p99
+// admission latency sheds in order: the audit slow path first, then
+// sheddable-class requests, then everything but health checks.
+//
+// # Drain
+//
+// Drain stops intake, applies every queued request (each in-flight
+// request still gets a decision), flushes the audit stream, and
+// checkpoints the applied-operation log through internal/checkpoint's
+// atomic JSONL writer. A daemon restarted with Resume replays that log —
+// byte-identically, including the audit stream — and continues serving.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersched/internal/checkpoint"
+	"clustersched/internal/cluster"
+	"clustersched/internal/core"
+	"clustersched/internal/metrics"
+	"clustersched/internal/obs"
+	"clustersched/internal/sim"
+	"clustersched/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Policy selects the admission control: "edf", "libra" or
+	// "librarisk" (the default).
+	Policy string
+	// Nodes is the cluster size (default 128, the paper's machine).
+	Nodes int
+	// Rating is the per-node SPEC rating (default 168).
+	Rating float64
+	// SigmaThreshold relaxes LibraRisk's zero-risk rule.
+	SigmaThreshold float64
+	// TimeScale is virtual seconds per wall-clock second. Zero freezes
+	// the wall mapping: virtual time advances only through request-
+	// supplied times, which is the deterministic mode tests and the
+	// drain/resume byte-identity guarantee rely on.
+	TimeScale float64
+	// QueueDepth bounds the admission queue (default 256). A full queue
+	// answers 503 with Retry-After.
+	QueueDepth int
+	// RequestTimeout is the per-request admission deadline (default 5s):
+	// a request still queued when it expires is answered 503 without
+	// ever touching cluster state.
+	RequestTimeout time.Duration
+	// QuotaRate is the per-tenant sustained admission rate in requests
+	// per wall second; QuotaBurst is the bucket depth (burst credit).
+	// Both zero disables quotas. Rate zero with burst positive is a
+	// fixed, non-replenishing budget.
+	QuotaRate  float64
+	QuotaBurst float64
+	// AdmitWorkers > 1 fans the Libra/LibraRisk admission node scan out
+	// on a sim.ShardPool of that size; its park/wake/spin counters are
+	// exported on /metrics.
+	AdmitWorkers int
+	// Audit, when non-nil, receives every admission decision as JSONL,
+	// streamed incrementally (the in-memory log is drained per decision).
+	Audit io.Writer
+	// CheckpointPath, when set, is where Drain writes the applied-op log.
+	CheckpointPath string
+	// Resume replays CheckpointPath at startup when the file exists.
+	Resume bool
+	// Shed tunes the load-shedding ladder.
+	Shed ShedConfig
+
+	// now overrides time.Now in tests.
+	now func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "librarisk"
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 128
+	}
+	if c.Rating == 0 {
+		c.Rating = 168
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	c.Shed = c.Shed.withDefaults()
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Op is one state-mutating operation applied to the cluster, in apply
+// order. The drain checkpoint is the sequence of Ops; replaying them
+// through a fresh Server reproduces the cluster state — and the audit
+// stream — byte-identically.
+type Op struct {
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind,omitempty"` // "" = admit, "node" = node up/down
+	// T is the virtual time the op was applied at.
+	T float64 `json:"t"`
+	// Admit fields.
+	Tenant   string  `json:"tenant,omitempty"`
+	NumProc  int     `json:"numproc,omitempty"`
+	Runtime  float64 `json:"runtime,omitempty"`
+	Estimate float64 `json:"estimate,omitempty"`
+	Deadline float64 `json:"deadline,omitempty"`
+	Class    int     `json:"class,omitempty"`
+	// Audited records whether the decision went through the audit slow
+	// path, so a replay sheds exactly the ops the live run shed.
+	Audited bool `json:"audited,omitempty"`
+	// Node-op fields.
+	Node int  `json:"node,omitempty"`
+	Down bool `json:"down,omitempty"`
+}
+
+// opOutcome is what applying an Op produced.
+type opOutcome struct {
+	accepted bool
+	reason   string
+	killed   int // node ops: jobs torn down
+}
+
+// pending is one queued request awaiting its turn on the apply worker.
+type pending struct {
+	op       Op
+	hasT     bool
+	reqT     float64
+	deadline time.Time
+	resp     chan applied // buffered(1): the worker never blocks on it
+}
+
+// applied is the worker's answer to a pending request.
+type applied struct {
+	timedOut bool
+	op       Op
+	out      opOutcome
+}
+
+// exportedCounter is a goroutine-safe cumulative counter whose total is
+// folded into an obs.Counter at scrape time (the registry itself is not
+// synchronized; it lives under the state lock).
+type exportedCounter struct {
+	v        atomic.Uint64
+	exported uint64
+}
+
+func (c *exportedCounter) Inc() { c.v.Add(1) }
+
+// syncTo adds the growth since the last sync to ctr. Callers hold the
+// state lock.
+func (c *exportedCounter) syncTo(ctr *obs.Counter) {
+	cur := c.v.Load()
+	ctr.Add(float64(cur - c.exported))
+	c.exported = cur
+}
+
+// Server is an online admission service around one simulated cluster.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// mu guards the simulation state and the metrics registry. The apply
+	// worker and /metrics take the write lock; /state takes the read
+	// lock.
+	mu     sync.RWMutex
+	eng    *sim.Engine
+	ts     *cluster.TimeShared
+	ss     *cluster.SpaceShared
+	pol    core.Policy
+	rec    *metrics.Recorder
+	audit  *obs.AuditLog
+	auditW *bufio.Writer
+	reg    *obs.Registry
+	pool   *sim.ShardPool
+	ops    []Op
+	seq    int
+	// latHist is the admission-latency histogram (seconds).
+	latHist *obs.Histogram
+	// applyErr latches the first apply-path failure (audit write error,
+	// event budget); /healthz keeps answering but /state surfaces it.
+	applyErr error
+	// pool counter export state.
+	poolParks, poolWakes, poolSpins uint64
+
+	quotas *quotaTable
+	shed   *shedder
+
+	// vnowBits/nextFinishBits cache the virtual clock and the next
+	// believed completion time for lock-free Retry-After computation.
+	vnowBits       atomic.Uint64
+	nextFinishBits atomic.Uint64
+
+	// intake guards the draining flag and the queue send, so Drain can
+	// close the queue with no sender in flight.
+	intake   sync.RWMutex
+	draining bool
+	queue    chan *pending
+	wg       sync.WaitGroup
+
+	drainOnce sync.Once
+	drainErr  error
+
+	// HTTP-side counters, folded into the registry at scrape.
+	cRequests, cAdmitted, cRejected   exportedCounter
+	cQuotaDenied, cQueueFull          exportedCounter
+	cShedClass, cShedAll, cAuditShed  exportedCounter
+	cTimeouts, cDrainDenied, cApplied exportedCounter
+	cPanics                           exportedCounter
+}
+
+// New builds a Server, optionally replaying a drain checkpoint, and
+// starts its apply worker. Callers must end the server with Drain (or
+// Close) or the worker goroutine leaks.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 || cfg.Rating <= 0 {
+		return nil, fmt.Errorf("serve: invalid cluster size %d × rating %g", cfg.Nodes, cfg.Rating)
+	}
+	if cfg.TimeScale < 0 || math.IsNaN(cfg.TimeScale) || math.IsInf(cfg.TimeScale, 0) {
+		return nil, fmt.Errorf("serve: invalid TimeScale %g", cfg.TimeScale)
+	}
+	s := &Server{
+		cfg:   cfg,
+		start: cfg.now(),
+		eng:   sim.NewEngine(),
+		rec:   metrics.NewRecorder(),
+		reg:   obs.NewRegistry(),
+		queue: make(chan *pending, cfg.QueueDepth),
+		shed:  newShedder(cfg.Shed),
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.RefRating = cfg.Rating
+	switch cfg.Policy {
+	case "librarisk", "libra":
+		ts, err := cluster.NewTimeShared(cfg.Nodes, cfg.Rating, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.ts = ts
+		if cfg.Policy == "librarisk" {
+			p := core.NewLibraRisk(ts, s.rec)
+			p.SigmaThreshold = cfg.SigmaThreshold
+			s.pol = p
+		} else {
+			s.pol = core.NewLibra(ts, s.rec)
+		}
+	case "edf":
+		ss, err := cluster.NewSpaceShared(cfg.Nodes, cfg.Rating, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.ss = ss
+		s.pol = core.NewEDF(ss, s.rec)
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (want edf, libra or librarisk)", cfg.Policy)
+	}
+	if cfg.AdmitWorkers > 1 {
+		if ap, ok := s.pol.(core.AdmitParallel); ok {
+			s.pool = sim.NewShardPool(cfg.AdmitWorkers)
+			ap.SetAdmitPool(s.pool)
+		}
+	}
+	if cfg.QuotaRate > 0 || cfg.QuotaBurst > 0 {
+		s.quotas = newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst, cfg.now)
+	}
+	if cfg.Audit != nil {
+		s.audit = obs.NewAuditLog("serve", s.pol.Name())
+		s.auditW = bufio.NewWriter(cfg.Audit)
+	}
+	s.latHist = s.reg.Histogram("serve_admission_latency_seconds",
+		"Admission decision latency from dequeue to decision.",
+		[]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
+	s.storeClocks(0, math.NaN())
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		if err := s.replayCheckpoint(); err != nil {
+			s.closePool()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.worker()
+	return s, nil
+}
+
+func (s *Server) closePool() {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
+
+// now returns the wall clock (test-overridable).
+func (s *Server) now() time.Time { return s.cfg.now() }
+
+// wallVT maps the wall clock onto virtual seconds since start.
+func (s *Server) wallVT(t time.Time) float64 {
+	if s.cfg.TimeScale <= 0 {
+		return 0
+	}
+	return t.Sub(s.start).Seconds() * s.cfg.TimeScale
+}
+
+// storeClocks publishes the virtual clock and next-completion caches for
+// the lock-free Retry-After path. nextFinish NaN means "no pending
+// completion".
+func (s *Server) storeClocks(vnow, nextFinish float64) {
+	s.vnowBits.Store(math.Float64bits(vnow))
+	s.nextFinishBits.Store(math.Float64bits(nextFinish))
+}
+
+// retryAfter estimates how many wall seconds until the cluster's state
+// next changes — the earliest believed completion, which is exactly the
+// signal LibraRisk's rejection is based on — clamped to [1, 3600]. With
+// a frozen wall mapping (TimeScale 0) it returns 1.
+func (s *Server) retryAfter() time.Duration {
+	if s.cfg.TimeScale <= 0 {
+		return time.Second
+	}
+	vnow := math.Float64frombits(s.vnowBits.Load())
+	next := math.Float64frombits(s.nextFinishBits.Load())
+	if math.IsNaN(next) || next <= vnow {
+		return time.Second
+	}
+	wall := (next - vnow) / s.cfg.TimeScale
+	if wall < 1 {
+		wall = 1
+	}
+	if wall > 3600 {
+		wall = 3600
+	}
+	return time.Duration(wall * float64(time.Second))
+}
+
+// enqueueErr classifies why intake refused a request.
+var (
+	errDraining  = errors.New("serve: draining")
+	errQueueFull = errors.New("serve: admission queue full")
+)
+
+// enqueue hands p to the apply worker, failing fast when draining or the
+// queue is full. The send happens under the intake read lock, so Drain
+// (which takes the write lock before closing the queue) can never race a
+// send onto a closed channel.
+func (s *Server) enqueue(p *pending) error {
+	s.intake.RLock()
+	defer s.intake.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- p:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// worker is the single apply goroutine: it owns every state mutation, in
+// queue order.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for p := range s.queue {
+		s.process(p)
+	}
+}
+
+// process applies one pending request and answers it.
+func (s *Server) process(p *pending) {
+	if !p.deadline.IsZero() && s.now().After(p.deadline) {
+		// Expired while queued: answer without touching cluster state, so
+		// a backlogged server converges instead of doing work nobody is
+		// waiting for.
+		s.cTimeouts.Inc()
+		p.resp <- applied{timedOut: true}
+		return
+	}
+	start := s.now()
+	s.mu.Lock()
+	if !p.hasT {
+		p.op.T = s.wallVT(start)
+	} else {
+		p.op.T = p.reqT
+	}
+	s.seq++
+	p.op.Seq = s.seq
+	out := s.applyLocked(&p.op)
+	lat := s.now().Sub(start).Seconds()
+	s.latHist.Observe(lat)
+	s.mu.Unlock()
+	s.cApplied.Inc()
+	if p.op.Kind == "" {
+		if out.accepted {
+			s.cAdmitted.Inc()
+		} else {
+			s.cRejected.Inc()
+		}
+	}
+	s.shed.observe(lat)
+	p.resp <- applied{op: p.op, out: out}
+}
+
+// applyLocked advances virtual time to op.T (firing every completion at
+// or before it), applies the op, records it, and refreshes the clock
+// caches. Callers hold the write lock. op.T below the current virtual
+// clock is clamped up — time never runs backwards.
+func (s *Server) applyLocked(op *Op) opOutcome {
+	if op.T < s.eng.Now() || math.IsNaN(op.T) {
+		op.T = s.eng.Now()
+	}
+	if op.T > s.eng.Now() {
+		s.eng.SetHorizon(op.T)
+		if err := s.eng.Run(); err != nil && s.applyErr == nil {
+			s.applyErr = fmt.Errorf("serve: advancing to t=%g: %w", op.T, err)
+		}
+		s.eng.AdvanceTo(op.T)
+	}
+	var out opOutcome
+	switch op.Kind {
+	case "node":
+		out = s.applyNodeLocked(op)
+	default:
+		out = s.applyAdmitLocked(op)
+	}
+	s.ops = append(s.ops, *op)
+	vnow := s.eng.Now()
+	next := math.NaN()
+	if t, _, ok := s.eng.PeekNext(); ok {
+		next = t
+	}
+	s.storeClocks(vnow, next)
+	return out
+}
+
+// applyAdmitLocked submits one job to the policy and reads the decision
+// back out of the recorder delta — the one source of truth all three
+// policies share, audit on or off.
+func (s *Server) applyAdmitLocked(op *Op) opOutcome {
+	if s.audit != nil {
+		if op.Audited {
+			s.setObs(s.audit)
+		} else {
+			s.setObs(nil)
+		}
+	}
+	job := workload.Job{
+		ID:            op.Seq,
+		Submit:        op.T,
+		Runtime:       op.Runtime,
+		TraceEstimate: op.Estimate,
+		NumProc:       op.NumProc,
+		Deadline:      op.Deadline,
+		Class:         workload.Class(op.Class),
+	}
+	n0 := len(s.rec.Results())
+	s.pol.Submit(s.eng, job, op.Estimate)
+	s.streamAuditLocked()
+	for _, r := range s.rec.Results()[n0:] {
+		if r.JobID == op.Seq && r.Outcome == metrics.Rejected {
+			return opOutcome{accepted: false, reason: r.Reason}
+		}
+	}
+	// Accepted into the cluster (Libra/LibraRisk) or the dispatch queue
+	// (EDF, whose generous admission decides at selection time).
+	return opOutcome{accepted: true}
+}
+
+// applyNodeLocked crashes or repairs one node. Jobs killed by a crash
+// are resubmitted by the policy's recovery hook inside this call, so the
+// decision stream (and audit) stays deterministic.
+func (s *Server) applyNodeLocked(op *Op) opOutcome {
+	if s.audit != nil {
+		if op.Audited {
+			s.setObs(s.audit)
+		} else {
+			s.setObs(nil)
+		}
+	}
+	var killed int
+	if s.ts != nil {
+		killed = len(s.ts.SetNodeDown(s.eng, op.Node, op.Down))
+	} else {
+		killed = len(s.ss.SetNodeDown(s.eng, op.Node, op.Down))
+	}
+	s.streamAuditLocked()
+	return opOutcome{accepted: true, killed: killed}
+}
+
+// setObs swaps the policy's audit attachment (nil detaches).
+func (s *Server) setObs(a *obs.AuditLog) {
+	type obsPolicy interface {
+		SetObs(obs.Tracer, *obs.SimMetrics, *obs.AuditLog)
+	}
+	if p, ok := s.pol.(obsPolicy); ok {
+		p.SetObs(nil, nil, a)
+	}
+}
+
+// streamAuditLocked drains newly recorded decisions to the audit writer.
+// A write failure latches applyErr and stops the stream; admission keeps
+// serving (losing audit is strictly better than refusing traffic).
+func (s *Server) streamAuditLocked() {
+	if s.audit == nil || s.auditW == nil {
+		return
+	}
+	ds := s.audit.Drain()
+	if len(ds) == 0 {
+		return
+	}
+	if err := obs.WriteAuditJSONL(s.auditW, ds); err != nil {
+		if s.applyErr == nil {
+			s.applyErr = fmt.Errorf("serve: audit stream: %w", err)
+		}
+		s.auditW = nil
+		return
+	}
+	if err := s.auditW.Flush(); err != nil {
+		if s.applyErr == nil {
+			s.applyErr = fmt.Errorf("serve: audit stream: %w", err)
+		}
+		s.auditW = nil
+	}
+}
+
+// Drain performs the graceful-shutdown protocol: stop intake, apply
+// every queued request (each still gets its decision), flush the audit
+// stream, close the admit pool, and checkpoint the op log. Drain is
+// idempotent; concurrent callers share the first run's result. The
+// context bounds the wait for the queue to empty.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.intake.Lock()
+		s.draining = true
+		close(s.queue)
+		s.intake.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.drainErr = fmt.Errorf("serve: drain: %w", context.Cause(ctx))
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.closePool()
+		if s.auditW != nil {
+			if err := s.auditW.Flush(); err != nil && s.applyErr == nil {
+				s.applyErr = fmt.Errorf("serve: audit flush: %w", err)
+			}
+		}
+		if s.cfg.CheckpointPath != "" {
+			if err := s.writeCheckpointLocked(); err != nil {
+				s.drainErr = err
+				return
+			}
+		}
+		if s.applyErr != nil {
+			s.drainErr = s.applyErr
+		}
+	})
+	return s.drainErr
+}
+
+// Close is Drain with no deadline, for tests and defer chains.
+func (s *Server) Close() error { return s.Drain(context.Background()) }
+
+// OpsApplied returns how many operations have been applied so far.
+func (s *Server) OpsApplied() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ops)
+}
+
+// checkpointMeta identifies the configuration a checkpoint belongs to; a
+// resume under a different cluster shape must fail loudly, not replay.
+type checkpointMeta struct {
+	Version int     `json:"version"`
+	Policy  string  `json:"policy"`
+	Nodes   int     `json:"nodes"`
+	Rating  float64 `json:"rating"`
+	Sigma   float64 `json:"sigma"`
+	Ops     int     `json:"ops"`
+}
+
+// checkpointLine is one line of the drain checkpoint: a meta header or
+// an op.
+type checkpointLine struct {
+	Meta *checkpointMeta `json:"meta,omitempty"`
+	Op   *Op             `json:"op,omitempty"`
+}
+
+func (s *Server) metaLocked() checkpointMeta {
+	return checkpointMeta{
+		Version: 1,
+		Policy:  s.cfg.Policy,
+		Nodes:   s.cfg.Nodes,
+		Rating:  s.cfg.Rating,
+		Sigma:   s.cfg.SigmaThreshold,
+		Ops:     len(s.ops),
+	}
+}
+
+// writeCheckpointLocked persists the applied-op log atomically.
+func (s *Server) writeCheckpointLocked() error {
+	meta := s.metaLocked()
+	lines := make([]checkpointLine, 0, len(s.ops)+1)
+	lines = append(lines, checkpointLine{Meta: &meta})
+	for i := range s.ops {
+		lines = append(lines, checkpointLine{Op: &s.ops[i]})
+	}
+	return checkpoint.WriteFileJSONL(s.cfg.CheckpointPath, lines)
+}
+
+// replayCheckpoint loads CheckpointPath and re-applies its ops against
+// the freshly built state. Each op carries the exact virtual time and
+// audit attachment of the original run, so the replayed decision stream
+// — including the audit JSONL — is byte-identical to the one the drained
+// daemon produced. A missing file is a fresh start, not an error.
+func (s *Server) replayCheckpoint() error {
+	lines, err := checkpoint.ReadFileJSONL[checkpointLine](s.cfg.CheckpointPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if len(lines) == 0 || lines[0].Meta == nil {
+		return fmt.Errorf("serve: checkpoint %s: missing meta header", s.cfg.CheckpointPath)
+	}
+	meta, want := *lines[0].Meta, s.metaLocked()
+	want.Ops = meta.Ops
+	if meta != want {
+		return fmt.Errorf("serve: checkpoint %s was written by config %+v, current config is %+v",
+			s.cfg.CheckpointPath, meta, want)
+	}
+	if meta.Ops != len(lines)-1 {
+		return fmt.Errorf("serve: checkpoint %s: header claims %d ops, file has %d",
+			s.cfg.CheckpointPath, meta.Ops, len(lines)-1)
+	}
+	for i, ln := range lines[1:] {
+		if ln.Op == nil {
+			return fmt.Errorf("serve: checkpoint %s: line %d is neither meta nor op", s.cfg.CheckpointPath, i+2)
+		}
+		op := *ln.Op
+		s.applyLocked(&op)
+		if op.Seq > s.seq {
+			s.seq = op.Seq
+		}
+	}
+	return s.applyErr
+}

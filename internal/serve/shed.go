@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Shed levels, in escalation order. Each level sheds strictly more than
+// the one below, so recovering load walks back down the same ladder.
+const (
+	// shedNone: everything on.
+	shedNone = iota
+	// shedAudit: the audit slow path is off — decisions are still made
+	// and journaled, just without per-node evaluation records. PR 5's
+	// differential tests prove the decisions themselves are identical.
+	shedAudit
+	// shedClass: sheddable-class (low-urgency) requests get 503.
+	shedClass
+	// shedAll: everything but health checks (and the metrics scrape that
+	// tells operators why) gets 503.
+	shedAll
+)
+
+// ShedConfig tunes the load-shedding ladder.
+type ShedConfig struct {
+	// Level1Fill/Level2Fill/Level3Fill are admission-queue fill fractions
+	// (0..1] at which the ladder escalates to shedAudit, shedClass and
+	// shedAll. Defaults 0.5, 0.75, 0.95.
+	Level1Fill float64
+	Level2Fill float64
+	Level3Fill float64
+	// P99Latency, when positive, escalates on observed admission latency
+	// as well: p99 ≥ P99Latency forces at least shedAudit, ≥ 2× forces at
+	// least shedClass. Zero disables the latency trigger.
+	P99Latency time.Duration
+	// Window is how many recent latencies the p99 is computed over
+	// (default 256).
+	Window int
+}
+
+func (c ShedConfig) withDefaults() ShedConfig {
+	if c.Level1Fill == 0 {
+		c.Level1Fill = 0.5
+	}
+	if c.Level2Fill == 0 {
+		c.Level2Fill = 0.75
+	}
+	if c.Level3Fill == 0 {
+		c.Level3Fill = 0.95
+	}
+	if c.Window == 0 {
+		c.Window = 256
+	}
+	return c
+}
+
+// shedder derives the current shed level from queue depth and the p99
+// of a sliding window of admission latencies. The p99 is recomputed
+// every refreshEvery observations rather than per query, keeping the
+// request fast path at two atomic-free loads under a short lock.
+type shedder struct {
+	cfg ShedConfig
+
+	mu      sync.Mutex
+	ring    []float64
+	n       int // filled entries, ≤ len(ring)
+	idx     int // next write position
+	sinceP  int // observations since last p99 refresh
+	p99     float64
+	scratch []float64
+}
+
+const refreshEvery = 32
+
+func newShedder(cfg ShedConfig) *shedder {
+	return &shedder{
+		cfg:     cfg,
+		ring:    make([]float64, cfg.Window),
+		scratch: make([]float64, 0, cfg.Window),
+	}
+}
+
+// observe records one admission latency (seconds).
+func (d *shedder) observe(sec float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ring[d.idx] = sec
+	d.idx = (d.idx + 1) % len(d.ring)
+	if d.n < len(d.ring) {
+		d.n++
+	}
+	d.sinceP++
+	if d.sinceP >= refreshEvery || d.n < refreshEvery {
+		d.p99 = d.p99Locked()
+		d.sinceP = 0
+	}
+}
+
+// p99Locked computes the 99th percentile over the window.
+func (d *shedder) p99Locked() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	d.scratch = append(d.scratch[:0], d.ring[:d.n]...)
+	// Small fixed window: insertion sort beats sort.Float64s' overhead
+	// and allocates nothing.
+	for i := 1; i < len(d.scratch); i++ {
+		v := d.scratch[i]
+		j := i - 1
+		for j >= 0 && d.scratch[j] > v {
+			d.scratch[j+1] = d.scratch[j]
+			j--
+		}
+		d.scratch[j+1] = v
+	}
+	k := (99*d.n - 1) / 100
+	if k >= d.n {
+		k = d.n - 1
+	}
+	return d.scratch[k]
+}
+
+// latencyP99 returns the cached windowed p99 in seconds.
+func (d *shedder) latencyP99() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.p99
+}
+
+// level maps current queue fill and latency onto the ladder.
+func (d *shedder) level(qlen, qcap int) int {
+	fill := 0.0
+	if qcap > 0 {
+		fill = float64(qlen) / float64(qcap)
+	}
+	lvl := shedNone
+	switch {
+	case fill >= d.cfg.Level3Fill:
+		lvl = shedAll
+	case fill >= d.cfg.Level2Fill:
+		lvl = shedClass
+	case fill >= d.cfg.Level1Fill:
+		lvl = shedAudit
+	}
+	if d.cfg.P99Latency > 0 {
+		p99 := d.latencyP99()
+		thr := d.cfg.P99Latency.Seconds()
+		switch {
+		case p99 >= 2*thr && lvl < shedClass:
+			lvl = shedClass
+		case p99 >= thr && lvl < shedAudit:
+			lvl = shedAudit
+		}
+	}
+	return lvl
+}

@@ -32,6 +32,36 @@ type ShardPool struct {
 	pending atomic.Int64
 	closing atomic.Bool
 	wg      sync.WaitGroup
+	// Contention counters, exposed via Stats so service-mode scrapes can
+	// see whether the pool is handing phases off hot (spins) or going
+	// through the scheduler (parks/wakes). Updated with one atomic add per
+	// await/Run exit, so the hot spin loops stay untouched.
+	parks atomic.Uint64
+	wakes atomic.Uint64
+	spins atomic.Uint64
+}
+
+// PoolStats is a point-in-time snapshot of a pool's contention counters.
+type PoolStats struct {
+	// Parks counts times a worker gave up spinning and blocked on its
+	// wake token.
+	Parks uint64
+	// Wakes counts wake tokens posted to parked workers.
+	Wakes uint64
+	// SpinIters counts spin-loop iterations across workers awaiting a
+	// task and the coordinator awaiting phase completion.
+	SpinIters uint64
+}
+
+// Stats returns the pool's cumulative contention counters. Safe to call
+// concurrently with Run from another goroutine (a metrics scraper); the
+// three loads are independent, so the snapshot is only loosely coherent.
+func (p *ShardPool) Stats() PoolStats {
+	return PoolStats{
+		Parks:     p.parks.Load(),
+		Wakes:     p.wakes.Load(),
+		SpinIters: p.spins.Load(),
+	}
 }
 
 // poolWorker is one spawned worker's parking slot.
@@ -88,10 +118,14 @@ func (p *ShardPool) Run(fn func(worker int)) {
 		w.post()
 	}
 	fn(0)
-	for spin := 0; p.pending.Load() != 0; spin++ {
+	spin := 0
+	for ; p.pending.Load() != 0; spin++ {
 		if spin%64 == 63 {
 			runtime.Gosched()
 		}
+	}
+	if spin > 0 {
+		p.spins.Add(uint64(spin))
 	}
 }
 
@@ -109,6 +143,7 @@ func (p *ShardPool) Close() {
 func (w *poolWorker) post() {
 	w.epoch.Add(1)
 	if w.parked.CompareAndSwap(true, false) {
+		w.pool.wakes.Add(1)
 		w.wake <- struct{}{}
 	}
 }
@@ -135,12 +170,14 @@ func (w *poolWorker) loop() {
 func (w *poolWorker) await(last uint64) uint64 {
 	for i := 0; i < poolSpinIters; i++ {
 		if e := w.epoch.Load(); e != last {
+			w.pool.spins.Add(uint64(i + 1))
 			return e
 		}
 		if i%64 == 63 {
 			runtime.Gosched()
 		}
 	}
+	w.pool.spins.Add(poolSpinIters)
 	for {
 		if w.parked.CompareAndSwap(false, true) {
 			if w.epoch.Load() != last {
@@ -148,9 +185,11 @@ func (w *poolWorker) await(last uint64) uint64 {
 				// sending a token (consume it), or it missed the flag and
 				// we can simply unpark ourselves.
 				if !w.parked.CompareAndSwap(true, false) {
+					w.pool.parks.Add(1)
 					<-w.wake
 				}
 			} else {
+				w.pool.parks.Add(1)
 				<-w.wake
 			}
 		}

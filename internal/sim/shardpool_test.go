@@ -67,3 +67,47 @@ func TestShardPoolCloseIdempotentAndPanicOnBadSize(t *testing.T) {
 	}()
 	NewShardPool(0)
 }
+
+func TestShardPoolStatsCountParksAndWakes(t *testing.T) {
+	// Gaps longer than the spin budget force the workers to park, so each
+	// post must wake them: parks and wakes grow together and stay 1:1
+	// within the tolerance of workers still mid-park at snapshot time.
+	pool := NewShardPool(3)
+	defer pool.Close()
+	for r := 0; r < 4; r++ {
+		time.Sleep(20 * time.Millisecond) // let workers exhaust spins and park
+		pool.Run(func(w int) {})
+	}
+	st := pool.Stats()
+	if st.Parks == 0 {
+		t.Fatalf("Stats.Parks = 0 after parked handoffs, want > 0 (stats %+v)", st)
+	}
+	if st.Wakes == 0 {
+		t.Fatalf("Stats.Wakes = 0 after parked handoffs, want > 0 (stats %+v)", st)
+	}
+	if st.SpinIters == 0 {
+		t.Fatalf("Stats.SpinIters = 0, want > 0: every park is preceded by a full spin budget (stats %+v)", st)
+	}
+	if st.Wakes > st.Parks {
+		t.Fatalf("Stats.Wakes = %d exceeds Parks = %d: tokens must be 1:1 with parks", st.Wakes, st.Parks)
+	}
+}
+
+func TestShardPoolStatsHotHandoffSpinsWithoutParking(t *testing.T) {
+	// Back-to-back phases hand off inside the spin window: spin iterations
+	// accumulate but parking stays rare. The assertion is one-sided (spins
+	// observed) because a heavily loaded test host may still descend into
+	// a park; what must never happen is a wake without a park.
+	pool := NewShardPool(2)
+	defer pool.Close()
+	for r := 0; r < 1000; r++ {
+		pool.Run(func(w int) {})
+	}
+	st := pool.Stats()
+	if st.SpinIters == 0 {
+		t.Fatalf("Stats.SpinIters = 0 after 1000 back-to-back phases, want > 0")
+	}
+	if st.Wakes > st.Parks {
+		t.Fatalf("Stats.Wakes = %d exceeds Parks = %d", st.Wakes, st.Parks)
+	}
+}

@@ -1,0 +1,54 @@
+package clustersched
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"clustersched/internal/serve"
+)
+
+// BenchmarkServeAdmit measures the full HTTP admission path — JSON
+// decode, shed/quota checks, queue round-trip through the apply
+// worker, virtual-time advance, policy Submit — without a network in
+// the way (requests go straight to the handler). Virtual time advances
+// one second per request so the cluster reaches a steady state instead
+// of filling up.
+func BenchmarkServeAdmit(b *testing.B) {
+	s, err := serve.New(serve.Config{
+		Policy:     "librarisk",
+		Nodes:      128,
+		TimeScale:  0, // request-driven clock: deterministic, no wall coupling
+		QueueDepth: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i)
+		body, _ := json.Marshal(serve.AdmitRequest{
+			NumProc:  1,
+			Runtime:  30,
+			Deadline: 300,
+			T:        &t,
+		})
+		req := httptest.NewRequest(http.MethodPost, "/admit", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("request %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+	}
+	b.StopTimer()
+	if got := s.OpsApplied(); got != b.N {
+		b.Fatalf("applied %d ops, want %d", got, b.N)
+	}
+}
