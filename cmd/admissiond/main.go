@@ -9,10 +9,16 @@
 //	admissiond -addr :8080 -policy librarisk -nodes 128
 //	admissiond -addr :8080 -quota-rate 10 -quota-burst 50 -audit audit.jsonl
 //	admissiond -addr 127.0.0.1:0 -time-scale 0 -checkpoint d.ckpt -resume
+//	admissiond -addr 127.0.0.1:0 -durable /var/lib/admissiond/wal -resume
 //
 // SIGTERM (or SIGINT) starts the drain: intake stops, queued requests
 // are decided, the audit stream is flushed, the checkpoint is written,
 // and the process exits 0. A second signal force-kills a stuck drain.
+//
+// With -durable DIR every applied operation is committed to a
+// crash-consistent write-ahead log before its HTTP response, so even
+// SIGKILL or power loss cannot lose an acknowledged admission; -resume
+// replays the log (truncating any torn tail) on the next boot.
 package main
 
 import (
@@ -49,25 +55,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	admitWorkers := fs.Int("admit-workers", 0, "shard-pool workers for the admission node scan (0/1 = serial)")
 	auditPath := fs.String("audit", "", "stream admission decisions to this JSONL file")
 	ckptPath := fs.String("checkpoint", "", "write the drain checkpoint to this file")
-	resume := fs.Bool("resume", false, "replay the checkpoint at startup when it exists")
+	resume := fs.Bool("resume", false, "replay the checkpoint or WAL at startup when one exists")
+	durableDir := fs.String("durable", "", "write-ahead log directory: fsync every op before its response (crash-consistent mode)")
+	walSegBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment size before rotation (0 = default 4MiB)")
+	walSyncBytes := fs.Int64("wal-sync-bytes", 0, "unsynced WAL bytes that force a commit (0 = default 256KiB, negative = unbounded)")
+	walGroupWait := fs.Duration("wal-group-wait", 0, "group-commit window: wait this long for more ops to share an fsync")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := serve.Config{
-		Policy:         *policy,
-		Nodes:          *nodes,
-		Rating:         *rating,
-		SigmaThreshold: *sigma,
-		TimeScale:      *timeScale,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		QuotaRate:      *quotaRate,
-		QuotaBurst:     *quotaBurst,
-		AdmitWorkers:   *admitWorkers,
-		CheckpointPath: *ckptPath,
-		Resume:         *resume,
+		Policy:          *policy,
+		Nodes:           *nodes,
+		Rating:          *rating,
+		SigmaThreshold:  *sigma,
+		TimeScale:       *timeScale,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *reqTimeout,
+		QuotaRate:       *quotaRate,
+		QuotaBurst:      *quotaBurst,
+		AdmitWorkers:    *admitWorkers,
+		CheckpointPath:  *ckptPath,
+		Resume:          *resume,
+		WALDir:          *durableDir,
+		WALSegmentBytes: *walSegBytes,
+		WALSyncBytes:    *walSyncBytes,
+		WALGroupWait:    *walGroupWait,
 	}
 	var auditFile *os.File
 	if *auditPath != "" {
@@ -83,6 +97,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *durableDir != "" {
+		// Machine-parsed by the crash-fuzz harness: keep its shape stable.
+		recs, trunc := s.WALRecovery()
+		fmt.Fprintf(stdout, "admissiond: recovered %d ops from WAL (%d bytes truncated)\n", recs, trunc)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

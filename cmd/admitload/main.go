@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clustersched/internal/cli"
@@ -48,15 +50,50 @@ type admitRequest struct {
 }
 
 type admitResponse struct {
-	Accepted bool   `json:"accepted"`
-	Reason   string `json:"reason,omitempty"`
+	Job      int     `json:"job"`
+	T        float64 `json:"t"`
+	Accepted bool    `json:"accepted"`
+	Reason   string  `json:"reason,omitempty"`
 }
 
 // result is one request's outcome.
 type result struct {
 	status   int
+	job      int
+	t        float64
 	accepted bool
 	latency  time.Duration
+}
+
+// ackRecord is one line of the -ack-log: a decision the daemon actually
+// acknowledged (status 200). Crash harnesses replay this log to check
+// that no acknowledged admission is lost across a kill.
+type ackRecord struct {
+	Job      int     `json:"job"`
+	T        float64 `json:"t"`
+	Accepted bool    `json:"accepted"`
+}
+
+// ackLogger appends acknowledged decisions to a JSONL file. Writes go
+// straight to the file descriptor — no userspace buffer — so the log
+// holds every ack the moment the HTTP response was read.
+type ackLogger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (a *ackLogger) log(r result) {
+	if a == nil || r.status != http.StatusOK {
+		return
+	}
+	line, err := json.Marshal(ackRecord{Job: r.job, T: r.t, Accepted: r.accepted})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _ = a.f.Write(line)
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -70,8 +107,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	concurrency := fs.Int("concurrency", 8, "closed-loop worker count")
 	tenants := fs.Int("tenants", 4, "spread requests across this many tenants")
 	virtual := fs.Bool("virtual", false, "send the workload's submit times as explicit t")
+	tOffset := fs.Float64("t-offset", 0, "added to every -virtual submit time (restart harnesses advance it per run)")
 	kills := fs.String("kill", "", "node-kill chaos: comma-separated node@seconds wall-clock offsets")
 	scrape := fs.String("scrape", "", "GET this path (e.g. /metrics), print the body and exit")
+	ackLog := fs.String("ack-log", "", "append every acknowledged (status-200) decision to this JSONL file")
+	abortAfter := fs.Int("abort-after-errors", 0, "stop after this many consecutive transport errors (0 = keep going); still exits 0")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +121,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *scrape != "" {
 		return doScrape(ctx, client, *url, *scrape, stdout)
 	}
+
+	var acks *ackLogger
+	if *ackLog != "" {
+		f, err := os.OpenFile(*ackLog, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("admitload: %w", err)
+		}
+		defer f.Close()
+		acks = &ackLogger{f: f}
+	}
+
+	// loadCtx is cancelled when the consecutive-transport-error budget is
+	// spent: the daemon is gone (a crash harness just killed it), so stop
+	// generating instead of timing out on every remaining request.
+	loadCtx, loadCancel := context.WithCancel(ctx)
+	defer loadCancel()
+	var consecErrs atomic.Int64
 
 	gcfg := workload.DefaultGeneratorConfig()
 	gcfg.Jobs = *jobs
@@ -137,19 +194,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				r.Class = "low"
 			}
 			if *virtual {
-				t := j.Submit
+				t := j.Submit + *tOffset
 				r.T = &t
 			}
 			if tick != nil {
 				select {
 				case <-tick.C:
-				case <-ctx.Done():
+				case <-loadCtx.Done():
 					return
 				}
 			}
 			select {
 			case reqs <- r:
-			case <-ctx.Done():
+			case <-loadCtx.Done():
 				return
 			}
 		}
@@ -167,7 +224,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for r := range reqs {
-				res := post(ctx, client, *url, r)
+				if loadCtx.Err() != nil {
+					return
+				}
+				res := post(loadCtx, client, *url, r)
+				if res.status == -1 {
+					if n := consecErrs.Add(1); *abortAfter > 0 && n >= int64(*abortAfter) {
+						loadCancel()
+					}
+				} else {
+					consecErrs.Store(0)
+					acks.log(res)
+				}
 				mu.Lock()
 				results = append(results, res)
 				mu.Unlock()
@@ -176,6 +244,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	wg.Wait()
 	summarize(stdout, results)
+	if loadCtx.Err() != nil && ctx.Err() == nil {
+		fmt.Fprintf(stdout, "admitload: aborted after %d consecutive transport errors\n", *abortAfter)
+	}
+	// A deliberate abort is a clean exit; only the caller's own
+	// cancellation propagates.
 	return ctx.Err()
 }
 
@@ -195,7 +268,7 @@ func post(ctx context.Context, client *http.Client, base string, r admitRequest)
 	defer resp.Body.Close()
 	var ar admitResponse
 	_ = json.NewDecoder(resp.Body).Decode(&ar)
-	return result{status: resp.StatusCode, accepted: ar.Accepted, latency: lat}
+	return result{status: resp.StatusCode, job: ar.Job, t: ar.T, accepted: ar.Accepted, latency: lat}
 }
 
 func doScrape(ctx context.Context, client *http.Client, base, path string, stdout io.Writer) error {

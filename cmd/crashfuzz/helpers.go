@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// trimTornLine cuts data back to its last complete ('\n'-terminated)
+// line. SIGKILL can land mid-write of the final audit line; everything
+// before that line was flushed whole and must survive byte-for-byte.
+func trimTornLine(data []byte) []byte {
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return data
+	}
+	i := bytes.LastIndexByte(data, '\n')
+	if i < 0 {
+		return nil
+	}
+	return data[:i+1]
+}
+
+// isPrefix reports whether prefix is a byte prefix of data.
+func isPrefix(prefix, data []byte) bool {
+	return len(prefix) <= len(data) && bytes.Equal(prefix, data[:len(prefix)])
+}
+
+// containsLine reports whether a metrics body mentions the given
+// metric name.
+func containsLine(body []byte, name string) bool {
+	return bytes.Contains(body, []byte(name))
+}
+
+// ack is one acknowledged decision from admitload's -ack-log.
+type ack struct {
+	Job      int     `json:"job"`
+	T        float64 `json:"t"`
+	Accepted bool    `json:"accepted"`
+}
+
+// parseAcks reads an -ack-log JSONL file. admitload writes each line
+// with a single unbuffered write and is never the process being killed,
+// so every line must parse.
+func parseAcks(path string) ([]ack, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []ack
+	for i, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var a ack
+		if err := json.Unmarshal(line, &a); err != nil {
+			return nil, fmt.Errorf("ack log %s line %d: %w", path, i+1, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// invariants accumulates the cross-cycle state the harness checks:
+// the highest acknowledged sequence, every sequence ever acked (with
+// the cycle that acked it), and the previous cycle's audit bytes.
+type invariants struct {
+	maxAcked  int
+	seen      map[int]int // job seq -> cycle that acked it
+	prevAudit []byte
+}
+
+func newInvariants() *invariants {
+	return &invariants{seen: make(map[int]int)}
+}
+
+// absorb folds one cycle's acks in, failing on a reused sequence
+// (a double admit) or a sequence at or below an earlier cycle's
+// high-water mark (recovery restarted the counter, so replayed ops
+// could collide with pre-crash acks).
+func (v *invariants) absorb(cycle int, acks []ack) error {
+	floor := v.maxAcked
+	for _, a := range acks {
+		if prev, ok := v.seen[a.Job]; ok {
+			return fmt.Errorf("cycle %d: SEQ REUSED: job %d was already acked in cycle %d (double admit)", cycle, a.Job, prev)
+		}
+		if a.Job <= floor {
+			return fmt.Errorf("cycle %d: SEQ REGRESSED: acked job %d but an earlier cycle already acked up to %d", cycle, a.Job, floor)
+		}
+		v.seen[a.Job] = cycle
+		if a.Job > v.maxAcked {
+			v.maxAcked = a.Job
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTrimTornLine(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", ""},
+		{"complete", "a\nb\n", "a\nb\n"},
+		{"torn tail", "a\nb\n{\"par", "a\nb\n"},
+		{"single torn line", "{\"par", ""},
+		{"single complete line", "a\n", "a\n"},
+	}
+	for _, c := range cases {
+		if got := trimTornLine([]byte(c.in)); !bytes.Equal(got, []byte(c.want)) {
+			t.Errorf("%s: trimTornLine(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	if !isPrefix(nil, []byte("abc")) {
+		t.Error("empty prefix should match")
+	}
+	if !isPrefix([]byte("ab"), []byte("abc")) {
+		t.Error("ab should prefix abc")
+	}
+	if isPrefix([]byte("abc"), []byte("ab")) {
+		t.Error("longer than data cannot be a prefix")
+	}
+	if isPrefix([]byte("ax"), []byte("abc")) {
+		t.Error("ax does not prefix abc")
+	}
+}
+
+func TestParseAcks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "acks.jsonl")
+	body := `{"job":1,"t":0,"accepted":true}
+{"job":2,"t":15,"accepted":false}
+{"job":5,"t":30,"accepted":true}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	acks, err := parseAcks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != 3 || acks[0].Job != 1 || !acks[0].Accepted || acks[1].Job != 2 || acks[1].Accepted || acks[2].Job != 5 {
+		t.Fatalf("unexpected acks: %+v", acks)
+	}
+
+	if acks, err := parseAcks(filepath.Join(dir, "missing.jsonl")); err != nil || acks != nil {
+		t.Fatalf("missing file should parse as empty, got %v, %v", acks, err)
+	}
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{notjson\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseAcks(bad); err == nil {
+		t.Fatal("malformed ack line should error")
+	}
+}
+
+func TestInvariantsAbsorb(t *testing.T) {
+	inv := newInvariants()
+	if err := inv.absorb(0, []ack{{Job: 1}, {Job: 3}, {Job: 2}}); err != nil {
+		t.Fatalf("cycle 0: %v", err)
+	}
+	if inv.maxAcked != 3 {
+		t.Fatalf("maxAcked = %d, want 3", inv.maxAcked)
+	}
+	// Sequences continuing past the high-water mark are fine even with
+	// gaps (unacked ops the crash swallowed).
+	if err := inv.absorb(1, []ack{{Job: 7}, {Job: 9}}); err != nil {
+		t.Fatalf("cycle 1: %v", err)
+	}
+	// Reuse of an acked sequence is a double admit.
+	if err := inv.absorb(2, []ack{{Job: 7}}); err == nil {
+		t.Fatal("reused sequence should fail")
+	}
+	// A fresh-but-regressed sequence means the counter restarted.
+	inv2 := newInvariants()
+	if err := inv2.absorb(0, []ack{{Job: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv2.absorb(1, []ack{{Job: 4}}); err == nil {
+		t.Fatal("regressed sequence should fail")
+	}
+}

@@ -8,16 +8,22 @@
 // are simply never matched rather than silently reused.
 //
 // Durability model: the journal is rewritten atomically on every append
-// via a temp file in the same directory followed by rename, so the file
-// on disk is always a complete, parseable JSONL document — a process
+// via a temp file in the same directory followed by rename and a
+// directory fsync, so the file on disk is always a complete, parseable
+// JSONL document and the rename itself survives power loss — a process
 // killed mid-append leaves either the previous journal or the new one,
 // never a torn line. Sweeps checkpoint tens to a few thousand cells, each
 // worth seconds to minutes of simulation, so the O(n) rewrite per append
 // is noise against the work it protects.
+//
+// All file I/O goes through the wal.FS seam, so tests inject fsync
+// failures, rename failures and short writes deterministically and
+// assert the previous journal is always left intact.
 package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +34,7 @@ import (
 	"sync"
 
 	"clustersched/internal/metrics"
+	"clustersched/internal/wal"
 )
 
 // Record is one completed sweep cell.
@@ -48,8 +55,10 @@ type Record struct {
 // file. It is safe for concurrent use by the sweep worker pool.
 type Journal struct {
 	mu      sync.Mutex
+	fs      wal.FS
 	path    string
 	byKey   map[string]Record
+	byPos   map[string]int // key -> position in ordered
 	ordered []Record
 }
 
@@ -57,8 +66,18 @@ type Journal struct {
 // the filesystem yet) if the file does not exist. Duplicate keys keep the
 // last record, matching append order.
 func Open(path string) (*Journal, error) {
-	j := &Journal{path: path, byKey: make(map[string]Record)}
-	f, err := os.Open(path)
+	return OpenFS(wal.OSFS{}, path)
+}
+
+// OpenFS is Open through an injected filesystem.
+func OpenFS(fsys wal.FS, path string) (*Journal, error) {
+	j := &Journal{
+		fs:    fsys,
+		path:  path,
+		byKey: make(map[string]Record),
+		byPos: make(map[string]int),
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, fs.ErrNotExist) {
 		return j, nil
 	}
@@ -73,15 +92,7 @@ func Open(path string) (*Journal, error) {
 }
 
 func (j *Journal) load(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	return forEachLine(r, func(line int, raw []byte) error {
 		var rec Record
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return fmt.Errorf("line %d: %w", line, err)
@@ -90,22 +101,19 @@ func (j *Journal) load(r io.Reader) error {
 			return fmt.Errorf("line %d: record without key", line)
 		}
 		j.insert(rec)
-	}
-	return sc.Err()
+		return nil
+	})
 }
 
-// insert records rec under its key; callers hold j.mu (or have exclusive
+// insert records rec under its key in O(1), overwriting in place when
+// the key was already journaled. Callers hold j.mu (or have exclusive
 // access during load).
 func (j *Journal) insert(rec Record) {
-	if _, seen := j.byKey[rec.Key]; !seen {
-		j.ordered = append(j.ordered, rec)
+	if pos, seen := j.byPos[rec.Key]; seen {
+		j.ordered[pos] = rec
 	} else {
-		for i := range j.ordered {
-			if j.ordered[i].Key == rec.Key {
-				j.ordered[i] = rec
-				break
-			}
-		}
+		j.byPos[rec.Key] = len(j.ordered)
+		j.ordered = append(j.ordered, rec)
 	}
 	j.byKey[rec.Key] = rec
 }
@@ -131,6 +139,9 @@ func (j *Journal) Lookup(key string) (Record, bool) {
 // Append journals one completed cell and atomically rewrites the backing
 // file (temp file + rename) so the on-disk journal is valid at every
 // instant. Appending a key that is already present overwrites its record.
+// A failed rewrite leaves the previous journal untouched on disk, and the
+// in-memory set still holds the record, so a later Append retries the
+// whole rewrite.
 func (j *Journal) Append(rec Record) error {
 	if rec.Key == "" {
 		return errors.New("checkpoint: record without key")
@@ -144,31 +155,73 @@ func (j *Journal) Append(rec Record) error {
 // flushLocked writes all records to a sibling temp file and renames it
 // over the journal path. Callers hold j.mu.
 func (j *Journal) flushLocked() error {
-	return WriteFileJSONL(j.path, j.ordered)
+	return WriteFileJSONLFS(j.fs, j.path, j.ordered)
+}
+
+// createTemp opens an exclusive sibling temp file next to path. It is
+// os.CreateTemp reduced to the FS seam: a deterministic counter suffix
+// stands in for randomness, looping on collisions.
+func createTemp(fsys wal.FS, path string) (wal.File, error) {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s.tmp-%d", path, i)
+		f, err := fsys.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+	}
 }
 
 // WriteFileJSONL atomically replaces path with one JSON line per record:
 // the lines go to a sibling temp file which is fsynced and renamed over
-// path, so the file on disk is always a complete, parseable JSONL
+// path, and the parent directory is fsynced so the rename itself survives
+// power loss. The file on disk is always a complete, parseable JSONL
 // document — a process killed mid-write leaves either the old state or
 // the new one, never a torn line. This is the durability primitive behind
 // both the sweep journal and the admission daemon's drain checkpoint.
 func WriteFileJSONL[T any](path string, recs []T) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
+	return WriteFileJSONLFS(wal.OSFS{}, path, recs)
+}
+
+// WriteFileJSONLFS is WriteFileJSONL through an injected filesystem.
+func WriteFileJSONLFS[T any](fsys wal.FS, path string, recs []T) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	for i := range recs {
 		if err := enc.Encode(&recs[i]); err != nil {
-			tmp.Close()
 			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
-	if err := w.Flush(); err != nil {
+	return writeFileAtomic(fsys, path, buf.Bytes())
+}
+
+// WriteFileLines atomically replaces path with the given raw lines (each
+// written verbatim plus a trailing newline), under the same temp file +
+// fsync + rename + directory-fsync discipline as WriteFileJSONL. Callers
+// that need byte-exact content — e.g. a checksummed checkpoint — use this
+// instead of re-encoding through a JSON encoder.
+func WriteFileLines(fsys wal.FS, path string, lines [][]byte) error {
+	var buf bytes.Buffer
+	for _, ln := range lines {
+		buf.Write(ln)
+		buf.WriteByte('\n')
+	}
+	return writeFileAtomic(fsys, path, buf.Bytes())
+}
+
+// writeFileAtomic lands data at path via temp file, fsync, rename, and
+// directory fsync. On any failure the previous file at path is left
+// untouched.
+func writeFileAtomic(fsys wal.FS, path string, data []byte) error {
+	tmp, err := createTemp(fsys, path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer fsys.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
@@ -179,39 +232,82 @@ func WriteFileJSONL[T any](path string, recs []T) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if err := wal.SyncDir(fsys, filepath.Dir(path)); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
 	return nil
+}
+
+// forEachLine streams r line by line with no bound on line length,
+// calling fn for every non-empty line. Unlike a bufio.Scanner there is
+// no token-size cap: a record larger than any fixed buffer still reads
+// back intact.
+func forEachLine(r io.Reader, fn func(line int, raw []byte) error) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			trimmed := bytes.TrimRight(raw, "\r\n")
+			if len(trimmed) > 0 {
+				if err := fn(line, trimmed); err != nil {
+					return err
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
 }
 
 // ReadFileJSONL parses a JSONL file written by WriteFileJSONL into one
 // record per line. Blank lines are skipped; a missing file is an error
 // (callers gate on existence to distinguish "no checkpoint" from a
-// corrupt one).
+// corrupt one). Lines of any length are accepted.
 func ReadFileJSONL[T any](path string) ([]T, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	var out []T
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	err = forEachLine(f, func(line int, raw []byte) error {
 		var rec T
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return nil, fmt.Errorf("checkpoint: %s line %d: %w", path, line, err)
+			return fmt.Errorf("line %d: %w", line, err)
 		}
 		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
-	if err := sc.Err(); err != nil {
+	return out, nil
+}
+
+// ReadFileLines returns the non-empty raw lines of path, newline
+// stripped, with no bound on line length. Callers that checksum or
+// replay byte-exact content read through this.
+func ReadFileLines(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var out [][]byte
+	err = forEachLine(f, func(line int, raw []byte) error {
+		out = append(out, append([]byte(nil), raw...))
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
 	return out, nil

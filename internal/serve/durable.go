@@ -1,0 +1,314 @@
+package serve
+
+// Durable mode: with Config.WALDir set, every applied operation is
+// appended to a crash-consistent write-ahead log and fsynced BEFORE its
+// HTTP response is written, so an acknowledged admission survives
+// SIGKILL or power loss. The apply worker batches whatever is queued
+// (plus, with WALGroupWait, whatever arrives inside the window) into
+// one group commit, amortizing the fsync across the batch.
+//
+// Recovery on boot replays the log — the compacted prefix plus the tail
+// segments, torn tails truncated by internal/wal — through the same
+// applyLocked path live traffic takes, so the rebuilt cluster state and
+// the regenerated audit stream are byte-identical to the pre-crash run.
+// A meta.json sidecar pins the config identity; resuming under a
+// different cluster shape is refused loudly, as is an existing log
+// without Resume set.
+//
+// Failure model is fail-stop: once an append or commit errors, the
+// error latches, no further state mutates, and every request answers
+// 503 "durability failure". Ops appended but neither committed nor
+// acknowledged may or may not replay after a restart; clients must
+// treat a 503 as indeterminate, which is the standard at-least-once
+// gray zone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clustersched/internal/checkpoint"
+	"clustersched/internal/wal"
+)
+
+// walMetaName is the config-identity sidecar inside WALDir.
+const walMetaName = "meta.json"
+
+// maxWALBatch bounds one group commit so a full queue cannot stretch
+// the first request's latency unboundedly.
+const maxWALBatch = 128
+
+// walRecord is one WAL entry: an applied op, or a quota snapshot
+// (written at drain so budgets restore exactly after a clean restart).
+type walRecord struct {
+	Op    *Op          `json:"op,omitempty"`
+	Quota []quotaEntry `json:"quota,omitempty"`
+}
+
+// openWAL opens (or creates) the write-ahead log, verifies the config
+// identity, and replays every recovered record. Called from New before
+// the worker starts, so no locking is needed for the replay itself.
+func (s *Server) openWAL() error {
+	fsys := s.cfg.WALFS
+	if fsys == nil {
+		fsys = wal.OSFS{}
+	}
+	metaPath := filepath.Join(s.cfg.WALDir, walMetaName)
+	existing, haveMeta := false, false
+	if entries, err := fsys.ReadDir(s.cfg.WALDir); err == nil {
+		for _, e := range entries {
+			if e.Name() == walMetaName {
+				existing, haveMeta = true, true
+			}
+			if strings.HasSuffix(e.Name(), ".wal") {
+				existing = true
+			}
+		}
+	}
+	if existing && !s.cfg.Resume {
+		return fmt.Errorf("serve: %s already holds a write-ahead log; start with Resume to recover it, or point WALDir at an empty directory", s.cfg.WALDir)
+	}
+	if haveMeta {
+		metas, err := checkpoint.ReadFileJSONL[checkpointMeta](metaPath)
+		if err != nil {
+			return fmt.Errorf("serve: wal meta: %w", err)
+		}
+		if len(metas) != 1 {
+			return fmt.Errorf("serve: wal meta %s: want exactly one record, got %d", metaPath, len(metas))
+		}
+		meta, want := metas[0], s.metaLocked()
+		want.Ops, want.CRC = meta.Ops, meta.CRC
+		if meta != want {
+			return fmt.Errorf("serve: wal at %s was written by config %+v, current config is %+v: refusing to replay",
+				s.cfg.WALDir, meta, want)
+		}
+	}
+	log, recov, err := wal.Open(wal.Options{
+		Dir:          s.cfg.WALDir,
+		FS:           fsys,
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		SyncBytes:    s.cfg.WALSyncBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.wal = log
+	if !haveMeta {
+		meta := s.metaLocked()
+		meta.Ops = 0
+		if err := checkpoint.WriteFileJSONLFS(fsys, metaPath, []checkpointMeta{meta}); err != nil {
+			s.wal.Close()
+			return fmt.Errorf("serve: wal meta: %w", err)
+		}
+	}
+	for _, r := range recov.Records {
+		var rec walRecord
+		if err := json.Unmarshal(r.Data, &rec); err != nil {
+			s.wal.Close()
+			return fmt.Errorf("serve: wal record %d: %w", r.Index, err)
+		}
+		switch {
+		case rec.Op != nil:
+			op := *rec.Op
+			if s.quotas != nil && op.Kind == "" {
+				s.quotas.forceTake(op.Tenant)
+			}
+			s.applyLocked(&op)
+			if op.Seq > s.seq {
+				s.seq = op.Seq
+			}
+		case rec.Quota != nil:
+			if s.quotas != nil {
+				s.quotas.restore(rec.Quota)
+			}
+		default:
+			s.wal.Close()
+			return fmt.Errorf("serve: wal record %d is neither op nor quota", r.Index)
+		}
+	}
+	if s.applyErr != nil {
+		s.wal.Close()
+		return s.applyErr
+	}
+	s.walFsyncHist = s.reg.Histogram("serve_wal_fsync_seconds",
+		"WAL group-commit fsync latency.",
+		[]float64{0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5})
+	return nil
+}
+
+// WALRecovery reports what boot recovery replayed: records applied from
+// the log and bytes truncated from torn tails. Zeros without WALDir.
+func (s *Server) WALRecovery() (records int, truncatedBytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal == nil {
+		return 0, 0
+	}
+	m := s.wal.Metrics()
+	return m.RecoveredRecords, m.RecoveryTruncatedBytes
+}
+
+// durableWorker is the apply loop in durable mode: dequeue, gather a
+// batch, write-ahead, commit once, then apply and answer.
+func (s *Server) durableWorker() {
+	var batch []*pending
+	for {
+		p, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+		if wait := s.cfg.WALGroupWait; wait > 0 {
+			timer := time.NewTimer(wait)
+		gather:
+			for len(batch) < maxWALBatch {
+				select {
+				case q, ok := <-s.queue:
+					if !ok {
+						break gather
+					}
+					batch = append(batch, q)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < maxWALBatch {
+				select {
+				case q, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, q)
+				default:
+					break drain
+				}
+			}
+		}
+		s.processBatch(batch)
+	}
+}
+
+// processBatch is the durable counterpart of process: expire what timed
+// out in queue, then write-ahead + single commit + apply for the rest.
+// The response for every member is sent only after the commit covering
+// it returned, which is the "acknowledged implies durable" contract.
+func (s *Server) processBatch(batch []*pending) {
+	live := batch[:0]
+	now := s.now()
+	for _, p := range batch {
+		if !p.deadline.IsZero() && now.After(p.deadline) {
+			s.cTimeouts.Inc()
+			p.resp <- applied{timedOut: true}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	start := s.now()
+	s.mu.Lock()
+	if s.walErr == nil {
+		for _, p := range live {
+			if p.hasT {
+				p.op.T = p.reqT
+			} else {
+				p.op.T = s.wallVT(start)
+			}
+			s.seq++
+			p.op.Seq = s.seq
+			data, err := json.Marshal(walRecord{Op: &p.op})
+			if err == nil {
+				_, err = s.wal.Append(data)
+			}
+			if err != nil {
+				s.setWALErrLocked(err)
+				break
+			}
+		}
+	}
+	if s.walErr == nil {
+		t0 := s.now()
+		err := s.wal.Commit()
+		s.walFsyncHist.Observe(s.now().Sub(t0).Seconds())
+		if err != nil {
+			s.setWALErrLocked(err)
+		}
+	}
+	if s.walErr != nil {
+		s.mu.Unlock()
+		for _, p := range live {
+			p.resp <- applied{walFailed: true}
+		}
+		return
+	}
+	type answer struct {
+		p   *pending
+		op  Op
+		out opOutcome
+		lat float64
+	}
+	answers := make([]answer, 0, len(live))
+	for _, p := range live {
+		out := s.applyLocked(&p.op)
+		lat := s.now().Sub(start).Seconds()
+		s.latHist.Observe(lat)
+		answers = append(answers, answer{p: p, op: p.op, out: out, lat: lat})
+	}
+	s.mu.Unlock()
+	for _, a := range answers {
+		s.cApplied.Inc()
+		if a.op.Kind == "" {
+			if a.out.accepted {
+				s.cAdmitted.Inc()
+			} else {
+				s.cRejected.Inc()
+			}
+		}
+		s.shed.observe(a.lat)
+		a.p.resp <- applied{op: a.op, out: a.out}
+	}
+}
+
+// setWALErrLocked latches the fail-stop durability error. Callers hold
+// the write lock.
+func (s *Server) setWALErrLocked(err error) {
+	if s.walErr == nil {
+		s.walErr = fmt.Errorf("serve: wal: %w", err)
+	}
+	if s.applyErr == nil {
+		s.applyErr = s.walErr
+	}
+}
+
+// drainWALLocked finishes the log on graceful shutdown: append the
+// exact quota snapshot (so a resume restores budgets precisely instead
+// of reconstructing them), commit, and close. Callers hold the write
+// lock.
+func (s *Server) drainWALLocked() error {
+	if s.walErr != nil {
+		_ = s.wal.Close()
+		return s.walErr
+	}
+	if s.quotas != nil {
+		if entries := s.quotas.snapshot(); len(entries) > 0 {
+			data, err := json.Marshal(walRecord{Quota: entries})
+			if err != nil {
+				return fmt.Errorf("serve: wal quota snapshot: %w", err)
+			}
+			if _, err := s.wal.Append(data); err != nil {
+				_ = s.wal.Close()
+				return fmt.Errorf("serve: wal quota snapshot: %w", err)
+			}
+		}
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("serve: wal close: %w", err)
+	}
+	return nil
+}

@@ -323,6 +323,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pending, re
 				errorResponse{Error: "admission deadline exceeded while queued", RetryAfterS: ra.Seconds()}, ra)
 			return
 		}
+		if a.walFailed {
+			// Fail-stop: nothing was applied and nothing will be until the
+			// daemon restarts over the log. No Retry-After — retrying
+			// against a dead log is pointless.
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "durability failure: write-ahead log unavailable"}, 0)
+			return
+		}
 		status, body := render(a)
 		writeJSON(w, status, body, 0)
 	case <-r.Context().Done():
@@ -354,7 +362,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		QueueCap:    cap(s.queue),
 		ShedLevel:   s.shed.level(len(s.queue), cap(s.queue)),
 		Draining:    draining,
-		OpsApplied:  len(s.ops),
+		OpsApplied:  s.opsApplied,
 		Admitted:    s.cAdmitted.v.Load(),
 		Rejected:    s.cRejected.v.Load(),
 	}
@@ -432,6 +440,21 @@ func (s *Server) syncRegistryLocked(draining bool) {
 	r.Gauge("serve_nodes_up", "Nodes currently up.").Set(float64(up))
 	r.Gauge("serve_nodes_total", "Cluster size.").Set(float64(s.cfg.Nodes))
 	r.Gauge("serve_jobs_running", "Jobs currently on the cluster.").Set(float64(running))
+
+	if s.wal != nil {
+		m := s.wal.Metrics()
+		r.Counter("serve_wal_appends_total", "Records appended to the write-ahead log.").Add(float64(m.Appends - s.walAppends))
+		r.Counter("serve_wal_appended_bytes_total", "Bytes appended to the write-ahead log.").Add(float64(m.AppendedBytes - s.walAppendedBytes))
+		r.Counter("serve_wal_commits_total", "WAL group-commit fsync barriers.").Add(float64(m.Commits - s.walCommits))
+		r.Counter("serve_wal_rotations_total", "WAL segment rotations.").Add(float64(m.Rotations - s.walRotations))
+		r.Counter("serve_wal_compactions_total", "Sealed WAL segments folded into the compacted prefix.").Add(float64(m.Compactions - s.walCompactions))
+		s.walAppends, s.walAppendedBytes = m.Appends, m.AppendedBytes
+		s.walCommits, s.walRotations, s.walCompactions = m.Commits, m.Rotations, m.Compactions
+		r.Gauge("serve_wal_dirty_bytes", "Appended-but-uncommitted WAL bytes (unacknowledged loss window).").Set(float64(m.DirtyBytes))
+		r.Gauge("serve_wal_last_index", "Index of the newest WAL record.").Set(float64(m.LastIndex))
+		r.Gauge("serve_wal_recovered_records", "Records replayed from the WAL at boot.").Set(float64(m.RecoveredRecords))
+		r.Gauge("serve_wal_recovery_truncated_bytes", "Bytes cut from torn WAL tails at boot.").Set(float64(m.RecoveryTruncatedBytes))
+	}
 
 	if s.pool != nil {
 		st := s.pool.Stats()

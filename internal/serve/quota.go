@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -80,4 +81,57 @@ func (q *quotaTable) tenants() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.buckets)
+}
+
+// quotaEntry is one tenant's bucket state, serialized into the drain
+// checkpoint and the write-ahead log so budgets survive a restart
+// instead of silently resetting to a full bucket.
+type quotaEntry struct {
+	Tenant string  `json:"tenant"`
+	Tokens float64 `json:"tokens"`
+	// LastUnixNano timestamps the bucket's last refill, so a restored
+	// rate-limited bucket resumes refilling from where it left off.
+	LastUnixNano int64 `json:"last_unix_nano"`
+}
+
+// snapshot captures every bucket, sorted by tenant so checkpoint bytes
+// are deterministic.
+func (q *quotaTable) snapshot() []quotaEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]quotaEntry, 0, len(q.buckets))
+	for tenant, b := range q.buckets {
+		out = append(out, quotaEntry{Tenant: tenant, Tokens: b.tokens, LastUnixNano: b.last.UnixNano()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// restore overwrites bucket state from a snapshot.
+func (q *quotaTable) restore(entries []quotaEntry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range entries {
+		q.buckets[e.Tenant] = &bucket{tokens: e.Tokens, last: time.Unix(0, e.LastUnixNano)}
+	}
+}
+
+// forceTake re-consumes one token during WAL replay: the logged op only
+// exists because the original take succeeded, so the bucket is debited
+// unconditionally. This reconstruction is exact for fixed budgets
+// (rate 0) and conservative for refilling buckets — refill time lost to
+// the crash is not re-credited — and a quota snapshot record later in
+// the log overrides it with the exact state.
+func (q *quotaTable) forceTake(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: q.now()}
+		q.buckets[tenant] = b
+	}
+	b.tokens--
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
 }

@@ -47,6 +47,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -62,6 +63,7 @@ import (
 	"clustersched/internal/metrics"
 	"clustersched/internal/obs"
 	"clustersched/internal/sim"
+	"clustersched/internal/wal"
 	"clustersched/internal/workload"
 )
 
@@ -103,8 +105,27 @@ type Config struct {
 	Audit io.Writer
 	// CheckpointPath, when set, is where Drain writes the applied-op log.
 	CheckpointPath string
-	// Resume replays CheckpointPath at startup when the file exists.
+	// Resume replays CheckpointPath (or the WALDir log) at startup when
+	// one exists.
 	Resume bool
+	// WALDir, when set, switches the server into durable mode: every
+	// applied operation is appended to a crash-consistent write-ahead
+	// log in this directory and fsynced before its HTTP response is
+	// written, so an acknowledged admission survives SIGKILL. Mutually
+	// exclusive with CheckpointPath (the WAL subsumes the drain
+	// checkpoint). See durable.go.
+	WALDir string
+	// WALSegmentBytes and WALSyncBytes tune the log (zero means the
+	// wal package defaults: 4 MiB segments, 256 KiB sync bound).
+	WALSegmentBytes int64
+	WALSyncBytes    int64
+	// WALGroupWait is the group-commit window: after dequeuing the
+	// first operation the worker waits up to this long for more to
+	// share the fsync. Zero commits immediately, still batching
+	// whatever is already queued.
+	WALGroupWait time.Duration
+	// WALFS overrides the log's filesystem in tests (fault injection).
+	WALFS wal.FS
 	// Shed tunes the load-shedding ladder.
 	Shed ShedConfig
 
@@ -179,8 +200,11 @@ type pending struct {
 // applied is the worker's answer to a pending request.
 type applied struct {
 	timedOut bool
-	op       Op
-	out      opOutcome
+	// walFailed marks a durable-mode request refused because the
+	// write-ahead log failed (fail-stop); nothing was applied.
+	walFailed bool
+	op        Op
+	out       opOutcome
 }
 
 // exportedCounter is a goroutine-safe cumulative counter whose total is
@@ -219,8 +243,22 @@ type Server struct {
 	auditW *bufio.Writer
 	reg    *obs.Registry
 	pool   *sim.ShardPool
-	ops    []Op
-	seq    int
+	// ops is the in-memory applied-op log backing the drain checkpoint.
+	// Durable mode drops it — the WAL is the log — so memory stays
+	// bounded no matter how long the daemon runs; opsApplied counts
+	// applied ops in both modes.
+	ops        []Op
+	opsApplied int
+	seq        int
+	// wal is non-nil in durable mode; walErr latches the first
+	// durability failure (fail-stop: every later request answers 503).
+	wal          *wal.Log
+	walErr       error
+	walFsyncHist *obs.Histogram
+	// wal counter export state (delta pattern, like the pool counters).
+	walAppends, walAppendedBytes uint64
+	walCommits, walRotations     uint64
+	walCompactions               uint64
 	// latHist is the admission-latency histogram (seconds).
 	latHist *obs.Histogram
 	// applyErr latches the first apply-path failure (audit write error,
@@ -265,6 +303,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TimeScale < 0 || math.IsNaN(cfg.TimeScale) || math.IsInf(cfg.TimeScale, 0) {
 		return nil, fmt.Errorf("serve: invalid TimeScale %g", cfg.TimeScale)
+	}
+	if cfg.WALDir != "" && cfg.CheckpointPath != "" {
+		return nil, errors.New("serve: WALDir and CheckpointPath are mutually exclusive: the write-ahead log subsumes the drain checkpoint")
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -320,6 +361,12 @@ func New(cfg Config) (*Server, error) {
 	s.storeClocks(0, math.NaN())
 	if cfg.Resume && cfg.CheckpointPath != "" {
 		if err := s.replayCheckpoint(); err != nil {
+			s.closePool()
+			return nil, err
+		}
+	}
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
 			s.closePool()
 			return nil, err
 		}
@@ -406,6 +453,10 @@ func (s *Server) enqueue(p *pending) error {
 // queue order.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	if s.wal != nil {
+		s.durableWorker()
+		return
+	}
 	for p := range s.queue {
 		s.process(p)
 	}
@@ -468,7 +519,10 @@ func (s *Server) applyLocked(op *Op) opOutcome {
 	default:
 		out = s.applyAdmitLocked(op)
 	}
-	s.ops = append(s.ops, *op)
+	if s.wal == nil {
+		s.ops = append(s.ops, *op)
+	}
+	s.opsApplied++
 	vnow := s.eng.Now()
 	next := math.NaN()
 	if t, _, ok := s.eng.PeekNext(); ok {
@@ -604,6 +658,12 @@ func (s *Server) Drain(ctx context.Context) error {
 				return
 			}
 		}
+		if s.wal != nil {
+			if err := s.drainWALLocked(); err != nil {
+				s.drainErr = err
+				return
+			}
+		}
 		if s.applyErr != nil {
 			s.drainErr = s.applyErr
 		}
@@ -614,15 +674,22 @@ func (s *Server) Drain(ctx context.Context) error {
 // Close is Drain with no deadline, for tests and defer chains.
 func (s *Server) Close() error { return s.Drain(context.Background()) }
 
-// OpsApplied returns how many operations have been applied so far.
+// OpsApplied returns how many operations have been applied so far
+// (including ops replayed from a checkpoint or the WAL at boot).
 func (s *Server) OpsApplied() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.ops)
+	return s.opsApplied
 }
+
+// checkpointVersion is the drain-checkpoint format: version 2 added the
+// body checksum and the quota snapshot line.
+const checkpointVersion = 2
 
 // checkpointMeta identifies the configuration a checkpoint belongs to; a
 // resume under a different cluster shape must fail loudly, not replay.
+// The same struct doubles as the WAL directory's meta.json sidecar
+// (with Ops and CRC zero — a log has no fixed length to pin).
 type checkpointMeta struct {
 	Version int     `json:"version"`
 	Policy  string  `json:"policy"`
@@ -630,72 +697,137 @@ type checkpointMeta struct {
 	Rating  float64 `json:"rating"`
 	Sigma   float64 `json:"sigma"`
 	Ops     int     `json:"ops"`
+	// CRC is CRC32C over every body line after the header, trailing
+	// newline included, so a truncated or edited checkpoint is refused
+	// before any of it replays.
+	CRC uint32 `json:"crc"`
 }
 
-// checkpointLine is one line of the drain checkpoint: a meta header or
-// an op.
+// checkpointLine is one line of the drain checkpoint: a meta header, an
+// op, or the final quota snapshot.
 type checkpointLine struct {
-	Meta *checkpointMeta `json:"meta,omitempty"`
-	Op   *Op             `json:"op,omitempty"`
+	Meta  *checkpointMeta `json:"meta,omitempty"`
+	Op    *Op             `json:"op,omitempty"`
+	Quota []quotaEntry    `json:"quota,omitempty"`
 }
 
 func (s *Server) metaLocked() checkpointMeta {
 	return checkpointMeta{
-		Version: 1,
+		Version: checkpointVersion,
 		Policy:  s.cfg.Policy,
 		Nodes:   s.cfg.Nodes,
 		Rating:  s.cfg.Rating,
 		Sigma:   s.cfg.SigmaThreshold,
-		Ops:     len(s.ops),
+		Ops:     s.opsApplied,
 	}
 }
 
-// writeCheckpointLocked persists the applied-op log atomically.
+// writeCheckpointLocked persists the applied-op log atomically: op
+// lines, then the quota snapshot, headed by a meta line whose CRC
+// covers every body byte. The body is marshaled once and written raw so
+// the checksum is over exactly the bytes on disk.
 func (s *Server) writeCheckpointLocked() error {
-	meta := s.metaLocked()
-	lines := make([]checkpointLine, 0, len(s.ops)+1)
-	lines = append(lines, checkpointLine{Meta: &meta})
-	for i := range s.ops {
-		lines = append(lines, checkpointLine{Op: &s.ops[i]})
+	body := make([][]byte, 0, len(s.ops)+1)
+	crc := uint32(0)
+	addLine := func(ln checkpointLine) error {
+		raw, err := json.Marshal(ln)
+		if err != nil {
+			return fmt.Errorf("serve: checkpoint: %w", err)
+		}
+		body = append(body, raw)
+		crc = wal.ChecksumAdd(crc, raw)
+		crc = wal.ChecksumAdd(crc, []byte{'\n'})
+		return nil
 	}
-	return checkpoint.WriteFileJSONL(s.cfg.CheckpointPath, lines)
+	for i := range s.ops {
+		if err := addLine(checkpointLine{Op: &s.ops[i]}); err != nil {
+			return err
+		}
+	}
+	if s.quotas != nil {
+		if entries := s.quotas.snapshot(); len(entries) > 0 {
+			if err := addLine(checkpointLine{Quota: entries}); err != nil {
+				return err
+			}
+		}
+	}
+	meta := s.metaLocked()
+	meta.CRC = crc
+	hdr, err := json.Marshal(checkpointLine{Meta: &meta})
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	lines := make([][]byte, 0, len(body)+1)
+	lines = append(lines, hdr)
+	lines = append(lines, body...)
+	return checkpoint.WriteFileLines(wal.OSFS{}, s.cfg.CheckpointPath, lines)
 }
 
-// replayCheckpoint loads CheckpointPath and re-applies its ops against
-// the freshly built state. Each op carries the exact virtual time and
-// audit attachment of the original run, so the replayed decision stream
-// — including the audit JSONL — is byte-identical to the one the drained
+// replayCheckpoint loads CheckpointPath, verifies the header checksum
+// over the raw body bytes, and re-applies its ops against the freshly
+// built state. Each op carries the exact virtual time and audit
+// attachment of the original run, so the replayed decision stream —
+// including the audit JSONL — is byte-identical to the one the drained
 // daemon produced. A missing file is a fresh start, not an error.
 func (s *Server) replayCheckpoint() error {
-	lines, err := checkpoint.ReadFileJSONL[checkpointLine](s.cfg.CheckpointPath)
+	path := s.cfg.CheckpointPath
+	raw, err := checkpoint.ReadFileLines(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil
 		}
 		return err
 	}
-	if len(lines) == 0 || lines[0].Meta == nil {
-		return fmt.Errorf("serve: checkpoint %s: missing meta header", s.cfg.CheckpointPath)
+	if len(raw) == 0 {
+		return fmt.Errorf("serve: checkpoint %s: missing meta header", path)
 	}
-	meta, want := *lines[0].Meta, s.metaLocked()
-	want.Ops = meta.Ops
+	var hdr checkpointLine
+	if err := json.Unmarshal(raw[0], &hdr); err != nil || hdr.Meta == nil {
+		return fmt.Errorf("serve: checkpoint %s: missing meta header", path)
+	}
+	meta := *hdr.Meta
+	if meta.Version != checkpointVersion {
+		return fmt.Errorf("serve: checkpoint %s: unsupported version %d (want %d)", path, meta.Version, checkpointVersion)
+	}
+	crc := uint32(0)
+	for _, ln := range raw[1:] {
+		crc = wal.ChecksumAdd(crc, ln)
+		crc = wal.ChecksumAdd(crc, []byte{'\n'})
+	}
+	if crc != meta.CRC {
+		return fmt.Errorf("serve: checkpoint %s: body checksum %08x does not match header %08x: refusing to replay a corrupt checkpoint",
+			path, crc, meta.CRC)
+	}
+	want := s.metaLocked()
+	want.Ops, want.CRC = meta.Ops, meta.CRC
 	if meta != want {
 		return fmt.Errorf("serve: checkpoint %s was written by config %+v, current config is %+v",
-			s.cfg.CheckpointPath, meta, want)
+			path, meta, want)
 	}
-	if meta.Ops != len(lines)-1 {
-		return fmt.Errorf("serve: checkpoint %s: header claims %d ops, file has %d",
-			s.cfg.CheckpointPath, meta.Ops, len(lines)-1)
+	ops := 0
+	for i, rawLn := range raw[1:] {
+		var ln checkpointLine
+		if err := json.Unmarshal(rawLn, &ln); err != nil {
+			return fmt.Errorf("serve: checkpoint %s: line %d: %w", path, i+2, err)
+		}
+		switch {
+		case ln.Op != nil:
+			op := *ln.Op
+			s.applyLocked(&op)
+			if op.Seq > s.seq {
+				s.seq = op.Seq
+			}
+			ops++
+		case ln.Quota != nil:
+			if s.quotas != nil {
+				s.quotas.restore(ln.Quota)
+			}
+		default:
+			return fmt.Errorf("serve: checkpoint %s: line %d is neither meta, op nor quota", path, i+2)
+		}
 	}
-	for i, ln := range lines[1:] {
-		if ln.Op == nil {
-			return fmt.Errorf("serve: checkpoint %s: line %d is neither meta nor op", s.cfg.CheckpointPath, i+2)
-		}
-		op := *ln.Op
-		s.applyLocked(&op)
-		if op.Seq > s.seq {
-			s.seq = op.Seq
-		}
+	if ops != meta.Ops {
+		return fmt.Errorf("serve: checkpoint %s: header claims %d ops, file has %d", path, meta.Ops, ops)
 	}
 	return s.applyErr
 }

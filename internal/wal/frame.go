@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout, little-endian:
+//
+//	[4] payload length n (= 8 + len(data))
+//	[4] CRC32C over the n payload bytes
+//	[8] record index (monotonic, 1-based)
+//	[n-8] data
+//
+// The checksum covers the index and the data but not the length word;
+// an implausible length (0..7 or > maxFramePayload) is itself treated
+// as corruption. A frame is valid iff the length is plausible, the
+// payload is fully present and the CRC matches — anything else is a
+// torn tail and recovery truncates at the frame's start offset.
+const (
+	frameHeaderSize = 8 // length + crc
+	frameIndexSize  = 8
+	// maxFramePayload bounds one record; anything larger in a length
+	// word is garbage, not a record we could have written.
+	maxFramePayload = 64 << 20
+)
+
+// castagnoli is the CRC32C polynomial table, shared with
+// internal/serve's checkpoint checksum so the whole durability layer
+// speaks one checksum dialect.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is CRC32C over data.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ChecksumAdd extends a running CRC32C with data.
+func ChecksumAdd(crc uint32, data []byte) uint32 {
+	return crc32.Update(crc, castagnoli, data)
+}
+
+// frameSize is the on-disk footprint of a record with len(data) bytes.
+func frameSize(dataLen int) int64 {
+	return int64(frameHeaderSize + frameIndexSize + dataLen)
+}
+
+// appendFrame serializes one record into buf and returns the extended
+// slice.
+func appendFrame(buf []byte, index uint64, data []byte) []byte {
+	n := frameIndexSize + len(data)
+	var hdr [frameHeaderSize + frameIndexSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[8:16], index)
+	crc := ChecksumAdd(Checksum(hdr[8:16]), data)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...)
+}
+
+// errTornFrame reports a frame that could not be read intact. It is a
+// signal, not a failure: recovery handles it by truncation.
+var errTornFrame = errors.New("wal: torn frame")
+
+// frameScanner reads frames sequentially, tracking the byte offset of
+// the frame boundary it has last fully consumed.
+type frameScanner struct {
+	r   io.Reader
+	off int64 // offset of the next unread frame
+}
+
+// next reads one frame. It returns errTornFrame (wrapped with the
+// reason) for a short header, an implausible length, a short payload or
+// a checksum mismatch, and io.EOF at a clean end of input. scanner.off
+// is only advanced past fully valid frames, so after a torn frame it
+// holds the truncation point.
+func (s *frameScanner) next() (index uint64, data []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	n, err := io.ReadFull(s.r, hdr[:])
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: short header (%d bytes)", errTornFrame, n)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length < frameIndexSize || length > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: implausible payload length %d", errTornFrame, length)
+	}
+	payload := make([]byte, length)
+	if m, err := io.ReadFull(s.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: short payload (%d of %d bytes)", errTornFrame, m, length)
+	}
+	if got := Checksum(payload); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", errTornFrame, got, want)
+	}
+	index = binary.LittleEndian.Uint64(payload[:frameIndexSize])
+	s.off += frameSize(int(length) - frameIndexSize)
+	return index, payload[frameIndexSize:], nil
+}
