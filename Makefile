@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke serve-smoke crash-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-serve bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke serve-smoke crash-smoke clean
 
 # bench-gate regression thresholds, overridable per invocation:
 # allocs/op is nearly deterministic so the gate is tight; ns/op varies
@@ -30,8 +30,9 @@ bench:
 # bench-json reruns the admission-control and predictor benchmarks and
 # writes results/bench_new.txt plus the machine-readable comparison
 # against the committed pre-optimization baseline (results/bench_seed.txt)
-# into BENCH_admission.json.
-bench-json:
+# into BENCH_admission.json. The bench-serve prerequisite refreshes the
+# end-to-end serving sweep in BENCH_serve.json alongside it.
+bench-json: bench-serve
 	$(GO) test -run xxx -bench 'Admission|PredictorScaling|PolicyLibraRiskFullScale|PolicyLibraFullScale|ShardedLibraRisk|ServeAdmit' \
 		-benchmem -count 5 . | tee results/bench_new.txt
 	$(GO) run ./cmd/benchjson -old results/bench_seed.txt -new results/bench_new.txt \
@@ -48,6 +49,40 @@ bench-gate:
 		-benchmem -count 2 . | tee results/bench_gate.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_admission.json -new results/bench_gate.txt \
 		-max-ns-ratio $(BENCH_MAX_NS_RATIO) -max-alloc-ratio $(BENCH_MAX_ALLOC_RATIO)
+
+# bench-serve sweeps the live serving path on the real binaries:
+# GOMAXPROCS ∈ {1,4,8} × -serve-shards ∈ {1,4,8} × durable off/on, 2000
+# virtual-time requests per cell through admitload, writing every cell's
+# throughput and latency percentiles to BENCH_serve.json. On a
+# single-core host the shard axis measures coordination overhead only;
+# the speedup needs real cores.
+bench-serve:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/admissiond ./cmd/admissiond; \
+	$(GO) build -o $$tmp/admitload ./cmd/admitload; \
+	out=BENCH_serve.json; \
+	printf '{\n  "benchmark": "serve_admit_sweep",\n  "jobs": 2000,\n  "nodes": 64,\n  "runs": [' > $$out; \
+	first=1; \
+	for g in 1 4 8; do for k in 1 4 8; do for d in 0 1; do \
+		dargs=""; dj=false; \
+		if [ $$d -eq 1 ]; then rm -rf $$tmp/wal; dargs="-durable $$tmp/wal"; dj=true; fi; \
+		GOMAXPROCS=$$g $$tmp/admissiond -addr 127.0.0.1:0 -nodes 64 -time-scale 0 \
+			-queue-depth 1024 -serve-shards $$k $$dargs > $$tmp/daemon.out 2>&1 & pid=$$!; \
+		for i in $$(seq 100); do grep -q 'listening on' $$tmp/daemon.out 2>/dev/null && break; sleep 0.1; done; \
+		url=$$(sed -n 's/^admissiond: listening on //p' $$tmp/daemon.out); \
+		[ -n "$$url" ] || { echo "bench-serve: daemon never listened (g=$$g k=$$k durable=$$dj)"; cat $$tmp/daemon.out; exit 1; }; \
+		$$tmp/admitload -url $$url -jobs 2000 -concurrency 8 -virtual -adf 0.05 \
+			-out $$tmp/run.json >/dev/null; \
+		kill -TERM $$pid; wait $$pid || true; \
+		[ $$first -eq 1 ] || printf ',' >> $$out; first=0; \
+		printf '\n    {"gomaxprocs": %s, "shards": %s, "durable": %s, "summary": ' $$g $$k $$dj >> $$out; \
+		tr -d '\n' < $$tmp/run.json | sed 's/  */ /g' >> $$out; \
+		printf '}' >> $$out; \
+		echo "bench-serve: gomaxprocs=$$g shards=$$k durable=$$dj done"; \
+	done; done; done; \
+	printf '\n  ]\n}\n' >> $$out; \
+	echo "wrote BENCH_serve.json"
 
 # bench-compare renders the same old/new pair with benchstat when it is
 # installed (no network installs here; `go install
@@ -152,19 +187,21 @@ trace-smoke:
 	echo "trace-smoke: ok"
 
 # serve-smoke proves the online admission daemon end to end on the real
-# binaries: race-run the serve overload/quota/shed/drain tests, boot
-# admissiond, drive 1k requests through admitload, scrape /metrics,
-# SIGTERM-drain (must exit 0 and checkpoint), then resume a fresh daemon
+# binaries: race-run the serve overload/quota/shed/drain/shard tests,
+# boot admissiond with a sharded serving cluster (-serve-shards 4),
+# drive 1k requests through admitload, scrape /metrics, SIGTERM-drain
+# (must exit 0 and checkpoint), then resume a fresh SEQUENTIAL daemon
 # from the checkpoint and drain it again (exit 0) — the resumed audit
-# stream must be byte-identical to the original run's.
+# stream must be byte-identical to the sharded run's, which is the
+# sharded-apply determinism pin on the real binaries.
 serve-smoke:
-	$(GO) test -race -run 'TestAdmit|TestQuota|TestShed|TestOverload|TestDrain|TestResume|TestNoGoroutineLeak' \
+	$(GO) test -race -run 'TestAdmit|TestQuota|TestShed|TestOverload|TestDrain|TestResume|TestNoGoroutineLeak|TestShard' \
 		./internal/serve/
 	@set -e; \
 	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/admissiond ./cmd/admissiond; \
 	$(GO) build -o $$tmp/admitload ./cmd/admitload; \
-	$$tmp/admissiond -addr 127.0.0.1:0 -nodes 16 -time-scale 0 \
+	$$tmp/admissiond -addr 127.0.0.1:0 -nodes 16 -time-scale 0 -serve-shards 4 \
 		-audit $$tmp/audit1.jsonl -checkpoint $$tmp/drain.ckpt \
 		> $$tmp/daemon1.out 2>&1 & pid=$$!; \
 	for i in $$(seq 100); do grep -q 'listening on' $$tmp/daemon1.out 2>/dev/null && break; sleep 0.1; done; \
@@ -197,7 +234,9 @@ serve-smoke:
 # (seeded), restarting with -resume each time and asserting that no
 # acknowledged admission is lost, no sequence is reused, the audit
 # stream is prefix-consistent across every crash, and the serve_wal_*
-# metrics are live — finishing with a graceful SIGTERM drain.
+# metrics are live — finishing with a graceful SIGTERM drain. The
+# daemon runs with -serve-shards 4, so every SIGKILL lands on the
+# sharded apply path with the pipelined committer's fsync in flight.
 crash-smoke:
 	$(GO) test -race -run 'TestWAL|TestCheckpoint|TestDurable|TestJournal|TestReadFile' \
 		./internal/wal/ ./internal/checkpoint/ ./internal/serve/
@@ -208,7 +247,7 @@ crash-smoke:
 	$(GO) build -o $$tmp/admitload ./cmd/admitload; \
 	$(GO) build -o $$tmp/crashfuzz ./cmd/crashfuzz; \
 	$$tmp/crashfuzz -admissiond $$tmp/admissiond -admitload $$tmp/admitload \
-		-cycles 5 -seed 7 -dir $$tmp/fuzz; \
+		-cycles 5 -seed 7 -serve-shards 4 -dir $$tmp/fuzz; \
 	echo "crash-smoke: ok"
 
 examples:

@@ -111,6 +111,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	kills := fs.String("kill", "", "node-kill chaos: comma-separated node@seconds wall-clock offsets")
 	scrape := fs.String("scrape", "", "GET this path (e.g. /metrics), print the body and exit")
 	ackLog := fs.String("ack-log", "", "append every acknowledged (status-200) decision to this JSONL file")
+	outPath := fs.String("out", "", "write a machine-readable JSON summary of the run to this file")
 	abortAfter := fs.Int("abort-after-errors", 0, "stop after this many consecutive transport errors (0 = keep going); still exits 0")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 	if err := fs.Parse(args); err != nil {
@@ -219,6 +220,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var results []result
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -243,7 +245,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}()
 	}
 	wg.Wait()
-	summarize(stdout, results)
+	elapsed := time.Since(start)
+	sum := buildSummary(results, elapsed)
+	summarize(stdout, sum)
+	if *outPath != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("admitload: %w", err)
+		}
+	}
 	if loadCtx.Err() != nil && ctx.Err() == nil {
 		fmt.Fprintf(stdout, "admitload: aborted after %d consecutive transport errors\n", *abortAfter)
 	}
@@ -323,47 +336,86 @@ func parseKills(s string) ([]chaosKill, error) {
 	return out, nil
 }
 
-// summarize prints status counts, the accept/reject split and latency
-// percentiles over the completed requests.
-func summarize(w io.Writer, results []result) {
-	counts := map[int]int{}
-	accepted, rejected := 0, 0
+// loadSummary is the machine-readable run summary behind -out: status
+// counts, the accept/reject split, wall-clock throughput and latency
+// percentiles. The bench-serve sweep collects one per configuration
+// into BENCH_serve.json.
+type loadSummary struct {
+	Requests      int            `json:"requests"`
+	Statuses      map[string]int `json:"statuses"`
+	Accepted      int            `json:"accepted"`
+	Rejected      int            `json:"rejected"`
+	WallSeconds   float64        `json:"wall_seconds"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	LatencyP50    float64        `json:"latency_p50_seconds"`
+	LatencyP90    float64        `json:"latency_p90_seconds"`
+	LatencyP95    float64        `json:"latency_p95_seconds"`
+	LatencyP99    float64        `json:"latency_p99_seconds"`
+	LatencyMax    float64        `json:"latency_max_seconds"`
+}
+
+// buildSummary folds the per-request results into a loadSummary.
+// Latency percentiles cover every request that got an HTTP response;
+// transport errors count under status "transport-error" only.
+func buildSummary(results []result, elapsed time.Duration) loadSummary {
+	sum := loadSummary{
+		Requests: len(results),
+		Statuses: map[string]int{},
+	}
 	lats := make([]time.Duration, 0, len(results))
 	for _, r := range results {
-		counts[r.status]++
+		label := strconv.Itoa(r.status)
+		if r.status == -1 {
+			label = "transport-error"
+		}
+		sum.Statuses[label]++
 		if r.status == http.StatusOK {
 			if r.accepted {
-				accepted++
+				sum.Accepted++
 			} else {
-				rejected++
+				sum.Rejected++
 			}
 		}
 		if r.status > 0 {
 			lats = append(lats, r.latency)
 		}
 	}
-	fmt.Fprintf(w, "admitload: %d requests\n", len(results))
-	statuses := make([]int, 0, len(counts))
-	for st := range counts {
-		statuses = append(statuses, st)
+	sum.WallSeconds = elapsed.Seconds()
+	if sum.WallSeconds > 0 {
+		sum.ThroughputRPS = float64(len(results)) / sum.WallSeconds
 	}
-	sort.Ints(statuses)
-	for _, st := range statuses {
-		label := strconv.Itoa(st)
-		if st == -1 {
-			label = "transport-error"
-		}
-		fmt.Fprintf(w, "  status %s: %d\n", label, counts[st])
-	}
-	fmt.Fprintf(w, "  decided: %d accepted, %d rejected\n", accepted, rejected)
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		pct := func(p float64) time.Duration {
-			k := int(p * float64(len(lats)-1))
-			return lats[k]
+		pct := func(p float64) float64 {
+			return lats[int(p*float64(len(lats)-1))].Seconds()
+		}
+		sum.LatencyP50 = pct(0.50)
+		sum.LatencyP90 = pct(0.90)
+		sum.LatencyP95 = pct(0.95)
+		sum.LatencyP99 = pct(0.99)
+		sum.LatencyMax = lats[len(lats)-1].Seconds()
+	}
+	return sum
+}
+
+// summarize prints status counts, the accept/reject split and latency
+// percentiles over the completed requests.
+func summarize(w io.Writer, sum loadSummary) {
+	fmt.Fprintf(w, "admitload: %d requests\n", sum.Requests)
+	statuses := make([]string, 0, len(sum.Statuses))
+	for st := range sum.Statuses {
+		statuses = append(statuses, st)
+	}
+	sort.Strings(statuses)
+	for _, st := range statuses {
+		fmt.Fprintf(w, "  status %s: %d\n", st, sum.Statuses[st])
+	}
+	fmt.Fprintf(w, "  decided: %d accepted, %d rejected\n", sum.Accepted, sum.Rejected)
+	if sum.LatencyMax > 0 {
+		sec := func(v float64) time.Duration {
+			return time.Duration(v * float64(time.Second)).Round(time.Microsecond)
 		}
 		fmt.Fprintf(w, "  latency p50 %v p90 %v p99 %v max %v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			sec(sum.LatencyP50), sec(sum.LatencyP90), sec(sum.LatencyP99), sec(sum.LatencyMax))
 	}
 }

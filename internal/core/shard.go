@@ -121,8 +121,23 @@ func RunSimulationSharded(ctx context.Context, e *sim.Engine, c *cluster.TimeSha
 		if err := runPhase(t, pr, false); err != nil {
 			return fmt.Errorf("core: shard phase aborted: %w", err)
 		}
-		if _, err := e.Step(); err != nil {
-			return fmt.Errorf("core: simulation aborted: %w", err)
+		// Step every consecutive global event sharing this exact (t, pr)
+		// key behind the one phase. A handler can only schedule strictly
+		// later work — node updates carry a forward-progress floor and
+		// arrival chains re-arm at or after their own key — so no shard
+		// can have gained an event below the key between equal-key steps:
+		// the phase the unbatched loop would run for each of them is
+		// provably empty. Equal-key events fire in seq order either way,
+		// so the batched stream is byte-identical while SWF workloads'
+		// same-second arrival runs pay one barrier instead of one each.
+		for {
+			if _, err := e.Step(); err != nil {
+				return fmt.Errorf("core: simulation aborted: %w", err)
+			}
+			nt, npr, nok := e.PeekNext()
+			if !nok || nt != t || npr != pr {
+				break
+			}
 		}
 	}
 	// The global calendar is empty; whatever the shards still hold (node

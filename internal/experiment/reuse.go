@@ -206,6 +206,7 @@ func runInstrumented(ctx context.Context, base BaseConfig, baseJobs []workload.J
 		}
 		if shardCount > 1 {
 			mon.PendingExtra = ts.ShardsPending
+			mon.Pool = pool
 		}
 		mon.Start(e)
 	}

@@ -251,3 +251,49 @@ func TestShardCountBeyondNodesClamps(t *testing.T) {
 		t.Errorf("clamped shard count diverges\nsharded    %+v\nsequential %+v", got, ref)
 	}
 }
+
+// TestShardedEqualKeyArrivalBurstsAtShardEdges pushes the equal-key
+// batching path hard: every job arrives at one of a handful of identical
+// (time, priority) keys, so the global calendar holds long equal-key
+// arrival runs that the barrier loop steps behind a single shard phase,
+// while the collapsed runtimes land same-instant completions on nodes
+// either side of every shard boundary. The monitor rides along so its
+// pool-driven sampling is differentially checked in the same run.
+func TestShardedEqualKeyArrivalBurstsAtShardEdges(t *testing.T) {
+	base := DefaultBase()
+	base.Nodes = 16
+	base.Generator.Jobs = 240
+	base.Generator.MaxProcs = 4
+	jobs, err := GenerateBase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three arrival instants (contiguous blocks, keeping the submit order
+	// non-decreasing), three runtimes: maximal key collision.
+	block := len(jobs)/3 + 1
+	for i := range jobs {
+		jobs[i].Submit = float64(i/block) * 10000
+		jobs[i].Runtime = float64(1+i%3) * 3000
+		jobs[i].TraceEstimate = jobs[i].Runtime
+		jobs[i].NumProc = 1 + i%2
+	}
+	spec := RunSpec{Policy: LibraRisk, ArrivalDelayFactor: 1, Deadline: base.Deadline}
+	refSum, refMon, err := RunInstrumented(base, jobs, spec, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		b := base
+		b.Shards = k
+		got, mon, err := RunInstrumented(b, jobs, spec, 1800)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if got != refSum {
+			t.Errorf("shards=%d: equal-key burst summaries diverge\nsharded    %+v\nsequential %+v", k, got, refSum)
+		}
+		if !reflect.DeepEqual(mon.Samples(), refMon.Samples()) {
+			t.Errorf("shards=%d: monitor samples diverge under equal-key bursts", k)
+		}
+	}
+}

@@ -7,6 +7,18 @@ package serve
 // (plus, with WALGroupWait, whatever arrives inside the window) into
 // one group commit, amortizing the fsync across the batch.
 //
+// The durable path is a two-stage pipeline. The decide stage appends
+// the batch to the WAL buffer, applies it in memory, and hands it to
+// the committer over a bounded FIFO ring; the committer fsyncs through
+// the batch's last WAL index, then writes its audit records and
+// answers its clients. While one batch's fsync is in flight the decide
+// stage is already deciding the next, so group-commit latency overlaps
+// compute instead of serializing it — but an acknowledgment is still
+// written only after the fsync that covers the op, so a 200 implies
+// the op is on disk exactly as in the unpipelined design. Audit output
+// is parked with its batch (deferAudit) until that fsync returns, so
+// the audit file can never run ahead of the replayable log.
+//
 // Recovery on boot replays the log — the compacted prefix plus the tail
 // segments, torn tails truncated by internal/wal — through the same
 // applyLocked path live traffic takes, so the rebuilt cluster state and
@@ -16,11 +28,14 @@ package serve
 // without Resume set.
 //
 // Failure model is fail-stop: once an append or commit errors, the
-// error latches, no further state mutates, and every request answers
-// 503 "durability failure". Ops appended but neither committed nor
-// acknowledged may or may not replay after a restart; clients must
-// treat a 503 as indeterminate, which is the standard at-least-once
-// gray zone.
+// error latches, no further request mutates state, and every request
+// answers 503 "durability failure". Batches already decided when the
+// error latched — at most walPipelineDepth of them — have mutated the
+// in-memory cluster but are answered 503 without acknowledgment, and
+// their ops may or may not replay after a restart; clients must treat
+// a 503 as indeterminate, which is the standard at-least-once gray
+// zone. Their audit records are discarded with the latch, so the audit
+// stream never claims a decision that was not made durable.
 
 import (
 	"encoding/json"
@@ -30,6 +45,7 @@ import (
 	"time"
 
 	"clustersched/internal/checkpoint"
+	"clustersched/internal/obs"
 	"clustersched/internal/wal"
 )
 
@@ -150,14 +166,51 @@ func (s *Server) WALRecovery() (records int, truncatedBytes int64) {
 	return m.RecoveredRecords, m.RecoveryTruncatedBytes
 }
 
-// durableWorker is the apply loop in durable mode: dequeue, gather a
-// batch, write-ahead, commit once, then apply and answer.
+// walPipelineDepth bounds the decided-but-unacknowledged ring between
+// the decide stage and the committer: at most this many batches have
+// been applied in memory and await their covering fsync. Deep enough to
+// keep an fsync always in flight, shallow enough that a durability
+// failure only ever strands a few batches' worth of unanswered clients.
+const walPipelineDepth = 4
+
+// answer is one decided request awaiting its post-fsync acknowledgment.
+type answer struct {
+	p   *pending
+	op  Op
+	out opOutcome
+}
+
+// commitBatch is the unit flowing through the pipeline ring: a decided
+// batch, the WAL index its acknowledgment must be durable through, and
+// the audit decisions it produced (held back until that fsync returns,
+// so a crash can never leave the audit file ahead of the replayable
+// log).
+type commitBatch struct {
+	lastIdx uint64
+	start   time.Time
+	answers []answer
+	audit   []obs.Decision
+}
+
+// durableWorker is the decide stage of the two-stage durable pipeline:
+// dequeue, gather a batch, write-ahead, apply, and hand the decided
+// batch to the committer — then immediately decide the next batch while
+// the committer's fsync for this one is still in flight. Group-commit
+// fsync latency thus overlaps the parallel decide of the next batch
+// instead of serializing the apply path; clients still only hear a
+// decision after the fsync covering it, so a 200 implies the op is on
+// disk exactly as before. Ordering is untouched: batches enter the ring
+// FIFO and the committer answers them FIFO, so decisions are
+// acknowledged — and audit is written — strictly in apply order.
 func (s *Server) durableWorker() {
+	ring := make(chan commitBatch, walPipelineDepth)
+	committerDone := make(chan struct{})
+	go s.walCommitter(ring, committerDone)
 	var batch []*pending
 	for {
 		p, ok := <-s.queue
 		if !ok {
-			return
+			break
 		}
 		batch = append(batch[:0], p)
 		if wait := s.cfg.WALGroupWait; wait > 0 {
@@ -189,15 +242,20 @@ func (s *Server) durableWorker() {
 				}
 			}
 		}
-		s.processBatch(batch)
+		s.decideBatch(batch, ring)
 	}
+	close(ring)
+	<-committerDone
+	s.mu.Lock()
+	s.deferAudit = false
+	s.mu.Unlock()
 }
 
-// processBatch is the durable counterpart of process: expire what timed
-// out in queue, then write-ahead + single commit + apply for the rest.
-// The response for every member is sent only after the commit covering
-// it returned, which is the "acknowledged implies durable" contract.
-func (s *Server) processBatch(batch []*pending) {
+// decideBatch stamps, write-aheads and applies one batch, then pushes
+// it onto the ring for the committer to fsync and acknowledge. Expired
+// requests are answered without touching state. Nothing is applied once
+// the durability error has latched (fail-stop).
+func (s *Server) decideBatch(batch []*pending, ring chan<- commitBatch) {
 	live := batch[:0]
 	now := s.now()
 	for _, p := range batch {
@@ -213,6 +271,7 @@ func (s *Server) processBatch(batch []*pending) {
 	}
 	start := s.now()
 	s.mu.Lock()
+	var lastIdx uint64
 	if s.walErr == nil {
 		for _, p := range live {
 			if p.hasT {
@@ -224,20 +283,12 @@ func (s *Server) processBatch(batch []*pending) {
 			p.op.Seq = s.seq
 			data, err := json.Marshal(walRecord{Op: &p.op})
 			if err == nil {
-				_, err = s.wal.Append(data)
+				lastIdx, err = s.wal.Append(data)
 			}
 			if err != nil {
 				s.setWALErrLocked(err)
 				break
 			}
-		}
-	}
-	if s.walErr == nil {
-		t0 := s.now()
-		err := s.wal.Commit()
-		s.walFsyncHist.Observe(s.now().Sub(t0).Seconds())
-		if err != nil {
-			s.setWALErrLocked(err)
 		}
 	}
 	if s.walErr != nil {
@@ -247,31 +298,62 @@ func (s *Server) processBatch(batch []*pending) {
 		}
 		return
 	}
-	type answer struct {
-		p   *pending
-		op  Op
-		out opOutcome
-		lat float64
-	}
-	answers := make([]answer, 0, len(live))
+	cb := commitBatch{lastIdx: lastIdx, start: start, answers: make([]answer, 0, len(live))}
 	for _, p := range live {
 		out := s.applyLocked(&p.op)
-		lat := s.now().Sub(start).Seconds()
-		s.latHist.Observe(lat)
-		answers = append(answers, answer{p: p, op: p.op, out: out, lat: lat})
+		cb.answers = append(cb.answers, answer{p: p, op: p.op, out: out})
 	}
+	cb.audit = s.auditPending
+	s.auditPending = nil
 	s.mu.Unlock()
-	for _, a := range answers {
-		s.cApplied.Inc()
-		if a.op.Kind == "" {
-			if a.out.accepted {
-				s.cAdmitted.Inc()
-			} else {
-				s.cRejected.Inc()
+	ring <- cb
+}
+
+// walCommitter is the commit stage: pop decided batches FIFO, make each
+// durable through its last WAL index, then write its audit and answer
+// its clients. SyncTo overlaps the flush-and-fsync with the decide
+// stage's appends, and its durable-index bookkeeping means a batch
+// whose bytes were already covered by a later-started sync acknowledges
+// without a redundant fsync. A sync failure latches the fail-stop
+// error; the stranded batch — and every batch still in the ring — is
+// answered 503 without acknowledgment, since its decisions may not be
+// on disk.
+func (s *Server) walCommitter(ring <-chan commitBatch, done chan<- struct{}) {
+	defer close(done)
+	for cb := range ring {
+		t0 := s.now()
+		synced, err := s.wal.SyncTo(cb.lastIdx)
+		if err != nil {
+			s.mu.Lock()
+			s.setWALErrLocked(err)
+			s.mu.Unlock()
+			for _, a := range cb.answers {
+				a.p.resp <- applied{walFailed: true}
 			}
+			continue
 		}
-		s.shed.observe(a.lat)
-		a.p.resp <- applied{op: a.op, out: a.out}
+		s.mu.Lock()
+		if synced {
+			s.walFsyncHist.Observe(s.now().Sub(t0).Seconds())
+		}
+		s.writeAuditLocked(cb.audit)
+		lat := s.now().Sub(cb.start).Seconds()
+		for range cb.answers {
+			s.latHist.Observe(lat)
+		}
+		s.mu.Unlock()
+		for _, a := range cb.answers {
+			s.cApplied.Inc()
+			if a.op.Kind == "" {
+				if a.out.accepted {
+					s.cAdmitted.Inc()
+				} else {
+					s.cRejected.Inc()
+				}
+			}
+			s.shed.observe(lat)
+			a.p.resp <- applied{op: a.op, out: a.out}
+		}
 	}
 }
 

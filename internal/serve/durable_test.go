@@ -347,7 +347,12 @@ func TestDurableConflictsWithCheckpoint(t *testing.T) {
 }
 
 // TestDurableFailStopOnFsyncError: a failing fsync must answer 503
-// with no state mutation, and every later request must fail too.
+// without acknowledgment, and every later request must fail too. The
+// pipeline decides (applies in memory) before the covering fsync
+// returns, so exactly the first request's batch may show up in
+// OpsApplied as a decided-but-unacknowledged op — the 503 marks it
+// indeterminate — but once the error latches no further request may
+// touch state.
 func TestDurableFailStopOnFsyncError(t *testing.T) {
 	cfg := durableConfig(filepath.Join(t.TempDir(), "wal"))
 	cfg.WALFS = &wal.FaultFS{OnSync: func(name string) error {
@@ -373,8 +378,8 @@ func TestDurableFailStopOnFsyncError(t *testing.T) {
 			t.Fatalf("admit %d error %q does not name the durability failure", i, eresp.Error)
 		}
 	}
-	if got := s.OpsApplied(); got != 0 {
-		t.Fatalf("%d ops applied despite failed commits", got)
+	if got := s.OpsApplied(); got > 1 {
+		t.Fatalf("%d ops applied despite latched durability failure; only the first decided-but-unacked batch may mutate state", got)
 	}
 	var st StateResponse
 	postJSON2 := func() {
@@ -393,7 +398,11 @@ func TestDurableFailStopOnFsyncError(t *testing.T) {
 }
 
 // TestDurableGroupCommitBatches pins the fsync amortization: requests
-// that pile up while the worker is busy share one commit.
+// that pile up while the worker is busy share one commit. With the
+// pipelined committer the pile's appends can even land in the WAL
+// buffer before the first op's in-flight fsync flushes, in which case a
+// single fsync covers all nine — so the pin is an upper bound of two
+// commits, not an exact count.
 func TestDurableGroupCommitBatches(t *testing.T) {
 	cfg := durableConfig(filepath.Join(t.TempDir(), "wal"))
 	cfg.QueueDepth = 64
@@ -407,14 +416,25 @@ func TestDurableGroupCommitBatches(t *testing.T) {
 
 	// Stall the worker inside its first batch by holding the state lock,
 	// queue a pile of requests, then release: the pile must drain as one
-	// write-ahead batch with one commit.
+	// write-ahead batch with one commit. The waitFor condition checks
+	// the request counter too: queue length alone is 0 both before the
+	// first request arrives and after the worker dequeues it, and only
+	// the latter means the worker is parked on the lock.
 	s.mu.Lock()
+	unlocked := false
+	defer func() {
+		// A waitFor failure below would otherwise Goexit with the state
+		// lock held and deadlock the deferred Close.
+		if !unlocked {
+			s.mu.Unlock()
+		}
+	}()
 	done := make(chan struct{})
 	go func() {
 		admitAt(t, hts.URL, 0, AdmitRequest{NumProc: 1, Runtime: 10, Deadline: 100})
 		close(done)
 	}()
-	waitFor(t, func() bool { return len(s.queue) == 0 }) // worker dequeued it
+	waitFor(t, func() bool { return s.cRequests.v.Load() == 1 && len(s.queue) == 0 }) // worker dequeued it
 	const pile = 8
 	piled := make(chan struct{})
 	for i := 0; i < pile; i++ {
@@ -425,6 +445,7 @@ func TestDurableGroupCommitBatches(t *testing.T) {
 	}
 	waitFor(t, func() bool { return len(s.queue) == pile })
 	s.mu.Unlock()
+	unlocked = true
 	<-done
 	for i := 0; i < pile; i++ {
 		<-piled
@@ -433,8 +454,8 @@ func TestDurableGroupCommitBatches(t *testing.T) {
 	if m.Appends != pile+1 {
 		t.Fatalf("appends = %d, want %d", m.Appends, pile+1)
 	}
-	if m.Commits != 2 {
-		t.Fatalf("commits = %d, want 2 (first op alone, then the pile as one group)", m.Commits)
+	if m.Commits < 1 || m.Commits > 2 {
+		t.Fatalf("commits = %d, want 1 or 2 (the pile shares a group commit, possibly folded into the first op's overlapped fsync)", m.Commits)
 	}
 }
 

@@ -463,6 +463,11 @@ func (s *Server) syncRegistryLocked(draining bool) {
 		r.Counter("serve_admitpool_spin_iters_total", "Admit-pool spin-wait iterations.").Add(float64(st.SpinIters - s.poolSpins))
 		s.poolParks, s.poolWakes, s.poolSpins = st.Parks, st.Wakes, st.SpinIters
 	}
+
+	if s.shardEngines != nil {
+		r.Gauge("serve_shards", "Shard engines attached to the serving cluster.").Set(float64(len(s.shardEngines)))
+		r.Gauge("serve_shards_pending", "Node events pending across the shard engines.").Set(float64(s.ts.ShardsPending()))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -100,6 +100,16 @@ type Config struct {
 	// on a sim.ShardPool of that size; its park/wake/spin counters are
 	// exported on /metrics.
 	AdmitWorkers int
+	// Shards > 1 attaches that many space-partitioned shard engines to
+	// the serving cluster (clamped to Nodes): advancing virtual time —
+	// firing every believed completion at or before an operation's
+	// timestamp — runs across a shard pool in barrier phases, and the
+	// same pool fans out the Libra/LibraRisk admission scan (subsuming
+	// AdmitWorkers). Operations are still applied and answered strictly
+	// in queue order, so the audit stream, drain checkpoint and WAL
+	// replay stay byte-identical to the single-engine path. Time-shared
+	// policies only; EDF ignores it. See shard.go.
+	Shards int
 	// Audit, when non-nil, receives every admission decision as JSONL,
 	// streamed incrementally (the in-memory log is drained per decision).
 	Audit io.Writer
@@ -243,6 +253,11 @@ type Server struct {
 	auditW *bufio.Writer
 	reg    *obs.Registry
 	pool   *sim.ShardPool
+	// shardEngines is non-nil when Config.Shards attached a sharded
+	// serving cluster; shardBusy/shardErrs are the phase scratch.
+	shardEngines []*sim.Engine
+	shardBusy    []bool
+	shardErrs    []error
 	// ops is the in-memory applied-op log backing the drain checkpoint.
 	// Durable mode drops it — the WAL is the log — so memory stays
 	// bounded no matter how long the daemon runs; opsApplied counts
@@ -255,6 +270,13 @@ type Server struct {
 	wal          *wal.Log
 	walErr       error
 	walFsyncHist *obs.Histogram
+	// deferAudit, set while the durable pipeline runs, parks decisions
+	// drained by streamAuditLocked in auditPending instead of writing
+	// them; the committer writes each batch's decisions only after the
+	// fsync covering its ops, so the audit file can never run ahead of
+	// what a crash recovery would regenerate.
+	deferAudit   bool
+	auditPending []obs.Decision
 	// wal counter export state (delta pattern, like the pool counters).
 	walAppends, walAppendedBytes uint64
 	walCommits, walRotations     uint64
@@ -342,7 +364,11 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serve: unknown policy %q (want edf, libra or librarisk)", cfg.Policy)
 	}
-	if cfg.AdmitWorkers > 1 {
+	if cfg.Shards > 1 && s.ts != nil {
+		if err := s.attachShards(); err != nil {
+			return nil, err
+		}
+	} else if cfg.AdmitWorkers > 1 {
 		if ap, ok := s.pol.(core.AdmitParallel); ok {
 			s.pool = sim.NewShardPool(cfg.AdmitWorkers)
 			ap.SetAdmitPool(s.pool)
@@ -370,6 +396,9 @@ func New(cfg Config) (*Server, error) {
 			s.closePool()
 			return nil, err
 		}
+		// Armed before the worker goroutine exists so no caller can
+		// observe the durable server with audit deferral off.
+		s.deferAudit = true
 	}
 	s.wg.Add(1)
 	go s.worker()
@@ -506,9 +535,13 @@ func (s *Server) applyLocked(op *Op) opOutcome {
 		op.T = s.eng.Now()
 	}
 	if op.T > s.eng.Now() {
-		s.eng.SetHorizon(op.T)
-		if err := s.eng.Run(); err != nil && s.applyErr == nil {
-			s.applyErr = fmt.Errorf("serve: advancing to t=%g: %w", op.T, err)
+		if s.shardEngines != nil {
+			s.advanceShardedLocked(op.T)
+		} else {
+			s.eng.SetHorizon(op.T)
+			if err := s.eng.Run(); err != nil && s.applyErr == nil {
+				s.applyErr = fmt.Errorf("serve: advancing to t=%g: %w", op.T, err)
+			}
 		}
 		s.eng.AdvanceTo(op.T)
 	}
@@ -523,12 +556,7 @@ func (s *Server) applyLocked(op *Op) opOutcome {
 		s.ops = append(s.ops, *op)
 	}
 	s.opsApplied++
-	vnow := s.eng.Now()
-	next := math.NaN()
-	if t, _, ok := s.eng.PeekNext(); ok {
-		next = t
-	}
-	s.storeClocks(vnow, next)
+	s.storeClocks(s.eng.Now(), s.peekNextLocked())
 	return out
 }
 
@@ -596,15 +624,29 @@ func (s *Server) setObs(a *obs.AuditLog) {
 	}
 }
 
-// streamAuditLocked drains newly recorded decisions to the audit writer.
-// A write failure latches applyErr and stops the stream; admission keeps
-// serving (losing audit is strictly better than refusing traffic).
+// streamAuditLocked drains newly recorded decisions to the audit
+// writer — or parks them for the pipeline committer when deferAudit is
+// set (see durable.go).
 func (s *Server) streamAuditLocked() {
 	if s.audit == nil || s.auditW == nil {
 		return
 	}
 	ds := s.audit.Drain()
 	if len(ds) == 0 {
+		return
+	}
+	if s.deferAudit {
+		s.auditPending = append(s.auditPending, ds...)
+		return
+	}
+	s.writeAuditLocked(ds)
+}
+
+// writeAuditLocked appends decisions to the audit stream. A write
+// failure latches applyErr and stops the stream; admission keeps
+// serving (losing audit is strictly better than refusing traffic).
+func (s *Server) writeAuditLocked(ds []obs.Decision) {
+	if len(ds) == 0 || s.auditW == nil {
 		return
 	}
 	if err := obs.WriteAuditJSONL(s.auditW, ds); err != nil {
@@ -647,6 +689,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.closePool()
+		s.detachShardsLocked()
 		if s.auditW != nil {
 			if err := s.auditW.Flush(); err != nil && s.applyErr == nil {
 				s.applyErr = fmt.Errorf("serve: audit flush: %w", err)

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardTestConfig is a deterministic 16-node server, large enough that
+// shard counts 2..8 give real partitions.
+func shardTestConfig() Config {
+	return Config{
+		Policy:    "librarisk",
+		Nodes:     16,
+		TimeScale: 0,
+	}
+}
+
+// playShardScript drives a deterministic request mix that exercises the
+// sharded advance from every side: staggered arrivals whose completions
+// land between ops, bursts of same-instant submissions (equal-key
+// batching), a mid-script node crash and repair (resubmission flows
+// through EndShardPhase ordering), and runtimes collapsed onto a few
+// values so completions tie across shard boundaries. It returns the
+// decision transcript — one line per response — which must be identical
+// however the cluster is partitioned.
+func playShardScript(t *testing.T, base string, from, to int) []string {
+	t.Helper()
+	var lines []string
+	for i := from; i < to; i++ {
+		// Three ops per instant: T jumps every 3rd op so completions
+		// accumulate between bursts.
+		at := float64(i/3) * 15
+		switch {
+		case i == 17:
+			tt := at
+			postJSON(t, base+"/node", NodeRequest{Node: 3, Down: true, T: &tt}, nil)
+			lines = append(lines, "node3down")
+			continue
+		case i == 29:
+			tt := at
+			postJSON(t, base+"/node", NodeRequest{Node: 3, Down: false, T: &tt}, nil)
+			lines = append(lines, "node3up")
+			continue
+		}
+		out, resp := admitAt(t, base, at, AdmitRequest{
+			Tenant:   "shard",
+			NumProc:  1 + (i%5)*3,
+			Runtime:  float64(40 + 30*(i%3)),
+			Deadline: 60 + float64(i%4)*25,
+		})
+		lines = append(lines, fmt.Sprintf("%d %d %v %s", i, resp.StatusCode, out.Accepted, out.Reason))
+	}
+	return lines
+}
+
+const shardScriptLen = 60
+
+// stateOf snapshots /state, which is fully virtual-deterministic.
+func stateOf(t *testing.T, base string) StateResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/state")
+	if err != nil {
+		t.Fatalf("/state: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/state: %d", resp.StatusCode)
+	}
+	var st StateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /state: %v", err)
+	}
+	return st
+}
+
+// TestShardedServeByteIdentity is the serving-path differential: the
+// same request script against Shards ∈ {0, 2, 4, 8, 16} must produce
+// identical decisions, an identical audit stream, and an identical
+// /state snapshot. Run it under -race and the concurrent shard phases
+// are checked for soundness too.
+func TestShardedServeByteIdentity(t *testing.T) {
+	run := func(shards int) ([]string, []byte, StateResponse) {
+		var audit bytes.Buffer
+		cfg := shardTestConfig()
+		cfg.Audit = &audit
+		cfg.Shards = shards
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: New: %v", shards, err)
+		}
+		hts := httptest.NewServer(s.Handler())
+		lines := playShardScript(t, hts.URL, 0, shardScriptLen)
+		st := stateOf(t, hts.URL)
+		hts.Close()
+		if err := s.Close(); err != nil {
+			t.Fatalf("shards=%d: Close: %v", shards, err)
+		}
+		return lines, audit.Bytes(), st
+	}
+	refLines, refAudit, refState := run(0)
+	if len(refAudit) == 0 {
+		t.Fatal("reference run produced no audit output")
+	}
+	if refState.Admitted == 0 || refState.Rejected == 0 {
+		t.Fatalf("script produced a one-sided decision mix: %+v", refState)
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		lines, audit, st := run(k)
+		for i := range refLines {
+			if lines[i] != refLines[i] {
+				t.Fatalf("shards=%d: decision %d diverges: %q vs sequential %q", k, i, lines[i], refLines[i])
+			}
+		}
+		if !bytes.Equal(audit, refAudit) {
+			t.Errorf("shards=%d: audit stream diverges from sequential (%d vs %d bytes)", k, len(audit), len(refAudit))
+		}
+		if st != refState {
+			t.Errorf("shards=%d: state diverges\nsharded    %+v\nsequential %+v", k, st, refState)
+		}
+	}
+}
+
+// TestShardedServeSameInstantCompletions pins the shard-edge tie case
+// in serving: equal-length jobs started in one same-T burst across all
+// nodes complete at exactly the same virtual instant in every shard;
+// the next operation's advance must apply those ties in sequential
+// order whatever the partitioning.
+func TestShardedServeSameInstantCompletions(t *testing.T) {
+	run := func(shards int) ([]string, StateResponse) {
+		cfg := shardTestConfig()
+		cfg.Shards = shards
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: New: %v", shards, err)
+		}
+		hts := httptest.NewServer(s.Handler())
+		var lines []string
+		// Four identical spanning jobs at t=0: every node carries one
+		// slice of each, PS sharing finishes all four gangs — 64 slice
+		// completions on 16 nodes — at exactly t=120, in every shard...
+		for i := 0; i < 4; i++ {
+			out, resp := admitAt(t, hts.URL, 0, AdmitRequest{
+				Tenant: "tie", NumProc: 16, Runtime: 30, Deadline: 200,
+			})
+			lines = append(lines, fmt.Sprintf("%d %v", resp.StatusCode, out.Accepted))
+		}
+		// ...and this op's advance to t=150 applies the whole tie wave
+		// across every shard boundary, then must see an empty cluster.
+		out, resp := admitAt(t, hts.URL, 150, AdmitRequest{
+			Tenant: "tie", NumProc: 16, Runtime: 40, Deadline: 100,
+		})
+		lines = append(lines, fmt.Sprintf("%d %v", resp.StatusCode, out.Accepted))
+		st := stateOf(t, hts.URL)
+		hts.Close()
+		if err := s.Close(); err != nil {
+			t.Fatalf("shards=%d: Close: %v", shards, err)
+		}
+		return lines, st
+	}
+	refLines, refState := run(0)
+	if !strings.HasSuffix(refLines[len(refLines)-1], "true") {
+		t.Fatalf("spanning job after the tie burst was not accepted: %v", refLines)
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		lines, st := run(k)
+		for i := range refLines {
+			if lines[i] != refLines[i] {
+				t.Fatalf("shards=%d: decision %d diverges: %q vs %q", k, i, lines[i], refLines[i])
+			}
+		}
+		if st != refState {
+			t.Errorf("shards=%d: state diverges\nsharded    %+v\nsequential %+v", k, st, refState)
+		}
+	}
+}
+
+// TestShardedServeResumeReplayByteIdentity covers replay through the
+// sharded path: half the script drained to a checkpoint by a sharded
+// server, resumed by another sharded server (replay advances time
+// through the same barrier phases), and finished — the audit must match
+// a sequential straight-through run byte for byte. The cross pairings
+// (sequential writes, sharded resumes; sharded writes, sequential
+// resumes) are covered too, since sharding is an execution detail that
+// must not leak into the checkpoint identity.
+func TestShardedServeResumeReplayByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	straight := func(shards int) []byte {
+		var audit bytes.Buffer
+		cfg := shardTestConfig()
+		cfg.Audit = &audit
+		cfg.Shards = shards
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hts := httptest.NewServer(s.Handler())
+		playShardScript(t, hts.URL, 0, shardScriptLen)
+		hts.Close()
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return audit.Bytes()
+	}
+	ref := straight(0)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no audit output")
+	}
+	for ci, pair := range [][2]int{{4, 4}, {0, 4}, {4, 0}} {
+		writer, resumer := pair[0], pair[1]
+		ckpt := filepath.Join(dir, fmt.Sprintf("half-%d.ckpt", ci))
+		// The writer streams audit too (discarded): ops record
+		// Audited=true only when the live decision took the audit path,
+		// and the replay re-emits exactly the audited ops.
+		var discard bytes.Buffer
+		cfg1 := shardTestConfig()
+		cfg1.Audit = &discard
+		cfg1.CheckpointPath = ckpt
+		cfg1.Shards = writer
+		s1, err := New(cfg1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hts1 := httptest.NewServer(s1.Handler())
+		playShardScript(t, hts1.URL, 0, shardScriptLen/2)
+		hts1.Close()
+		if err := s1.Drain(context.Background()); err != nil {
+			t.Fatalf("writer=%d: drain: %v", writer, err)
+		}
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("drain wrote no checkpoint: %v", err)
+		}
+
+		var audit bytes.Buffer
+		cfg2 := shardTestConfig()
+		cfg2.Audit = &audit
+		cfg2.CheckpointPath = ckpt
+		cfg2.Resume = true
+		cfg2.Shards = resumer
+		s2, err := New(cfg2)
+		if err != nil {
+			t.Fatalf("resume writer=%d resumer=%d: %v", writer, resumer, err)
+		}
+		hts2 := httptest.NewServer(s2.Handler())
+		playShardScript(t, hts2.URL, shardScriptLen/2, shardScriptLen)
+		hts2.Close()
+		if err := s2.Drain(context.Background()); err != nil {
+			t.Fatalf("resumed drain: %v", err)
+		}
+		if !bytes.Equal(ref, audit.Bytes()) {
+			t.Errorf("writer=%d resumer=%d: resumed audit differs from sequential straight-through (%d vs %d bytes)",
+				writer, resumer, len(audit.Bytes()), len(ref))
+		}
+	}
+}
+
+// metricCounter extracts one counter value from a Prometheus text dump.
+func metricCounter(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, ln := range strings.Split(body, "\n") {
+		if strings.HasPrefix(ln, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(ln, name+" "), 64)
+			if err != nil {
+				t.Fatalf("parse %s: %v", ln, err)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestShardPoolLongLivedServer covers the pool under a server lifetime:
+// the park/wake counters on /metrics must be monotone across scrapes
+// while the server works, shard gauges must be present, and repeated
+// serve → drain → resume cycles must not leak pool (or any) goroutines.
+func TestShardPoolLongLivedServer(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "pool.ckpt")
+	var lastParks, lastWakes float64
+	for cycle := 0; cycle < 3; cycle++ {
+		cfg := shardTestConfig()
+		cfg.Shards = 4
+		cfg.CheckpointPath = ckpt
+		cfg.Resume = cycle > 0
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("cycle %d: New: %v", cycle, err)
+		}
+		hts := httptest.NewServer(s.Handler())
+		prevParks, prevWakes := -1.0, -1.0
+		for i := 0; i < 30; i++ {
+			admitAt(t, hts.URL, float64(cycle*1000+i*20), AdmitRequest{
+				Tenant: "pool", NumProc: 1 + i%4, Runtime: 35, Deadline: 90,
+			})
+			if i%10 == 9 {
+				resp, err := hts.Client().Get(hts.URL + "/metrics")
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				body := string(raw)
+				if g := metricCounter(t, body, "serve_shards"); g != 4 {
+					t.Fatalf("cycle %d: serve_shards = %g, want 4", cycle, g)
+				}
+				parks := metricCounter(t, body, "serve_admitpool_parks_total")
+				wakes := metricCounter(t, body, "serve_admitpool_wakes_total")
+				if parks < prevParks || wakes < prevWakes {
+					t.Fatalf("cycle %d: pool counters regressed: parks %g→%g wakes %g→%g",
+						cycle, prevParks, parks, prevWakes, wakes)
+				}
+				prevParks, prevWakes = parks, wakes
+			}
+		}
+		if prevParks < lastParks || prevWakes < lastWakes {
+			// Counters are per-server-lifetime (a fresh pool each cycle);
+			// only within-cycle monotonicity is meaningful.
+			_ = cycle
+		}
+		lastParks, lastWakes = prevParks, prevWakes
+		hts.Close()
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatalf("cycle %d: Drain: %v", cycle, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d across sharded server lifecycles", before, runtime.NumGoroutine())
+}
+
+// TestDurableShardedPipelineByteIdentity is the WAL-mode differential:
+// the full script through the sharded apply path, write-ahead-logged by
+// the pipelined group commit, must produce decisions, an audit stream,
+// and a /state snapshot byte-identical to the sequential durable
+// server's — and replaying either WAL with the shard count flipped must
+// regenerate the same audit stream and op count, since sharding and
+// pipelining are execution details that must not leak into the log.
+func TestDurableShardedPipelineByteIdentity(t *testing.T) {
+	root := t.TempDir()
+	run := func(shards int, dir string) ([]string, []byte, StateResponse, int) {
+		var audit bytes.Buffer
+		cfg := shardTestConfig()
+		cfg.Audit = &audit
+		cfg.Shards = shards
+		cfg.WALDir = dir
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: New: %v", shards, err)
+		}
+		hts := httptest.NewServer(s.Handler())
+		lines := playShardScript(t, hts.URL, 0, shardScriptLen)
+		st := stateOf(t, hts.URL)
+		hts.Close()
+		ops := s.OpsApplied()
+		if err := s.Close(); err != nil {
+			t.Fatalf("shards=%d: Close: %v", shards, err)
+		}
+		return lines, audit.Bytes(), st, ops
+	}
+	seqDir := filepath.Join(root, "seq")
+	shardedDir := filepath.Join(root, "sharded")
+	refLines, refAudit, refState, refOps := run(0, seqDir)
+	if len(refAudit) == 0 {
+		t.Fatal("reference run produced no audit output")
+	}
+	lines, audit, st, ops := run(4, shardedDir)
+	for i := range refLines {
+		if lines[i] != refLines[i] {
+			t.Fatalf("pipelined decision %d diverges: %q vs sequential %q", i, lines[i], refLines[i])
+		}
+	}
+	if !bytes.Equal(audit, refAudit) {
+		t.Errorf("pipelined audit stream diverges from sequential (%d vs %d bytes)", len(audit), len(refAudit))
+	}
+	if st != refState {
+		t.Errorf("pipelined state diverges\nsharded    %+v\nsequential %+v", st, refState)
+	}
+	if ops != refOps {
+		t.Errorf("pipelined ops applied = %d, sequential = %d", ops, refOps)
+	}
+
+	// Cross replay: each log resumed under the other execution shape
+	// must rebuild the same op count and re-emit the same audit bytes.
+	for _, rc := range []struct {
+		name   string
+		dir    string
+		shards int
+	}{
+		{"sharded log, sequential replay", shardedDir, 0},
+		{"sequential log, sharded replay", seqDir, 4},
+	} {
+		var replayAudit bytes.Buffer
+		cfg := shardTestConfig()
+		cfg.Audit = &replayAudit
+		cfg.Shards = rc.shards
+		cfg.WALDir = rc.dir
+		cfg.Resume = true
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", rc.name, err)
+		}
+		if got := s.OpsApplied(); got != refOps {
+			t.Errorf("%s: replayed %d ops, want %d", rc.name, got, refOps)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", rc.name, err)
+		}
+		if !bytes.Equal(replayAudit.Bytes(), refAudit) {
+			t.Errorf("%s: regenerated audit diverges (%d vs %d bytes)", rc.name, len(replayAudit.Bytes()), len(refAudit))
+		}
+	}
+}

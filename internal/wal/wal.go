@@ -120,15 +120,17 @@ type Metrics struct {
 	RecoveryTruncatedBytes int64
 }
 
-// Log is an open write-ahead log. Append/Commit/Compact/Close are
-// goroutine-safe, though the intended shape is a single appender that
-// groups its own commits.
+// Log is an open write-ahead log. Append/Commit/SyncTo/Compact/Close
+// are goroutine-safe; the intended shape is one appender that groups
+// its own commits, optionally with a separate committer goroutine
+// overlapping fsyncs via SyncTo.
 type Log struct {
 	opts Options
 	fs   FS
 	dir  string
 
 	mu          sync.Mutex
+	synced      sync.Cond // broadcast when an overlapped sync finishes
 	seg         File
 	segW        *bufio.Writer
 	segPath     string
@@ -140,6 +142,16 @@ type Log struct {
 	encBuf      []byte
 	m           Metrics
 	closed      bool
+	// syncing is true while a SyncTo fsync runs outside the mutex. The
+	// file handle it holds must stay open, so rotation, Close and
+	// synchronous commits wait on synced until it clears.
+	syncing bool
+	// durableIndex is the highest record index known to be on disk.
+	durableIndex uint64
+	// err latches a failed overlapped sync: the bytes it had claimed
+	// from dirty may or may not be durable, so the log is poisoned and
+	// every later Append/Commit/SyncTo returns this error.
+	err error
 }
 
 // Open loads (or creates) the log in opts.Dir, recovering every intact
@@ -148,6 +160,7 @@ type Log struct {
 func Open(opts Options) (*Log, *Recovery, error) {
 	opts = opts.withDefaults()
 	l := &Log{opts: opts, fs: opts.FS, dir: opts.Dir}
+	l.synced.L = &l.mu
 	if err := l.fs.MkdirAll(l.dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
@@ -158,6 +171,7 @@ func Open(opts Options) (*Log, *Recovery, error) {
 	l.m.RecoveredRecords = len(rec.Records)
 	l.m.RecoveryTruncatedBytes = rec.TruncatedBytes
 	l.m.LastIndex = l.nextIndex - 1
+	l.durableIndex = l.nextIndex - 1
 	return l, rec, nil
 }
 
@@ -440,6 +454,9 @@ func (l *Log) Append(data []byte) (uint64, error) {
 	if l.closed {
 		return 0, errors.New("wal: append to closed log")
 	}
+	if l.err != nil {
+		return 0, l.err
+	}
 	size := frameSize(len(data))
 	if l.segRecords > 0 && l.segSize+size > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -479,6 +496,16 @@ func (l *Log) Commit() error {
 }
 
 func (l *Log) commitLocked() error {
+	// An overlapped SyncTo fsync may be in flight on the active segment's
+	// handle; wait it out so this commit (and the rotation or close that
+	// may follow it) never races the handle. After the wait every byte
+	// the sync had claimed is either durable or the error has latched.
+	for l.syncing {
+		l.synced.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
 	if l.dirty == 0 {
 		return nil
 	}
@@ -489,8 +516,78 @@ func (l *Log) commitLocked() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.dirty = 0
+	l.durableIndex = l.nextIndex - 1
 	l.m.Commits++
 	return nil
+}
+
+// SyncTo ensures every record with index <= index is durable, returning
+// whether this call performed an fsync (false: the range was already on
+// disk). Unlike Commit, the fsync itself runs outside the log mutex, so
+// concurrent Appends proceed while the disk syncs — the seam a pipelined
+// group commit needs. Only one overlapped sync runs at a time; a second
+// caller waits. A failed overlapped fsync poisons the log: the error
+// latches and every later Append/Commit/SyncTo returns it, because the
+// bytes the sync had claimed from the dirty window may or may not have
+// reached the disk.
+func (l *Log) SyncTo(index uint64) (bool, error) {
+	l.mu.Lock()
+	for {
+		if l.closed {
+			l.mu.Unlock()
+			return false, errors.New("wal: sync on closed log")
+		}
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return false, err
+		}
+		if l.durableIndex >= index {
+			l.mu.Unlock()
+			return false, nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.synced.Wait()
+	}
+	// Flush the buffered tail under the lock: everything appended so far
+	// is handed to the OS here and covered by the fsync below, which
+	// often makes the next SyncTo a no-op (natural cross-batch grouping).
+	if err := l.segW.Flush(); err != nil {
+		l.mu.Unlock()
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	target := l.nextIndex - 1
+	f := l.seg
+	l.dirty = 0
+	l.syncing = true
+	l.mu.Unlock()
+
+	serr := f.Sync()
+
+	l.mu.Lock()
+	l.syncing = false
+	l.synced.Broadcast()
+	if serr != nil {
+		l.err = fmt.Errorf("wal: %w", serr)
+		err := l.err
+		l.mu.Unlock()
+		return true, err
+	}
+	if target > l.durableIndex {
+		l.durableIndex = target
+	}
+	l.m.Commits++
+	l.mu.Unlock()
+	return true, nil
+}
+
+// DurableIndex reports the highest record index known to be on disk.
+func (l *Log) DurableIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableIndex
 }
 
 // rotateLocked seals the active segment (committing it), folds it into

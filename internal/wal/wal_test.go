@@ -7,8 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
+	"time"
 )
 
 // openT opens a log in dir, failing the test on error.
@@ -465,5 +468,208 @@ func TestWALDirectorySyncOnSegmentLifecycle(t *testing.T) {
 	}
 	if dirSyncs < 2 {
 		t.Fatalf("only %d directory fsyncs across segment create/rotate/delete", dirSyncs)
+	}
+}
+
+func TestWALSyncToOverlapsAppends(t *testing.T) {
+	dir := t.TempDir()
+	// Hold the fsync open until released, so the test can prove Appends
+	// proceed while a SyncTo is in flight.
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var gated atomic.Bool
+	ffs := &FaultFS{OnSync: func(name string) error {
+		if gated.Load() && strings.Contains(name, segmentPrefix) {
+			entered <- struct{}{}
+			<-gate
+		}
+		return nil
+	}}
+	l, _ := openT(t, Options{Dir: dir, FS: ffs})
+	defer l.Close()
+
+	idx1, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated.Store(true)
+	syncDone := make(chan error, 1)
+	go func() {
+		_, err := l.SyncTo(idx1)
+		syncDone <- err
+	}()
+	<-entered // the fsync is in flight, mutex released
+
+	// Appends must complete while the sync blocks.
+	appended := make(chan error, 1)
+	go func() {
+		_, err := l.Append([]byte("second"))
+		appended <- err
+	}()
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatalf("Append during SyncTo: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked behind an in-flight SyncTo fsync")
+	}
+
+	gated.Store(false)
+	close(gate)
+	if err := <-syncDone; err != nil {
+		t.Fatalf("SyncTo: %v", err)
+	}
+	if got := l.DurableIndex(); got < idx1 {
+		t.Fatalf("DurableIndex %d, want >= %d", got, idx1)
+	}
+}
+
+func TestWALSyncToAlreadyDurableIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir})
+	defer l.Close()
+	idx, err := l.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synced, err := l.SyncTo(idx); err != nil || !synced {
+		t.Fatalf("first SyncTo = (%v, %v), want (true, nil)", synced, err)
+	}
+	if synced, err := l.SyncTo(idx); err != nil || synced {
+		t.Fatalf("second SyncTo = (%v, %v), want (false, nil)", synced, err)
+	}
+	// A flush by a later SyncTo covers records appended before it, so the
+	// next SyncTo for them is also a no-op.
+	idx2, _ := l.Append([]byte("y"))
+	idx3, _ := l.Append([]byte("z"))
+	if synced, err := l.SyncTo(idx3); err != nil || !synced {
+		t.Fatalf("SyncTo(%d) = (%v, %v), want (true, nil)", idx3, synced, err)
+	}
+	if synced, err := l.SyncTo(idx2); err != nil || synced {
+		t.Fatalf("SyncTo(%d) after covering sync = (%v, %v), want (false, nil)", idx2, synced, err)
+	}
+}
+
+func TestWALSyncToFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	var fail atomic.Bool
+	ffs := &FaultFS{OnSync: func(name string) error {
+		if fail.Load() && strings.Contains(name, segmentPrefix) {
+			return fmt.Errorf("injected sync failure")
+		}
+		return nil
+	}}
+	l, _ := openT(t, Options{Dir: dir, FS: ffs})
+	idx, err := l.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail.Store(true)
+	if _, err := l.SyncTo(idx); err == nil {
+		t.Fatal("SyncTo succeeded through an injected fsync failure")
+	}
+	// The overlapped sync claimed the dirty bytes before failing: the log
+	// must latch rather than pretend a retry could make them durable.
+	if _, err := l.Append([]byte("more")); err == nil {
+		t.Fatal("Append succeeded on a poisoned log")
+	}
+	if err := l.Commit(); err == nil {
+		t.Fatal("Commit succeeded on a poisoned log")
+	}
+	if _, err := l.SyncTo(idx); err == nil {
+		t.Fatal("SyncTo succeeded on a poisoned log")
+	}
+}
+
+func TestWALCommitWaitsForInflightSync(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var gated atomic.Bool
+	ffs := &FaultFS{OnSync: func(name string) error {
+		if gated.Load() && strings.Contains(name, segmentPrefix) {
+			gated.Store(false) // gate only the overlapped sync
+			entered <- struct{}{}
+			<-gate
+		}
+		return nil
+	}}
+	// Tiny segments force a rotation — the path that closes the active
+	// segment file and must never race the overlapped fsync's handle.
+	l, _ := openT(t, Options{Dir: dir, FS: ffs, SegmentBytes: 64})
+	defer l.Close()
+	idx, err := l.Append([]byte("held"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated.Store(true)
+	syncDone := make(chan error, 1)
+	go func() {
+		_, err := l.SyncTo(idx)
+		syncDone <- err
+	}()
+	<-entered
+
+	// This append overflows the 64-byte segment and rotates, which seals
+	// (fsyncs + closes) the very file the in-flight SyncTo holds; the
+	// rotation must block until the sync clears instead of closing it.
+	rotated := make(chan error, 1)
+	go func() {
+		_, err := l.Append([]byte(strings.Repeat("r", 64)))
+		rotated <- err
+	}()
+	select {
+	case err := <-rotated:
+		t.Fatalf("rotation completed during an in-flight sync (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked, as required.
+	}
+	close(gate)
+	if err := <-syncDone; err != nil {
+		t.Fatalf("SyncTo: %v", err)
+	}
+	if err := <-rotated; err != nil {
+		t.Fatalf("Append/rotate after sync released: %v", err)
+	}
+	if m := l.Metrics(); m.Rotations != 1 {
+		t.Fatalf("rotations %d, want 1", m.Rotations)
+	}
+}
+
+func TestWALSyncToConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Options{Dir: dir, SegmentBytes: 4 << 10})
+	var wg sync.WaitGroup
+	var lastIdx atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			idx, err := l.Append([]byte(fmt.Sprintf("record-%04d", i)))
+			if err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			lastIdx.Store(idx)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := l.SyncTo(lastIdx.Load()); err != nil {
+				t.Errorf("SyncTo: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, Options{Dir: dir})
+	if len(rec.Records) != 500 {
+		t.Fatalf("recovered %d records, want 500", len(rec.Records))
 	}
 }

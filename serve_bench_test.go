@@ -10,19 +10,15 @@ import (
 	"clustersched/internal/serve"
 )
 
-// BenchmarkServeAdmit measures the full HTTP admission path — JSON
-// decode, shed/quota checks, queue round-trip through the apply
-// worker, virtual-time advance, policy Submit — without a network in
-// the way (requests go straight to the handler). Virtual time advances
-// one second per request so the cluster reaches a steady state instead
-// of filling up.
-func BenchmarkServeAdmit(b *testing.B) {
-	s, err := serve.New(serve.Config{
-		Policy:     "librarisk",
-		Nodes:      128,
-		TimeScale:  0, // request-driven clock: deterministic, no wall coupling
-		QueueDepth: 1024,
-	})
+// benchServeAdmit drives b.N admissions straight through the handler of
+// a server built from cfg — JSON decode, shed/quota checks, queue
+// round-trip through the apply worker, virtual-time advance, policy
+// Submit — without a network in the way. Virtual time advances one
+// second per request so the cluster reaches a steady state instead of
+// filling up.
+func benchServeAdmit(b *testing.B, cfg serve.Config) {
+	b.Helper()
+	s, err := serve.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -51,4 +47,52 @@ func BenchmarkServeAdmit(b *testing.B) {
 	if got := s.OpsApplied(); got != b.N {
 		b.Fatalf("applied %d ops, want %d", got, b.N)
 	}
+}
+
+// benchServeConfig is the shared 128-node request-driven baseline every
+// ServeAdmit variant starts from, so their numbers compare directly.
+func benchServeConfig() serve.Config {
+	return serve.Config{
+		Policy:     "librarisk",
+		Nodes:      128,
+		TimeScale:  0, // request-driven clock: deterministic, no wall coupling
+		QueueDepth: 1024,
+	}
+}
+
+// BenchmarkServeAdmit measures the sequential full HTTP admission path.
+// The name is pinned: bench-gate compares it against the committed
+// baseline in BENCH_admission.json.
+func BenchmarkServeAdmit(b *testing.B) {
+	benchServeAdmit(b, benchServeConfig())
+}
+
+// BenchmarkServeAdmitSharded is the same path with the serving cluster
+// partitioned across 4 shard engines: the admit scan and completion
+// advancement fan out, the apply worker keeps single-writer ordering.
+// On a single-core host this measures pure coordination overhead; the
+// speedup only shows with GOMAXPROCS > 1.
+func BenchmarkServeAdmitSharded(b *testing.B) {
+	cfg := benchServeConfig()
+	cfg.Shards = 4
+	benchServeAdmit(b, cfg)
+}
+
+// BenchmarkServeAdmitDurable adds the write-ahead log: every op is
+// fsynced before its response through the two-stage pipeline (decide
+// overlaps the previous batch's group-commit fsync). Dominated by
+// fsync latency on real disks.
+func BenchmarkServeAdmitDurable(b *testing.B) {
+	cfg := benchServeConfig()
+	cfg.WALDir = b.TempDir()
+	benchServeAdmit(b, cfg)
+}
+
+// BenchmarkServeAdmitShardedDurable combines both: the sharded apply
+// path feeding the pipelined group commit.
+func BenchmarkServeAdmitShardedDurable(b *testing.B) {
+	cfg := benchServeConfig()
+	cfg.Shards = 4
+	cfg.WALDir = b.TempDir()
+	benchServeAdmit(b, cfg)
 }
