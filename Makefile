@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-serve bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke serve-smoke crash-smoke clean
+.PHONY: all build vet test test-short bench bench-json bench-serve bench-compare bench-gate cover fuzz experiments examples chaos-smoke resume-smoke shard-smoke trace-smoke serve-smoke spans-smoke crash-smoke clean
 
 # bench-gate regression thresholds, overridable per invocation:
 # allocs/op is nearly deterministic so the gate is tight; ns/op varies
@@ -227,6 +227,58 @@ serve-smoke:
 	cmp $$tmp/audit1.jsonl $$tmp/audit2.jsonl \
 		|| { echo "serve-smoke: resumed audit stream differs from the original"; exit 1; }; \
 	echo "serve-smoke: ok"
+
+# spans-smoke proves serving-path request tracing end to end: race-run
+# the span/debug/tenant-metric test suites, then boot admissiond with
+# -spans over the durable sharded pipeline, flood 1k deterministic
+# virtual-time requests, scrape /debug/spans and /metrics, and run
+# servetrace with the 95% stage-coverage gate plus a validated Chrome
+# export. A second daemon replays the identical load with spans OFF and
+# the two audit streams (and WALs) must be byte-identical — tracing is
+# a read-only tap on the real binaries too. -concurrency 1 keeps the
+# request order (and so the decision sequence) deterministic.
+spans-smoke:
+	$(GO) test -race -run 'TestSpan|TestDebug|TestTenant|TestShedTransition|TestRecorder|TestNilRecorder|TestWire|TestStageNames' \
+		./internal/serve/ ./internal/obs/span/
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/admissiond ./cmd/admissiond; \
+	$(GO) build -o $$tmp/admitload ./cmd/admitload; \
+	$(GO) build -o $$tmp/servetrace ./cmd/servetrace; \
+	$(GO) build -o $$tmp/tracedump ./cmd/tracedump; \
+	for spans in on off; do \
+		sarg=""; [ $$spans = on ] && sarg="-spans"; \
+		$$tmp/admissiond -addr 127.0.0.1:0 -nodes 16 -time-scale 0 -serve-shards 4 \
+			-durable $$tmp/wal_$$spans -audit $$tmp/audit_$$spans.jsonl $$sarg \
+			> $$tmp/daemon_$$spans.out 2> $$tmp/daemon_$$spans.err & pid=$$!; \
+		for i in $$(seq 100); do grep -q 'listening on' $$tmp/daemon_$$spans.out 2>/dev/null && break; sleep 0.1; done; \
+		url=$$(sed -n 's/^admissiond: listening on //p' $$tmp/daemon_$$spans.out); \
+		[ -n "$$url" ] || { echo "spans-smoke: daemon ($$spans) never listened"; cat $$tmp/daemon_$$spans.out; exit 1; }; \
+		$$tmp/admitload -url $$url -jobs 1000 -concurrency 1 -virtual -adf 0.05 > $$tmp/load_$$spans.txt; \
+		if [ $$spans = on ]; then \
+			$$tmp/admitload -url $$url -scrape '/debug/spans?n=1024' > $$tmp/spans.json; \
+			$$tmp/admitload -url $$url -scrape /metrics > $$tmp/metrics.prom; \
+		fi; \
+		kill -TERM $$pid; \
+		code=0; wait $$pid || code=$$?; \
+		[ $$code -eq 0 ] || { echo "spans-smoke: daemon ($$spans) exit code $$code, want 0"; cat $$tmp/daemon_$$spans.out; exit 1; }; \
+	done; \
+	grep -q '^serve_spans_recorded_total ' $$tmp/metrics.prom \
+		|| { echo "spans-smoke: metrics missing the span counter"; exit 1; }; \
+	grep -q '^serve_stage_commit_seconds_count ' $$tmp/metrics.prom \
+		|| { echo "spans-smoke: metrics missing the commit-stage histogram"; exit 1; }; \
+	grep -q 'serve_tenant_admits_total{tenant="tenant-0"}' $$tmp/metrics.prom \
+		|| { echo "spans-smoke: metrics missing per-tenant counters"; exit 1; }; \
+	grep -q '^serve_shed_level ' $$tmp/metrics.prom \
+		|| { echo "spans-smoke: metrics missing the shed-level gauge"; exit 1; }; \
+	$$tmp/servetrace -min-coverage 0.95 -chrome $$tmp/pipeline.json $$tmp/spans.json; \
+	$$tmp/tracedump -chrome $$tmp/pipeline.json; \
+	cmp $$tmp/audit_on.jsonl $$tmp/audit_off.jsonl \
+		|| { echo "spans-smoke: audit stream differs between spans on and off"; exit 1; }; \
+	cat $$tmp/wal_on/*.wal > $$tmp/wal_on.cat; cat $$tmp/wal_off/*.wal > $$tmp/wal_off.cat; \
+	cmp $$tmp/wal_on.cat $$tmp/wal_off.cat \
+		|| { echo "spans-smoke: WAL bytes differ between spans on and off"; exit 1; }; \
+	echo "spans-smoke: ok"
 
 # crash-smoke proves crash-consistent durability end to end: race-run
 # the WAL, checkpoint and durable-serve test suites, then build the real

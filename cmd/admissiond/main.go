@@ -10,6 +10,7 @@
 //	admissiond -addr :8080 -quota-rate 10 -quota-burst 50 -audit audit.jsonl
 //	admissiond -addr 127.0.0.1:0 -time-scale 0 -checkpoint d.ckpt -resume
 //	admissiond -addr 127.0.0.1:0 -durable /var/lib/admissiond/wal -resume
+//	admissiond -addr 127.0.0.1:0 -spans   # per-request tracing on /debug/spans
 //
 // SIGTERM (or SIGINT) starts the drain: intake stops, queued requests
 // are decided, the audit stream is flushed, the checkpoint is written,
@@ -61,6 +62,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	walSegBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment size before rotation (0 = default 4MiB)")
 	walSyncBytes := fs.Int64("wal-sync-bytes", 0, "unsynced WAL bytes that force a commit (0 = default 256KiB, negative = unbounded)")
 	walGroupWait := fs.Duration("wal-group-wait", 0, "group-commit window: wait this long for more ops to share an fsync")
+	spans := fs.Bool("spans", false, "trace every request through the serving pipeline: /debug/spans, per-stage /metrics histograms (analyze with servetrace)")
+	spanBuffer := fs.Int("span-buffer", 0, "finished spans kept in the /debug/spans ring (0 = default 4096)")
+	tenantLabels := fs.Int("tenant-labels", 0, "distinct tenants given their own /metrics series before folding into \"other\" (0 = default 32)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +88,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		WALSegmentBytes: *walSegBytes,
 		WALSyncBytes:    *walSyncBytes,
 		WALGroupWait:    *walGroupWait,
+		Spans:           *spans,
+		SpanBuffer:      *spanBuffer,
+		TenantLabels:    *tenantLabels,
+		// Shed-ladder transitions are operator events: timestamped lines
+		// on stderr, away from the machine-parsed stdout.
+		ShedLog: os.Stderr,
 	}
 	var auditFile *os.File
 	if *auditPath != "" {

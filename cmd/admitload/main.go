@@ -61,6 +61,7 @@ type result struct {
 	status   int
 	job      int
 	t        float64
+	tenant   string
 	accepted bool
 	latency  time.Duration
 }
@@ -269,19 +270,19 @@ func post(ctx context.Context, client *http.Client, base string, r admitRequest)
 	body, _ := json.Marshal(r)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/admit", bytes.NewReader(body))
 	if err != nil {
-		return result{status: -1}
+		return result{status: -1, tenant: r.Tenant}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(start)
 	if err != nil {
-		return result{status: -1, latency: lat}
+		return result{status: -1, tenant: r.Tenant, latency: lat}
 	}
 	defer resp.Body.Close()
 	var ar admitResponse
 	_ = json.NewDecoder(resp.Body).Decode(&ar)
-	return result{status: resp.StatusCode, job: ar.Job, t: ar.T, accepted: ar.Accepted, latency: lat}
+	return result{status: resp.StatusCode, job: ar.Job, t: ar.T, tenant: r.Tenant, accepted: ar.Accepted, latency: lat}
 }
 
 func doScrape(ctx context.Context, client *http.Client, base, path string, stdout io.Writer) error {
@@ -341,17 +342,28 @@ func parseKills(s string) ([]chaosKill, error) {
 // percentiles. The bench-serve sweep collects one per configuration
 // into BENCH_serve.json.
 type loadSummary struct {
-	Requests      int            `json:"requests"`
-	Statuses      map[string]int `json:"statuses"`
-	Accepted      int            `json:"accepted"`
-	Rejected      int            `json:"rejected"`
-	WallSeconds   float64        `json:"wall_seconds"`
-	ThroughputRPS float64        `json:"throughput_rps"`
-	LatencyP50    float64        `json:"latency_p50_seconds"`
-	LatencyP90    float64        `json:"latency_p90_seconds"`
-	LatencyP95    float64        `json:"latency_p95_seconds"`
-	LatencyP99    float64        `json:"latency_p99_seconds"`
-	LatencyMax    float64        `json:"latency_max_seconds"`
+	Requests      int                      `json:"requests"`
+	Statuses      map[string]int           `json:"statuses"`
+	Accepted      int                      `json:"accepted"`
+	Rejected      int                      `json:"rejected"`
+	Tenants       map[string]tenantOutcome `json:"tenants,omitempty"`
+	WallSeconds   float64                  `json:"wall_seconds"`
+	ThroughputRPS float64                  `json:"throughput_rps"`
+	LatencyP50    float64                  `json:"latency_p50_seconds"`
+	LatencyP90    float64                  `json:"latency_p90_seconds"`
+	LatencyP95    float64                  `json:"latency_p95_seconds"`
+	LatencyP99    float64                  `json:"latency_p99_seconds"`
+	LatencyMax    float64                  `json:"latency_max_seconds"`
+}
+
+// tenantOutcome is one tenant's request mix — the client-side view to
+// hold against the daemon's serve_tenant_* counters.
+type tenantOutcome struct {
+	Requests int `json:"requests"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Denied   int `json:"denied"` // 429s (quota) and 503s (shed/queue-full)
+	Errors   int `json:"errors,omitempty"`
 }
 
 // buildSummary folds the per-request results into a loadSummary.
@@ -361,6 +373,7 @@ func buildSummary(results []result, elapsed time.Duration) loadSummary {
 	sum := loadSummary{
 		Requests: len(results),
 		Statuses: map[string]int{},
+		Tenants:  map[string]tenantOutcome{},
 	}
 	lats := make([]time.Duration, 0, len(results))
 	for _, r := range results {
@@ -369,13 +382,21 @@ func buildSummary(results []result, elapsed time.Duration) loadSummary {
 			label = "transport-error"
 		}
 		sum.Statuses[label]++
-		if r.status == http.StatusOK {
-			if r.accepted {
-				sum.Accepted++
-			} else {
-				sum.Rejected++
-			}
+		to := sum.Tenants[r.tenant]
+		to.Requests++
+		switch {
+		case r.status == http.StatusOK && r.accepted:
+			sum.Accepted++
+			to.Accepted++
+		case r.status == http.StatusOK:
+			sum.Rejected++
+			to.Rejected++
+		case r.status == -1:
+			to.Errors++
+		default:
+			to.Denied++
 		}
+		sum.Tenants[r.tenant] = to
 		if r.status > 0 {
 			lats = append(lats, r.latency)
 		}
@@ -411,6 +432,16 @@ func summarize(w io.Writer, sum loadSummary) {
 		fmt.Fprintf(w, "  status %s: %d\n", st, sum.Statuses[st])
 	}
 	fmt.Fprintf(w, "  decided: %d accepted, %d rejected\n", sum.Accepted, sum.Rejected)
+	tenants := make([]string, 0, len(sum.Tenants))
+	for tn := range sum.Tenants {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		to := sum.Tenants[tn]
+		fmt.Fprintf(w, "  tenant %s: %d requests, %d accepted, %d rejected, %d denied\n",
+			tn, to.Requests, to.Accepted, to.Rejected, to.Denied)
+	}
 	if sum.LatencyMax > 0 {
 		sec := func(v float64) time.Duration {
 			return time.Duration(v * float64(time.Second)).Round(time.Microsecond)

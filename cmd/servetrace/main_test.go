@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersched/internal/obs"
+	"clustersched/internal/obs/span"
+)
+
+// sampleSpans is a tiny durable-pipeline trace: two admits through the
+// full WAL path (one fsync-dominated), plus a quota refusal.
+func sampleSpans() []span.JSON {
+	return []span.JSON{
+		{
+			Seq: 1, Kind: "admit", Tenant: "acme", Outcome: "accepted",
+			StartNano: 1_000_000, TotalSec: 0.010, WALIndex: 7,
+			Stages: map[string]float64{
+				"prep": 0.0001, "queue": 0.0009, "gather": 0.0005,
+				"append": 0.001, "advance": 0.0005, "decide": 0.0005,
+				"commit": 0.006, "ack": 0.0005,
+			},
+		},
+		{
+			Seq: 2, Kind: "admit", Tenant: "acme", Outcome: "rejected",
+			StartNano: 2_000_000, TotalSec: 0.004, WALIndex: 8,
+			Stages: map[string]float64{
+				"prep": 0.0001, "queue": 0.0024, "gather": 0.0002,
+				"append": 0.0003, "advance": 0.0002, "decide": 0.0002,
+				"commit": 0.0005, "ack": 0.0001,
+			},
+		},
+		{
+			Kind: "admit", Tenant: "zeta", Outcome: "quota",
+			StartNano: 3_000_000, TotalSec: 0.0002,
+			Stages: map[string]float64{"prep": 0.0002},
+		},
+	}
+}
+
+func writePayload(t *testing.T, spans []span.JSON) string {
+	t.Helper()
+	p := span.Payload{
+		Enabled: true, Count: len(spans), Recorded: uint64(len(spans)),
+		Spans:        spans,
+		SlowestTotal: spans[:1], // duplicates must be deduplicated
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spans.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPayloadReport(t *testing.T) {
+	path := writePayload(t, sampleSpans())
+	var out bytes.Buffer
+	if err := run([]string{"-min-coverage", "0.95", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"spans: 3 analyzed of 3 read",
+		"commit", "queue", "prep",
+		"critical path",
+		"commit   dominates     1 requests",
+		"queue    dominates     1 requests",
+		"coverage: stages attribute 100.0%",
+		"wal=7",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestJSONLInput(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, sp := range sampleSpans() {
+		if err := enc.Encode(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "spans: 3 analyzed of 3 read") {
+		t.Errorf("JSONL input not fully read:\n%s", out.String())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	path := writePayload(t, sampleSpans())
+	var out bytes.Buffer
+	if err := run([]string{"-tenant", "zeta", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "spans: 1 analyzed of 3 read") {
+		t.Errorf("tenant filter:\n%s", out.String())
+	}
+	if err := run([]string{"-outcome", "nope", path}, &out); err == nil {
+		t.Error("filter matching nothing should error")
+	}
+}
+
+func TestMinCoverageGate(t *testing.T) {
+	// A span with a large unexplained gap: stages cover 50%.
+	gappy := []span.JSON{{
+		Kind: "admit", Outcome: "accepted", StartNano: 1, TotalSec: 0.010,
+		Stages: map[string]float64{"prep": 0.005},
+	}}
+	path := writePayload(t, gappy)
+	var out bytes.Buffer
+	err := run([]string{"-min-coverage", "0.95", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "coverage") {
+		t.Fatalf("gate did not trip: err=%v", err)
+	}
+	if err := run([]string{"-min-coverage", "0.40", path}, &out); err != nil {
+		t.Fatalf("gate tripped below floor: %v", err)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	path := writePayload(t, sampleSpans())
+	chrome := filepath.Join(t.TempDir(), "pipeline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-chrome", chrome, path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	// 1 process_name + 8 thread_name metadata + 8+8+1 stage slices.
+	if n < 17 {
+		t.Errorf("chrome trace has %d events, want ≥ 17", n)
+	}
+}

@@ -40,11 +40,22 @@ func (g *Gauge) Value() float64 { return g.v }
 // construction. Observations beyond the last upper bound land in the
 // implicit +Inf bucket. No locks, no dynamic resizing: Observe is a
 // linear scan over a handful of bounds and two adds.
+//
+// A histogram may carry at most one exemplar — a labeled sample value
+// (e.g. the WAL index of the slowest recent fsync) attached to the
+// bucket that contains it in the Prometheus exposition, OpenMetrics
+// style. Exemplars are optional; output is byte-identical to the
+// pre-exemplar format when none is set.
 type Histogram struct {
 	bounds []float64 // ascending upper bounds, exclusive of +Inf
 	counts []uint64  // len(bounds)+1; last is the +Inf bucket
 	sum    float64
 	count  uint64
+
+	exKey   string
+	exVal   string
+	exValue float64
+	exSet   bool
 }
 
 // Observe records one value.
@@ -64,6 +75,60 @@ func (h *Histogram) Sum() float64 { return h.sum }
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// SetExemplar attaches (or replaces) the histogram's exemplar: an
+// observed value v annotated with a single label, rendered on v's
+// bucket line in the Prometheus exposition. Callers typically pass the
+// most interesting recent observation (e.g. the slowest).
+func (h *Histogram) SetExemplar(key, val string, v float64) {
+	h.exKey, h.exVal, h.exValue, h.exSet = key, val, v, true
+}
+
+// Exemplar returns the current exemplar, if any.
+func (h *Histogram) Exemplar() (key, val string, v float64, ok bool) {
+	return h.exKey, h.exVal, h.exValue, h.exSet
+}
+
+// Absorb folds other's observations (and exemplar, preferring the
+// larger value) into h. The bucket bounds must match exactly.
+func (h *Histogram) Absorb(other *Histogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: histogram bucket count mismatch: %d vs %d", len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if b != other.bounds[i] {
+			return fmt.Errorf("obs: histogram bound %d mismatch: %g vs %g", i, b, other.bounds[i])
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.count += other.count
+	if other.exSet && (!h.exSet || other.exValue > h.exValue) {
+		h.SetExemplar(other.exKey, other.exVal, other.exValue)
+	}
+	return nil
+}
+
+// Reset zeroes the histogram's observations and drops its exemplar,
+// keeping the bucket bounds. Used by scrape-time delta folding: a
+// collector histogram is Absorb'ed into an exported one, then Reset.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.count = 0, 0
+	h.exKey, h.exVal, h.exValue, h.exSet = "", "", 0, false
+}
+
+// NewHistogram returns a standalone (unregistered) histogram with the
+// given ascending upper bounds — the building block for collectors that
+// aggregate under their own lock and fold into a Registry at scrape.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
 // instrumentKind discriminates the registry's instrument table.
 type instrumentKind uint8
 
@@ -71,7 +136,46 @@ const (
 	kindCounter instrumentKind = iota
 	kindGauge
 	kindHistogram
+	kindCounterVec
 )
+
+// CounterVec is a family of counters keyed by the value of a single
+// label (e.g. serve_tenant_admits_total{tenant="..."}). Children are
+// created on first use; cardinality control is the caller's job (the
+// serving layer folds excess tenants into an "other" bucket before the
+// label reaches the registry).
+type CounterVec struct {
+	label    string
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (v *CounterVec) With(value string) *Counter {
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Label returns the family's label name.
+func (v *CounterVec) Label() string { return v.label }
+
+// Len returns the number of child counters.
+func (v *CounterVec) Len() int { return len(v.children) }
+
+// sortedValues returns the child label values in sorted order, the
+// deterministic export order.
+func (v *CounterVec) sortedValues() []string {
+	vals := make([]string, 0, len(v.children))
+	for lv := range v.children {
+		vals = append(vals, lv)
+	}
+	sort.Strings(vals)
+	return vals
+}
 
 // instrument is one registered metric with its metadata.
 type instrument struct {
@@ -81,6 +185,7 @@ type instrument struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	vec  *CounterVec
 }
 
 // Registry owns a set of named instruments. Registration is idempotent:
@@ -143,6 +248,20 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return in.h
 }
 
+// CounterVec returns the named labeled counter family, creating it on
+// first use with the given label name. Later calls must pass the same
+// label (mismatch panics — it is always a wiring bug).
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	in := r.lookup(name, help, kindCounterVec)
+	if in.vec == nil {
+		in.vec = &CounterVec{label: label, children: make(map[string]*Counter)}
+	}
+	if in.vec.label != label {
+		panic(fmt.Sprintf("obs: counter vec %q re-registered with label %q (was %q)", name, label, in.vec.label))
+	}
+	return in.vec
+}
+
 // Merge folds other into r: counters and histogram buckets sum, gauges
 // take the maximum (the only commutative, worker-order-independent choice
 // for point-in-time values). Instruments missing on either side are
@@ -159,19 +278,14 @@ func (r *Registry) Merge(other *Registry) error {
 			}
 		case kindHistogram:
 			h := r.Histogram(in.name, in.help, in.h.bounds)
-			if len(h.bounds) != len(in.h.bounds) {
-				return fmt.Errorf("obs: histogram %q bucket count mismatch: %d vs %d", in.name, len(h.bounds), len(in.h.bounds))
+			if err := h.Absorb(in.h); err != nil {
+				return fmt.Errorf("%v (histogram %q)", err, in.name)
 			}
-			for i, b := range h.bounds {
-				if b != in.h.bounds[i] {
-					return fmt.Errorf("obs: histogram %q bound %d mismatch: %g vs %g", in.name, i, b, in.h.bounds[i])
-				}
+		case kindCounterVec:
+			v := r.CounterVec(in.name, in.help, in.vec.label)
+			for lv, c := range in.vec.children {
+				v.With(lv).Add(c.v)
 			}
-			for i, c := range in.h.counts {
-				h.counts[i] += c
-			}
-			h.sum += in.h.sum
-			h.count += in.h.count
 		}
 	}
 	return nil
@@ -208,6 +322,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typ = "gauge"
 		case kindHistogram:
 			typ = "histogram"
+		case kindCounterVec:
+			typ = "counter"
 		}
 		if in.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {
@@ -223,16 +339,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %s\n", in.name, promFloat(in.c.v))
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %s\n", in.name, promFloat(in.g.v))
+		case kindCounterVec:
+			for _, lv := range in.vec.sortedValues() {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %s\n", in.name, in.vec.label, lv, promFloat(in.vec.children[lv].v)); err != nil {
+					return err
+				}
+			}
 		case kindHistogram:
+			// The exemplar (if set) rides the first bucket that
+			// contains its value, OpenMetrics style.
+			exBucket := -1
+			if in.h.exSet {
+				exBucket = len(in.h.bounds)
+				for i, b := range in.h.bounds {
+					if in.h.exValue <= b {
+						exBucket = i
+						break
+					}
+				}
+			}
+			exemplar := func(i int) string {
+				if i != exBucket {
+					return ""
+				}
+				return fmt.Sprintf(" # {%s=%q} %s", in.h.exKey, in.h.exVal, promFloat(in.h.exValue))
+			}
 			cum := uint64(0)
 			for i, b := range in.h.bounds {
 				cum += in.h.counts[i]
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", in.name, promFloat(b), cum); err != nil {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", in.name, promFloat(b), cum, exemplar(i)); err != nil {
 					return err
 				}
 			}
 			cum += in.h.counts[len(in.h.bounds)]
-			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", in.name, cum); err != nil {
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", in.name, cum, exemplar(len(in.h.bounds))); err != nil {
 				return err
 			}
 			if _, err = fmt.Fprintf(w, "%s_sum %s\n", in.name, promFloat(in.h.sum)); err != nil {
@@ -282,6 +422,18 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 				s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: promFloat(b), Count: in.h.counts[i]})
 			}
 			s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: "+Inf", Count: in.h.counts[len(in.h.bounds)]})
+		case kindCounterVec:
+			// One snapshot entry per child, the full series name
+			// embedded so consumers need no label-aware schema.
+			for _, lv := range in.vec.sortedValues() {
+				out = append(out, MetricSnapshot{
+					Name:  fmt.Sprintf("%s{%s=%q}", in.name, in.vec.label, lv),
+					Type:  "counter",
+					Help:  in.help,
+					Value: in.vec.children[lv].v,
+				})
+			}
+			continue
 		}
 		out = append(out, s)
 	}

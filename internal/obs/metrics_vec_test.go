@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterVecPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("serve_tenant_admits_total", "Admits by tenant.", "tenant")
+	v.With("zeta").Add(3)
+	v.With("alpha").Inc()
+	v.With("other").Add(10)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	// Idempotent re-registration returns the same family.
+	if r.CounterVec("serve_tenant_admits_total", "Admits by tenant.", "tenant") != v {
+		t.Fatal("re-registration returned a different vec")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP serve_tenant_admits_total Admits by tenant.
+# TYPE serve_tenant_admits_total counter
+serve_tenant_admits_total{tenant="alpha"} 1
+serve_tenant_admits_total{tenant="other"} 10
+serve_tenant_admits_total{tenant="zeta"} 3
+`
+	if b.String() != want {
+		t.Fatalf("prometheus export:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestCounterVecLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", "", "tenant")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label mismatch did not panic")
+		}
+	}()
+	r.CounterVec("x_total", "", "user")
+}
+
+func TestCounterVecMergeAndSnapshot(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.CounterVec("hits_total", "h", "tenant").With("t0").Add(2)
+	b.CounterVec("hits_total", "h", "tenant").With("t0").Add(3)
+	b.CounterVec("hits_total", "h", "tenant").With("t1").Add(1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2: %+v", len(snap), snap)
+	}
+	if snap[0].Name != `hits_total{tenant="t0"}` || snap[0].Value != 5 {
+		t.Fatalf("merged child 0 wrong: %+v", snap[0])
+	}
+	if snap[1].Name != `hits_total{tenant="t1"}` || snap[1].Value != 1 {
+		t.Fatalf("merged child 1 wrong: %+v", snap[1])
+	}
+}
+
+func TestHistogramExemplarExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	// No exemplar: output must stay byte-identical to the classic form.
+	var plain strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "#  {") || strings.Contains(plain.String(), "} 0.5 #") {
+		t.Fatalf("exemplar leaked into plain output:\n%s", plain.String())
+	}
+
+	h.SetExemplar("wal_index", "42", 0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := `lat_seconds_bucket{le="1"} 2 # {wal_index="42"} 0.5`
+	if !strings.Contains(b.String(), wantLine) {
+		t.Fatalf("exemplar missing:\n%s\nwant line: %s", b.String(), wantLine)
+	}
+	// Exactly one exemplar annotation.
+	if strings.Count(b.String(), " # {") != 1 {
+		t.Fatalf("expected exactly one exemplar:\n%s", b.String())
+	}
+
+	// An exemplar beyond the last bound rides the +Inf bucket.
+	h.SetExemplar("wal_index", "99", 5)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lat_seconds_bucket{le="+Inf"} 2 # {wal_index="99"} 5`) {
+		t.Fatalf("+Inf exemplar missing:\n%s", b.String())
+	}
+}
+
+func TestHistogramAbsorbAndReset(t *testing.T) {
+	bounds := []float64{1, 10}
+	a, b := NewHistogram(bounds), NewHistogram(bounds)
+	a.Observe(0.5)
+	b.Observe(5)
+	b.Observe(50)
+	b.SetExemplar("wal_index", "7", 50)
+	if err := a.Absorb(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Sum() != 55.5 {
+		t.Fatalf("absorb: count %d sum %g, want 3 55.5", a.Count(), a.Sum())
+	}
+	if _, val, v, ok := a.Exemplar(); !ok || val != "7" || v != 50 {
+		t.Fatalf("absorb dropped exemplar: %v %v %v", val, v, ok)
+	}
+	// Absorb keeps the larger-valued exemplar.
+	c := NewHistogram(bounds)
+	c.SetExemplar("wal_index", "2", 1)
+	if err := a.Absorb(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, val, _, _ := a.Exemplar(); val != "7" {
+		t.Fatalf("smaller exemplar displaced larger: %v", val)
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Sum() != 0 {
+		t.Fatal("reset did not zero observations")
+	}
+	if _, _, _, ok := b.Exemplar(); ok {
+		t.Fatal("reset kept exemplar")
+	}
+	// Bound mismatch is an error, not corruption.
+	if err := a.Absorb(NewHistogram([]float64{1, 2, 3})); err == nil {
+		t.Fatal("absorb accepted mismatched bounds")
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+// The /debug endpoint family: recent request spans, per-tenant request
+// filtering, and the shed-ladder transition history. All of it — like
+// /healthz and /metrics — answers at every shed level: the moments the
+// ladder sheds hardest are exactly the moments these endpoints are
+// needed. None of them takes the state lock; they read the lock-free
+// span ring and the shedder's own small mutex, so a wedged apply worker
+// cannot wedge diagnosis.
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"clustersched/internal/obs/span"
+)
+
+// debugSlowK is the default K for the slowest-span leaderboards.
+const debugSlowK = 8
+
+// debugSpanLimit caps how many recent spans one /debug/spans response
+// carries (override downward with ?n=).
+const debugSpanLimit = 1024
+
+// parseQueryInt reads an integer query parameter with a default and an
+// upper bound.
+func parseQueryInt(r *http.Request, key string, def, max int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return def
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// handleDebugSpans serves the recent-spans ring plus slowest-K
+// leaderboards by total wall time and per stage, as span.Payload JSON —
+// the exact shape cmd/servetrace ingests.
+//
+//	GET /debug/spans?n=256&k=8
+func (s *Server) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	n := parseQueryInt(r, "n", 256, debugSpanLimit)
+	k := parseQueryInt(r, "k", debugSlowK, 64)
+	spans := s.spans.Snapshot()
+	payload := span.Payload{
+		Enabled:  s.spans != nil,
+		Count:    len(spans),
+		Recorded: s.spans.Recorded(),
+	}
+	if len(spans) > 0 {
+		recent := spans
+		if len(recent) > n {
+			recent = recent[len(recent)-n:]
+		}
+		payload.Spans = wireSpans(recent)
+		bySlow := append([]*span.Span(nil), spans...)
+		sort.SliceStable(bySlow, func(i, j int) bool { return bySlow[i].Total > bySlow[j].Total })
+		if len(bySlow) > k {
+			bySlow = bySlow[:k]
+		}
+		payload.SlowestTotal = wireSpans(bySlow)
+		payload.SlowestByStage = make(map[string][]span.JSON, span.NumStages)
+		scratch := make([]*span.Span, 0, len(spans))
+		for st := 0; st < span.NumStages; st++ {
+			scratch = scratch[:0]
+			for _, sp := range spans {
+				if sp.Dur[st] > 0 {
+					scratch = append(scratch, sp)
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			stage := span.Stage(st)
+			sort.SliceStable(scratch, func(i, j int) bool { return scratch[i].Dur[stage] > scratch[j].Dur[stage] })
+			top := scratch
+			if len(top) > k {
+				top = top[:k]
+			}
+			payload.SlowestByStage[stage.String()] = wireSpans(top)
+		}
+	}
+	writeJSON(w, http.StatusOK, payload, 0)
+}
+
+// handleDebugRequests serves recent spans filtered by tenant and/or
+// outcome — "why did tenant X's requests 429?" without log diving.
+//
+//	GET /debug/requests?tenant=acme&outcome=quota&n=128
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := parseQueryInt(r, "n", 256, debugSpanLimit)
+	tenant := r.URL.Query().Get("tenant")
+	outcome := r.URL.Query().Get("outcome")
+	spans := s.spans.Snapshot()
+	matched := make([]*span.Span, 0, len(spans))
+	for _, sp := range spans {
+		if tenant != "" && sp.Tenant != tenant {
+			continue
+		}
+		if outcome != "" && sp.Outcome != outcome {
+			continue
+		}
+		matched = append(matched, sp)
+	}
+	if len(matched) > n {
+		matched = matched[len(matched)-n:]
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool        `json:"enabled"`
+		Tenant  string      `json:"tenant,omitempty"`
+		Outcome string      `json:"outcome,omitempty"`
+		Count   int         `json:"count"`
+		Spans   []span.JSON `json:"spans,omitempty"`
+	}{
+		Enabled: s.spans != nil,
+		Tenant:  tenant,
+		Outcome: outcome,
+		Count:   len(matched),
+		Spans:   wireSpans(matched),
+	}, 0)
+}
+
+// handleDebugShed serves the shed ladder's recent transition history.
+//
+//	GET /debug/shed
+func (s *Server) handleDebugShed(w http.ResponseWriter, r *http.Request) {
+	trans, total := s.shed.transitions()
+	writeJSON(w, http.StatusOK, struct {
+		Level       int              `json:"level"`
+		Total       uint64           `json:"transitions_total"`
+		Transitions []shedTransition `json:"transitions,omitempty"`
+	}{
+		Level:       s.shedLevel(),
+		Total:       total,
+		Transitions: trans,
+	}, 0)
+}
+
+// wireSpans converts spans to their JSON wire form.
+func wireSpans(spans []*span.Span) []span.JSON {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]span.JSON, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Wire()
+	}
+	return out
+}

@@ -46,6 +46,7 @@ import (
 
 	"clustersched/internal/checkpoint"
 	"clustersched/internal/obs"
+	"clustersched/internal/obs/span"
 	"clustersched/internal/wal"
 )
 
@@ -131,7 +132,7 @@ func (s *Server) openWAL() error {
 			if s.quotas != nil && op.Kind == "" {
 				s.quotas.forceTake(op.Tenant)
 			}
-			s.applyLocked(&op)
+			s.applyLocked(&op, nil)
 			if op.Seq > s.seq {
 				s.seq = op.Seq
 			}
@@ -178,6 +179,10 @@ type answer struct {
 	p   *pending
 	op  Op
 	out opOutcome
+	// decided is when the decide stage finished this request; the
+	// span's commit stage runs from here to its covering fsync. Zero
+	// with tracing off.
+	decided time.Time
 }
 
 // commitBatch is the unit flowing through the pipeline ring: a decided
@@ -212,6 +217,7 @@ func (s *Server) durableWorker() {
 		if !ok {
 			break
 		}
+		s.markDequeued(p)
 		batch = append(batch[:0], p)
 		if wait := s.cfg.WALGroupWait; wait > 0 {
 			timer := time.NewTimer(wait)
@@ -222,6 +228,7 @@ func (s *Server) durableWorker() {
 					if !ok {
 						break gather
 					}
+					s.markDequeued(q)
 					batch = append(batch, q)
 				case <-timer.C:
 					break gather
@@ -236,6 +243,7 @@ func (s *Server) durableWorker() {
 					if !ok {
 						break drain
 					}
+					s.markDequeued(q)
 					batch = append(batch, q)
 				default:
 					break drain
@@ -261,7 +269,7 @@ func (s *Server) decideBatch(batch []*pending, ring chan<- commitBatch) {
 	for _, p := range batch {
 		if !p.deadline.IsZero() && now.After(p.deadline) {
 			s.cTimeouts.Inc()
-			p.resp <- applied{timedOut: true}
+			p.resp <- applied{timedOut: true, finished: now}
 			continue
 		}
 		live = append(live, p)
@@ -281,6 +289,13 @@ func (s *Server) decideBatch(batch []*pending, ring chan<- commitBatch) {
 			}
 			s.seq++
 			p.op.Seq = s.seq
+			var appendT0 time.Time
+			if p.sp != nil {
+				// Everything between dequeue and the batch decide is
+				// the group-commit gather window this op waited out.
+				p.sp.Dur[span.StageGather] = start.Sub(p.deq)
+				appendT0 = s.now()
+			}
 			data, err := json.Marshal(walRecord{Op: &p.op})
 			if err == nil {
 				lastIdx, err = s.wal.Append(data)
@@ -289,19 +304,32 @@ func (s *Server) decideBatch(batch []*pending, ring chan<- commitBatch) {
 				s.setWALErrLocked(err)
 				break
 			}
+			if p.sp != nil {
+				p.sp.Dur[span.StageAppend] = s.now().Sub(appendT0)
+				p.sp.WALIndex = lastIdx
+			}
 		}
 	}
 	if s.walErr != nil {
 		s.mu.Unlock()
 		for _, p := range live {
-			p.resp <- applied{walFailed: true}
+			p.resp <- applied{walFailed: true, finished: s.now()}
 		}
 		return
 	}
 	cb := commitBatch{lastIdx: lastIdx, start: start, answers: make([]answer, 0, len(live))}
 	for _, p := range live {
-		out := s.applyLocked(&p.op)
-		cb.answers = append(cb.answers, answer{p: p, op: p.op, out: out})
+		var applyT0 time.Time
+		if p.sp != nil {
+			applyT0 = s.now()
+		}
+		out := s.applyLocked(&p.op, p.sp)
+		ans := answer{p: p, op: p.op, out: out}
+		if p.sp != nil {
+			ans.decided = s.now()
+			p.sp.Dur[span.StageDecide] = ans.decided.Sub(applyT0) - p.sp.Dur[span.StageAdvance]
+		}
+		cb.answers = append(cb.answers, ans)
 	}
 	cb.audit = s.auditPending
 	s.auditPending = nil
@@ -327,8 +355,9 @@ func (s *Server) walCommitter(ring <-chan commitBatch, done chan<- struct{}) {
 			s.mu.Lock()
 			s.setWALErrLocked(err)
 			s.mu.Unlock()
+			failedAt := s.now()
 			for _, a := range cb.answers {
-				a.p.resp <- applied{walFailed: true}
+				a.p.resp <- applied{walFailed: true, finished: failedAt}
 			}
 			continue
 		}
@@ -337,12 +366,19 @@ func (s *Server) walCommitter(ring <-chan commitBatch, done chan<- struct{}) {
 			s.walFsyncHist.Observe(s.now().Sub(t0).Seconds())
 		}
 		s.writeAuditLocked(cb.audit)
-		lat := s.now().Sub(cb.start).Seconds()
+		end := s.now()
+		lat := end.Sub(cb.start).Seconds()
 		for range cb.answers {
 			s.latHist.Observe(lat)
 		}
 		s.mu.Unlock()
 		for _, a := range cb.answers {
+			if a.p.sp != nil {
+				// Commit: from this op's decision to covered by the
+				// group fsync (audit write included — it is part of
+				// what the 200 vouches for).
+				a.p.sp.Dur[span.StageCommit] = end.Sub(a.decided)
+			}
 			s.cApplied.Inc()
 			if a.op.Kind == "" {
 				if a.out.accepted {
@@ -350,9 +386,10 @@ func (s *Server) walCommitter(ring <-chan commitBatch, done chan<- struct{}) {
 				} else {
 					s.cRejected.Inc()
 				}
+				s.tenants.admit(a.op.Tenant, a.out.accepted)
 			}
 			s.shed.observe(lat)
-			a.p.resp <- applied{op: a.op, out: a.out}
+			a.p.resp <- applied{op: a.op, out: a.out, finished: end}
 		}
 	}
 }

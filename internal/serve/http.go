@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
+	"clustersched/internal/obs/span"
 	"clustersched/internal/workload"
 )
 
@@ -81,11 +83,19 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /admit   — admission request (the hot path)
-//	POST /node    — crash/repair a node (admin/chaos)
-//	GET  /state   — consistent cluster snapshot
-//	GET  /metrics — Prometheus text exposition
-//	GET  /healthz — liveness, answers at every shed level
+//	POST /admit           — admission request (the hot path)
+//	POST /node            — crash/repair a node (admin/chaos)
+//	GET  /state           — consistent cluster snapshot
+//	GET  /metrics         — Prometheus text exposition
+//	GET  /healthz         — liveness, answers at every shed level
+//	GET  /debug/spans     — recent request spans + slowest-K (JSON)
+//	GET  /debug/requests  — recent spans filtered by ?tenant=/?outcome=
+//	GET  /debug/shed      — shed-ladder transition history (JSON)
+//	GET  /debug/pprof/*   — net/http/pprof profiles
+//
+// The /debug family, like /healthz and /metrics, deliberately answers
+// at every shed level: a service that sheds its own diagnostics under
+// overload cannot be debugged exactly when debugging matters.
 //
 // Every handler runs under panic isolation: a panicking request answers
 // 500 and increments serve_panics_total, and the daemon keeps serving.
@@ -96,7 +106,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /state", s.recovering(s.handleState))
 	mux.HandleFunc("GET /metrics", s.recovering(s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.recovering(s.handleHealthz))
+	mux.HandleFunc("GET /debug/spans", s.recovering(s.handleDebugSpans))
+	mux.HandleFunc("GET /debug/requests", s.recovering(s.handleDebugRequests))
+	mux.HandleFunc("GET /debug/shed", s.recovering(s.handleDebugShed))
+	mux.HandleFunc("GET /debug/pprof/", s.recovering(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", s.recovering(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", s.recovering(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", s.recovering(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", s.recovering(pprof.Trace))
 	return mux
+}
+
+// shedLevel queries the shed ladder with transition tracking, so every
+// level change the service acts on lands in the transition log.
+func (s *Server) shedLevel() int {
+	return s.shed.levelTracked(len(s.queue), cap(s.queue))
 }
 
 // recovering wraps a handler with per-request panic isolation: one bad
@@ -190,6 +214,10 @@ func validateAdmit(req *AdmitRequest) (Op, bool, float64, error) {
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var t0 time.Time
+	if s.spans != nil {
+		t0 = s.now()
+	}
 	s.cRequests.Inc()
 	var req AdmitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
@@ -201,26 +229,31 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()}, 0)
 		return
 	}
-	lvl := s.shed.level(len(s.queue), cap(s.queue))
+	lvl := s.shedLevel()
+	sp := s.beginSpan("admit", op.Tenant, t0, lvl)
 	switch {
 	case lvl >= shedAll:
 		s.cShedAll.Inc()
 		ra := s.retryAfter()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "overloaded: shedding all admission traffic", RetryAfterS: ra.Seconds()}, ra)
+		s.recordRefused(sp, "shed-all")
 		return
 	case lvl >= shedClass && workload.Class(op.Class) == workload.LowUrgency:
 		s.cShedClass.Inc()
 		ra := s.retryAfter()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "overloaded: shedding sheddable-class traffic", RetryAfterS: ra.Seconds()}, ra)
+		s.recordRefused(sp, "shed-class")
 		return
 	}
 	if s.quotas != nil {
 		if ok, ra := s.quotas.take(op.Tenant); !ok {
 			s.cQuotaDenied.Inc()
+			s.tenants.quotaDenied(op.Tenant)
 			writeJSON(w, http.StatusTooManyRequests,
 				errorResponse{Error: "tenant quota exhausted", RetryAfterS: ra.Seconds()}, ra)
+			s.recordRefused(sp, "quota")
 			return
 		}
 	}
@@ -233,6 +266,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		reqT:     reqT,
 		deadline: s.now().Add(s.cfg.RequestTimeout),
 		resp:     make(chan applied, 1),
+		sp:       sp,
 	}
 	p.op.Audited = s.audit != nil && lvl < shedAudit
 	s.dispatch(w, r, p, func(a applied) (int, any) {
@@ -250,6 +284,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	var t0 time.Time
+	if s.spans != nil {
+		t0 = s.now()
+	}
 	s.cRequests.Inc()
 	var req NodeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
@@ -261,11 +299,14 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("node %d out of range [0,%d)", req.Node, s.cfg.Nodes)}, 0)
 		return
 	}
-	if s.shed.level(len(s.queue), cap(s.queue)) >= shedAll {
+	lvl := s.shedLevel()
+	sp := s.beginSpan("node", "", t0, lvl)
+	if lvl >= shedAll {
 		s.cShedAll.Inc()
 		ra := s.retryAfter()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "overloaded: shedding all admission traffic", RetryAfterS: ra.Seconds()}, ra)
+		s.recordRefused(sp, "shed-all")
 		return
 	}
 	hasT, reqT := false, 0.0
@@ -283,10 +324,11 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		reqT:     reqT,
 		deadline: s.now().Add(s.cfg.RequestTimeout),
 		resp:     make(chan applied, 1),
+		sp:       sp,
 	}
 	// Node ops take the same audit slow-path decision as admissions so a
 	// replayed checkpoint sheds exactly what the live run shed.
-	p.op.Audited = s.audit != nil && s.shed.level(len(s.queue), cap(s.queue)) < shedAudit
+	p.op.Audited = s.audit != nil && lvl < shedAudit
 	s.dispatch(w, r, p, func(a applied) (int, any) {
 		return http.StatusOK, NodeResponse{Node: a.op.Node, Down: a.op.Down, T: a.op.T, Killed: a.out.killed}
 	})
@@ -296,6 +338,11 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 // intake refusals and expiry into their status codes. render shapes the
 // 200 body from the applied result.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pending, render func(applied) (int, any)) {
+	if p.sp != nil {
+		// Prep ends where the queue stage begins: the enqueue attempt.
+		p.enq = s.now()
+		p.sp.Dur[span.StagePrep] = p.enq.Sub(p.sp.Start)
+	}
 	if err := s.enqueue(p); err != nil {
 		ra := s.retryAfter()
 		switch err {
@@ -303,10 +350,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pending, re
 			s.cDrainDenied.Inc()
 			writeJSON(w, http.StatusServiceUnavailable,
 				errorResponse{Error: "draining: not accepting new work", RetryAfterS: ra.Seconds()}, ra)
+			s.recordRefused(p.sp, "draining")
 		default:
 			s.cQueueFull.Inc()
 			writeJSON(w, http.StatusServiceUnavailable,
 				errorResponse{Error: "admission queue full", RetryAfterS: ra.Seconds()}, ra)
+			s.recordRefused(p.sp, "queue-full")
 		}
 		return
 	}
@@ -321,6 +370,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pending, re
 			ra := s.retryAfter()
 			writeJSON(w, http.StatusServiceUnavailable,
 				errorResponse{Error: "admission deadline exceeded while queued", RetryAfterS: ra.Seconds()}, ra)
+			s.finishSpan(p, a, "timeout")
 			return
 		}
 		if a.walFailed {
@@ -329,22 +379,38 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pending, re
 			// against a dead log is pointless.
 			writeJSON(w, http.StatusServiceUnavailable,
 				errorResponse{Error: "durability failure: write-ahead log unavailable"}, 0)
+			s.finishSpan(p, a, "wal-failed")
 			return
 		}
 		status, body := render(a)
 		writeJSON(w, status, body, 0)
+		if p.sp != nil {
+			outcome := "applied"
+			if a.op.Kind == "" {
+				if a.out.accepted {
+					outcome = "accepted"
+				} else {
+					outcome = "rejected"
+				}
+			}
+			s.finishSpan(p, a, outcome)
+		}
 	case <-r.Context().Done():
 		// Client gone. The response channel is buffered, so the worker's
-		// eventual answer is dropped without blocking anything.
+		// eventual answer is dropped without blocking anything. The span
+		// is NOT recorded: the worker still owns it, and publishing here
+		// would race its stage writes.
 	case <-guard.C:
 		ra := s.retryAfter()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "admission decision overdue", RetryAfterS: ra.Seconds()}, ra)
+		// Span not recorded, same ownership rule as above.
 	}
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
-	if s.shed.level(len(s.queue), cap(s.queue)) >= shedAll {
+	lvl := s.shedLevel()
+	if lvl >= shedAll {
 		ra := s.retryAfter()
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "overloaded: state snapshots shed", RetryAfterS: ra.Seconds()}, ra)
@@ -360,7 +426,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		Nodes:       s.cfg.Nodes,
 		QueueLen:    len(s.queue),
 		QueueCap:    cap(s.queue),
-		ShedLevel:   s.shed.level(len(s.queue), cap(s.queue)),
+		ShedLevel:   lvl,
 		Draining:    draining,
 		OpsApplied:  s.opsApplied,
 		Admitted:    s.cAdmitted.v.Load(),
@@ -420,7 +486,18 @@ func (s *Server) syncRegistryLocked(draining bool) {
 
 	r.Gauge("serve_queue_depth", "Admission queue occupancy.").Set(float64(len(s.queue)))
 	r.Gauge("serve_queue_capacity", "Admission queue bound.").Set(float64(cap(s.queue)))
-	r.Gauge("serve_shed_level", "Current load-shedding ladder level (0-3).").Set(float64(s.shed.level(len(s.queue), cap(s.queue))))
+	// The scrape queries through the tracked path too, so a recovery
+	// (level-down) with no request traffic still lands in the
+	// transition log by the next scrape.
+	r.Gauge("serve_shed_level", "Current load-shedding ladder level (0-3).").Set(float64(s.shedLevel()))
+	_, transTotal := s.shed.transitions()
+	r.Counter("serve_shed_transitions_total", "Shed-ladder level transitions (up or down).").Add(float64(transTotal - s.shedTransExported))
+	s.shedTransExported = transTotal
+	s.tenants.syncTo(r)
+	s.stages.drainTo(r)
+	if s.spans != nil {
+		r.Gauge("serve_span_ring_spans", "Spans currently held in the /debug/spans ring.").Set(float64(s.spans.Len()))
+	}
 	r.Gauge("serve_latency_p99_seconds", "Windowed p99 admission latency.").Set(s.shed.latencyP99())
 	r.Gauge("serve_virtual_time_seconds", "Cluster virtual clock.").Set(s.eng.Now())
 	b := 0.0

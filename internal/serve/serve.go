@@ -62,6 +62,7 @@ import (
 	"clustersched/internal/core"
 	"clustersched/internal/metrics"
 	"clustersched/internal/obs"
+	"clustersched/internal/obs/span"
 	"clustersched/internal/sim"
 	"clustersched/internal/wal"
 	"clustersched/internal/workload"
@@ -138,6 +139,23 @@ type Config struct {
 	WALFS wal.FS
 	// Shed tunes the load-shedding ladder.
 	Shed ShedConfig
+	// ShedLog, when non-nil, receives one timestamped line per
+	// shed-ladder level transition (up and down), so escalations are
+	// visible in the daemon's log and not just as a gauge sample.
+	ShedLog io.Writer
+	// Spans enables per-request span tracing: every /admit and /node
+	// request records its per-stage latencies (queue, WAL append, fsync
+	// wait, advance, decide, ack) into a lock-free ring served by
+	// /debug/spans, with stage histograms on /metrics. Off by default;
+	// disabled tracing costs the hot path nil checks only, and enabled
+	// tracing never changes a decision (spans_test.go proves both).
+	Spans bool
+	// SpanBuffer bounds the recent-spans ring (default 4096 spans).
+	SpanBuffer int
+	// TenantLabels caps how many distinct tenants get their own series
+	// in the per-tenant /metrics counters before folding into "other"
+	// (default 32).
+	TenantLabels int
 
 	// now overrides time.Now in tests.
 	now func() time.Time
@@ -159,6 +177,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.SpanBuffer == 0 {
+		c.SpanBuffer = 4096
+	}
+	if c.TenantLabels == 0 {
+		c.TenantLabels = 32
 	}
 	c.Shed = c.Shed.withDefaults()
 	if c.now == nil {
@@ -205,6 +229,12 @@ type pending struct {
 	reqT     float64
 	deadline time.Time
 	resp     chan applied // buffered(1): the worker never blocks on it
+	// sp is the request's trace span (nil with tracing off); enq/deq
+	// are its queue-stage boundary timestamps, stamped only when sp is
+	// set.
+	sp  *span.Span
+	enq time.Time
+	deq time.Time
 }
 
 // applied is the worker's answer to a pending request.
@@ -215,6 +245,9 @@ type applied struct {
 	walFailed bool
 	op        Op
 	out       opOutcome
+	// finished is when the worker produced this answer; the span's ack
+	// stage runs from here to response-written. Zero with tracing off.
+	finished time.Time
 }
 
 // exportedCounter is a goroutine-safe cumulative counter whose total is
@@ -283,6 +316,18 @@ type Server struct {
 	walCompactions               uint64
 	// latHist is the admission-latency histogram (seconds).
 	latHist *obs.Histogram
+	// spans/stages are non-nil with Config.Spans: the recent-spans ring
+	// behind /debug/spans and the per-stage latency collector folded
+	// into /metrics. tenants is always on (per-tenant outcome counters).
+	spans   *span.Recorder
+	stages  *stageStats
+	tenants *tenantStats
+	// phaseHist times individual shard barrier phases (spans on +
+	// sharded only; observed under the state lock).
+	phaseHist *obs.Histogram
+	// phaseCount is applyLocked's scratch: barrier phases run during
+	// the current op's advance. Only read when spans are on.
+	phaseCount int
 	// applyErr latches the first apply-path failure (audit write error,
 	// event budget); /healthz keeps answering but /state surfaces it.
 	applyErr error
@@ -291,6 +336,8 @@ type Server struct {
 
 	quotas *quotaTable
 	shed   *shedder
+	// shedTransExported is the transition-counter scrape watermark.
+	shedTransExported uint64
 
 	// vnowBits/nextFinishBits cache the virtual clock and the next
 	// believed completion time for lock-free Retry-After computation.
@@ -330,13 +377,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: WALDir and CheckpointPath are mutually exclusive: the write-ahead log subsumes the drain checkpoint")
 	}
 	s := &Server{
-		cfg:   cfg,
-		start: cfg.now(),
-		eng:   sim.NewEngine(),
-		rec:   metrics.NewRecorder(),
-		reg:   obs.NewRegistry(),
-		queue: make(chan *pending, cfg.QueueDepth),
-		shed:  newShedder(cfg.Shed),
+		cfg:     cfg,
+		start:   cfg.now(),
+		eng:     sim.NewEngine(),
+		rec:     metrics.NewRecorder(),
+		reg:     obs.NewRegistry(),
+		queue:   make(chan *pending, cfg.QueueDepth),
+		shed:    newShedder(cfg.Shed, cfg.ShedLog, cfg.now),
+		tenants: newTenantStats(cfg.TenantLabels),
+	}
+	if cfg.Spans {
+		s.spans = span.NewRecorder(cfg.SpanBuffer)
+		s.stages = newStageStats()
 	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.RefRating = cfg.Rating
@@ -373,6 +425,10 @@ func New(cfg Config) (*Server, error) {
 			s.pool = sim.NewShardPool(cfg.AdmitWorkers)
 			ap.SetAdmitPool(s.pool)
 		}
+	}
+	if s.spans != nil && s.shardEngines != nil {
+		s.phaseHist = s.reg.Histogram("serve_shard_phase_seconds",
+			"Wall time of one sharded-advance barrier phase.", stageBounds)
 	}
 	if cfg.QuotaRate > 0 || cfg.QuotaBurst > 0 {
 		s.quotas = newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst, cfg.now)
@@ -498,9 +554,10 @@ func (s *Server) process(p *pending) {
 		// a backlogged server converges instead of doing work nobody is
 		// waiting for.
 		s.cTimeouts.Inc()
-		p.resp <- applied{timedOut: true}
+		p.resp <- applied{timedOut: true, finished: s.now()}
 		return
 	}
+	s.markDequeued(p)
 	start := s.now()
 	s.mu.Lock()
 	if !p.hasT {
@@ -510,10 +567,16 @@ func (s *Server) process(p *pending) {
 	}
 	s.seq++
 	p.op.Seq = s.seq
-	out := s.applyLocked(&p.op)
-	lat := s.now().Sub(start).Seconds()
+	out := s.applyLocked(&p.op, p.sp)
+	end := s.now()
+	lat := end.Sub(start).Seconds()
 	s.latHist.Observe(lat)
 	s.mu.Unlock()
+	if p.sp != nil {
+		// Decide is the apply critical section minus the advance that
+		// ran inside it, so the two stages partition the lock hold.
+		p.sp.Dur[span.StageDecide] = end.Sub(start) - p.sp.Dur[span.StageAdvance]
+	}
 	s.cApplied.Inc()
 	if p.op.Kind == "" {
 		if out.accepted {
@@ -521,20 +584,28 @@ func (s *Server) process(p *pending) {
 		} else {
 			s.cRejected.Inc()
 		}
+		s.tenants.admit(p.op.Tenant, out.accepted)
 	}
 	s.shed.observe(lat)
-	p.resp <- applied{op: p.op, out: out}
+	p.resp <- applied{op: p.op, out: out, finished: end}
 }
 
 // applyLocked advances virtual time to op.T (firing every completion at
 // or before it), applies the op, records it, and refreshes the clock
 // caches. Callers hold the write lock. op.T below the current virtual
-// clock is clamped up — time never runs backwards.
-func (s *Server) applyLocked(op *Op) opOutcome {
+// clock is clamped up — time never runs backwards. sp, when non-nil,
+// receives the advance-stage timing (replay passes nil: recovered ops
+// have no request to trace).
+func (s *Server) applyLocked(op *Op, sp *span.Span) opOutcome {
 	if op.T < s.eng.Now() || math.IsNaN(op.T) {
 		op.T = s.eng.Now()
 	}
 	if op.T > s.eng.Now() {
+		var t0 time.Time
+		if sp != nil {
+			t0 = s.now()
+			s.phaseCount = 0
+		}
 		if s.shardEngines != nil {
 			s.advanceShardedLocked(op.T)
 		} else {
@@ -544,6 +615,10 @@ func (s *Server) applyLocked(op *Op) opOutcome {
 			}
 		}
 		s.eng.AdvanceTo(op.T)
+		if sp != nil {
+			sp.Dur[span.StageAdvance] = s.now().Sub(t0)
+			sp.ShardPhases = s.phaseCount
+		}
 	}
 	var out opOutcome
 	switch op.Kind {
@@ -856,7 +931,7 @@ func (s *Server) replayCheckpoint() error {
 		switch {
 		case ln.Op != nil:
 			op := *ln.Op
-			s.applyLocked(&op)
+			s.applyLocked(&op, nil)
 			if op.Seq > s.seq {
 				s.seq = op.Seq
 			}

@@ -20,6 +20,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"clustersched/internal/core"
 	"clustersched/internal/sim"
@@ -126,6 +127,15 @@ func (s *Server) shardPhaseLocked(t float64, pr sim.Priority, inclusive bool) bo
 	if nbusy == 0 {
 		return false
 	}
+	// Span plumbing: count this barrier phase and, with tracing on,
+	// time it into the phase histogram. Neither affects the decision
+	// path — the counter is scratch and the histogram observes under
+	// the already-held state lock.
+	s.phaseCount++
+	var phase0 time.Time
+	if s.phaseHist != nil {
+		phase0 = s.now()
+	}
 	run := func(se *sim.Engine) error {
 		if inclusive {
 			se.SetHorizon(t)
@@ -147,6 +157,9 @@ func (s *Server) shardPhaseLocked(t float64, pr sim.Priority, inclusive bool) bo
 		})
 	}
 	s.ts.EndShardPhase(s.eng)
+	if s.phaseHist != nil {
+		s.phaseHist.Observe(s.now().Sub(phase0).Seconds())
+	}
 	for _, err := range s.shardErrs {
 		if err != nil && s.applyErr == nil {
 			s.applyErr = fmt.Errorf("serve: shard phase at t=%g: %w", t, err)

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -60,6 +62,10 @@ func (c ShedConfig) withDefaults() ShedConfig {
 // request fast path at two atomic-free loads under a short lock.
 type shedder struct {
 	cfg ShedConfig
+	// logW, when non-nil, receives one timestamped line per level
+	// transition; now supplies the timestamp (test-overridable).
+	logW io.Writer
+	now  func() time.Time
 
 	mu      sync.Mutex
 	ring    []float64
@@ -68,13 +74,41 @@ type shedder struct {
 	sinceP  int // observations since last p99 refresh
 	p99     float64
 	scratch []float64
+
+	// Transition tracking: the level is derived (recomputed at every
+	// query point), so transitions are detected by comparing against
+	// the last level a tracked query saw. trans is a bounded ring of
+	// the most recent transitions, transTotal counts them all.
+	lastLvl    int
+	trans      []shedTransition
+	transTotal uint64
 }
+
+// shedTransition is one shed-ladder level change, as surfaced on
+// /debug/shed and in the transition log line.
+type shedTransition struct {
+	At   time.Time `json:"at"`
+	From int       `json:"from"`
+	To   int       `json:"to"`
+	// Fill and P99S are the triggers' values at the transition: queue
+	// fill fraction and windowed p99 admission latency (seconds).
+	Fill float64 `json:"fill"`
+	P99S float64 `json:"p99_s"`
+}
+
+// maxTransitions bounds the transition ring.
+const maxTransitions = 64
 
 const refreshEvery = 32
 
-func newShedder(cfg ShedConfig) *shedder {
+func newShedder(cfg ShedConfig, logW io.Writer, now func() time.Time) *shedder {
+	if now == nil {
+		now = time.Now
+	}
 	return &shedder{
 		cfg:     cfg,
+		logW:    logW,
+		now:     now,
 		ring:    make([]float64, cfg.Window),
 		scratch: make([]float64, 0, cfg.Window),
 	}
@@ -153,4 +187,45 @@ func (d *shedder) level(qlen, qcap int) int {
 		}
 	}
 	return lvl
+}
+
+// levelTracked is level plus transition accounting: when the computed
+// level differs from the last tracked one — up or down — the transition
+// is recorded (bounded ring + total counter) and logged with a
+// timestamp. Every serving call site queries through this, so any
+// escalation or recovery the ladder ever acts on is visible.
+func (d *shedder) levelTracked(qlen, qcap int) int {
+	lvl := d.level(qlen, qcap)
+	d.mu.Lock()
+	if lvl == d.lastLvl {
+		d.mu.Unlock()
+		return lvl
+	}
+	fill := 0.0
+	if qcap > 0 {
+		fill = float64(qlen) / float64(qcap)
+	}
+	tr := shedTransition{At: d.now(), From: d.lastLvl, To: lvl, Fill: fill, P99S: d.p99}
+	d.lastLvl = lvl
+	if len(d.trans) >= maxTransitions {
+		copy(d.trans, d.trans[1:])
+		d.trans = d.trans[:maxTransitions-1]
+	}
+	d.trans = append(d.trans, tr)
+	d.transTotal++
+	logW := d.logW
+	d.mu.Unlock()
+	if logW != nil {
+		fmt.Fprintf(logW, "shed: %s level %d -> %d (queue %d/%d, p99 %.4fs)\n",
+			tr.At.UTC().Format(time.RFC3339Nano), tr.From, tr.To, qlen, qcap, tr.P99S)
+	}
+	return lvl
+}
+
+// transitions returns a copy of the recent-transition ring (oldest
+// first) and the total transition count.
+func (d *shedder) transitions() ([]shedTransition, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]shedTransition(nil), d.trans...), d.transTotal
 }

@@ -5,13 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
 func TestShedLadderByQueueFill(t *testing.T) {
-	d := newShedder(ShedConfig{}.withDefaults())
+	d := newShedder(ShedConfig{}.withDefaults(), nil, nil)
 	cases := []struct {
 		qlen, qcap int
 		want       int
@@ -33,7 +34,7 @@ func TestShedLadderByQueueFill(t *testing.T) {
 }
 
 func TestShedLadderByLatency(t *testing.T) {
-	d := newShedder(ShedConfig{P99Latency: 100 * time.Millisecond}.withDefaults())
+	d := newShedder(ShedConfig{P99Latency: 100 * time.Millisecond}.withDefaults(), nil, nil)
 	// Healthy latencies: empty queue stays at level 0.
 	for i := 0; i < 64; i++ {
 		d.observe(0.001)
@@ -70,7 +71,7 @@ func TestShedLadderByLatency(t *testing.T) {
 }
 
 func TestShedderP99(t *testing.T) {
-	d := newShedder(ShedConfig{Window: 100}.withDefaults())
+	d := newShedder(ShedConfig{Window: 100}.withDefaults(), nil, nil)
 	for i := 1; i <= 100; i++ {
 		d.observe(float64(i))
 	}
@@ -187,6 +188,91 @@ func TestOverloadEnvelope(t *testing.T) {
 	}
 	if total != n {
 		t.Errorf("answered %d of %d requests", total, n)
+	}
+}
+
+// TestShedTransitionTracking pins the transition telemetry: every level
+// change — escalation AND recovery (level-down) — is recorded with a
+// timestamp, counted, and written as one log line.
+func TestShedTransitionTracking(t *testing.T) {
+	now := time.Unix(1000, 0).UTC()
+	clock := func() time.Time { return now }
+	var log bytes.Buffer
+	d := newShedder(ShedConfig{}.withDefaults(), &log, clock)
+
+	if got := d.levelTracked(0, 100); got != shedNone {
+		t.Fatalf("idle level = %d, want 0", got)
+	}
+	if _, total := d.transitions(); total != 0 {
+		t.Fatalf("idle query recorded %d transitions, want 0", total)
+	}
+	steps := []struct {
+		qlen, want int
+	}{
+		{96, shedAll},   // 0 -> 3 escalation
+		{80, shedClass}, // 3 -> 2 partial recovery
+		{0, shedNone},   // 2 -> 0 full recovery (the level-down path)
+	}
+	for _, st := range steps {
+		now = now.Add(time.Second)
+		if got := d.levelTracked(st.qlen, 100); got != st.want {
+			t.Fatalf("levelTracked(%d/100) = %d, want %d", st.qlen, got, st.want)
+		}
+	}
+	trans, total := d.transitions()
+	if total != 3 || len(trans) != 3 {
+		t.Fatalf("transitions = %d (ring %d), want 3", total, len(trans))
+	}
+	wantTrans := []struct{ from, to int }{{0, 3}, {3, 2}, {2, 0}}
+	for i, w := range wantTrans {
+		tr := trans[i]
+		if tr.From != w.from || tr.To != w.to {
+			t.Errorf("transition %d: %d -> %d, want %d -> %d", i, tr.From, tr.To, w.from, w.to)
+		}
+		wantAt := time.Unix(1000+int64(i)+1, 0).UTC()
+		if !tr.At.Equal(wantAt) {
+			t.Errorf("transition %d at %v, want %v", i, tr.At, wantAt)
+		}
+	}
+	if trans[0].Fill != 0.96 {
+		t.Errorf("escalation fill = %g, want 0.96", trans[0].Fill)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(log.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("log has %d lines, want 3:\n%s", len(lines), log.String())
+	}
+	wantLog := []string{"level 0 -> 3", "level 3 -> 2", "level 2 -> 0"}
+	for i, ln := range lines {
+		if !strings.Contains(ln, wantLog[i]) {
+			t.Errorf("log line %d = %q, want it to contain %q", i, ln, wantLog[i])
+		}
+		if !strings.HasPrefix(ln, "shed: ") || !strings.Contains(ln, "T00:") {
+			t.Errorf("log line %d = %q, want a timestamped 'shed: <RFC3339> ...' line", i, ln)
+		}
+	}
+
+	// A steady level records nothing more.
+	now = now.Add(time.Second)
+	d.levelTracked(0, 100)
+	if _, total := d.transitions(); total != 3 {
+		t.Errorf("steady level grew the transition count to %d", total)
+	}
+
+	// The ring is bounded: flapping forever keeps only the newest 64.
+	for i := 0; i < 200; i++ {
+		d.levelTracked(96, 100)
+		d.levelTracked(0, 100)
+	}
+	trans, total = d.transitions()
+	if len(trans) > 64 {
+		t.Errorf("transition ring grew to %d, want ≤ 64", len(trans))
+	}
+	if total != 3+400 {
+		t.Errorf("transition total = %d, want 403", total)
+	}
+	if last := trans[len(trans)-1]; last.To != shedNone {
+		t.Errorf("newest retained transition ends at level %d, want 0", last.To)
 	}
 }
 

@@ -96,3 +96,23 @@ func BenchmarkServeAdmitShardedDurable(b *testing.B) {
 	cfg.WALDir = b.TempDir()
 	benchServeAdmit(b, cfg)
 }
+
+// BenchmarkServeAdmitSpans measures the sequential path with request
+// tracing on: one span allocation per request, contiguous stage stamps,
+// a lock-free ring publish, and the stage-histogram fold. Its delta
+// against BenchmarkServeAdmit is the whole cost of observability; the
+// spans-OFF cost is pinned at zero by TestSpanHelpersZeroAllocWhenDisabled.
+func BenchmarkServeAdmitSpans(b *testing.B) {
+	cfg := benchServeConfig()
+	cfg.Spans = true
+	benchServeAdmit(b, cfg)
+}
+
+// BenchmarkServeAdmitDurableSpans traces the full durable pipeline:
+// gather/append/commit stamps ride the group-commit batches.
+func BenchmarkServeAdmitDurableSpans(b *testing.B) {
+	cfg := benchServeConfig()
+	cfg.Spans = true
+	cfg.WALDir = b.TempDir()
+	benchServeAdmit(b, cfg)
+}
